@@ -1,0 +1,26 @@
+"""Benchmark-harness fixtures.
+
+Each ``benchmarks/test_*.py`` regenerates one of the paper's tables or
+figures, timed via pytest-benchmark (single round: a figure regeneration
+is itself a long deterministic measurement, not a microbenchmark).
+
+Run lengths honour ``REPRO_SCALE`` (default 1).  Set ``REPRO_SCALE=4``
+or more for measurement-grade tables at the cost of proportionally
+longer wall-clock time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import Settings
+
+
+@pytest.fixture(scope="session")
+def settings() -> Settings:
+    return Settings.from_env()
+
+
+def run_once(benchmark, fn, *args):
+    """Execute ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)

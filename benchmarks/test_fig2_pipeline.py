@@ -1,0 +1,25 @@
+"""Figure 2: traditional trap overhead vs pipeline length."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2_pipeline
+
+
+def test_fig2_pipeline_depth_sweep(benchmark, settings):
+    result = run_once(benchmark, fig2_pipeline.run, settings)
+    print()
+    print(result.format_table())
+
+    for bench in settings.benchmarks:
+        shallow = result.cell(bench, "3 stages").penalty_per_miss
+        nominal = result.cell(bench, "7 stages").penalty_per_miss
+        deep = result.cell(bench, "11 stages").penalty_per_miss
+        # The paper's shape: penalty grows with depth for every benchmark.
+        assert shallow < deep, bench
+        assert nominal <= deep * 1.15, bench
+
+    # Suite-average slope ~2 cycles per added stage (paper Section 3).
+    avg3 = result.average_penalty("3 stages")
+    avg11 = result.average_penalty("11 stages")
+    slope = (avg11 - avg3) / 8
+    print(f"\nslope = {slope:.2f} cycles/stage (paper: ~2)")
+    assert 1.0 < slope < 3.5

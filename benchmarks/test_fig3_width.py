@@ -1,0 +1,21 @@
+"""Figure 3: relative TLB overhead vs superscalar width."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_width
+
+
+def test_fig3_width_sweep(benchmark, settings):
+    result = run_once(benchmark, fig3_width.run, settings)
+    print()
+    print(result.format_table(value="relative_overhead"))
+
+    grew = 0
+    for bench in settings.benchmarks:
+        norm = fig3_width.normalized_overheads(result, bench)
+        print(f"{bench:12s} normalised: " +
+              " ".join(f"{norm[l]:.2f}" for l in ("2-wide", "4-wide", "8-wide")))
+        if norm["8-wide"] > 1.0:
+            grew += 1
+    # The paper's shape: wider machines spend a larger fraction of time
+    # on TLB handling, for (nearly) every benchmark.
+    assert grew >= len(settings.benchmarks) - 1

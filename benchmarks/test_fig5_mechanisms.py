@@ -1,0 +1,30 @@
+"""Figure 5: traditional vs multithreaded(1/3) vs hardware."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_mechanisms
+
+
+def test_fig5_mechanism_comparison(benchmark, settings):
+    result = run_once(benchmark, fig5_mechanisms.run, settings)
+    print()
+    print(result.format_table())
+
+    trad = result.average_penalty("traditional")
+    mt1 = result.average_penalty("multithreaded(1)")
+    mt3 = result.average_penalty("multithreaded(3)")
+    hw = result.average_penalty("hardware")
+    print(f"\naverages: trad={trad:.1f} mt(1)={mt1:.1f} mt(3)={mt3:.1f} "
+          f"hw={hw:.1f}  (paper: 22.7 / 11.7 / 11.0 / 7.3)")
+
+    # The paper's headline shapes.
+    assert hw < mt3 <= mt1 * 1.1 < trad, "mechanism ordering broken"
+    # Multithreading roughly halves the traditional penalty.
+    assert 1.4 < trad / mt1 < 3.0
+    # Extra idle threads help only modestly.
+    assert mt1 - mt3 < 0.35 * mt1
+
+    # Per-benchmark ordering holds too (traditional worst everywhere).
+    for bench in settings.benchmarks:
+        t = result.cell(bench, "traditional").penalty_per_miss
+        m = result.cell(bench, "multithreaded(1)").penalty_per_miss
+        assert t > m, bench

@@ -1,0 +1,22 @@
+"""Figure 6: the quick-starting multithreaded implementation."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_quickstart
+
+
+def test_fig6_quickstart(benchmark, settings):
+    result = run_once(benchmark, fig6_quickstart.run, settings)
+    print()
+    print(result.format_table())
+
+    mt = result.average_penalty("multithreaded(1)")
+    qs = result.average_penalty("quick start(1)")
+    hw = result.average_penalty("hardware")
+    recovered = (mt - qs) / (mt - hw) if mt > hw else 0.0
+    print(f"\nquick-start recovers {100 * recovered:.0f}% of the mt->hw gap "
+          f"(paper: ~68-80%)")
+
+    # Shape: hardware < quick-start < multithreaded, with a meaningful
+    # recovery of the gap.
+    assert hw < qs < mt
+    assert recovered > 0.2

@@ -1,0 +1,24 @@
+"""Table 2: benchmark suite summary."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2_suite
+
+
+def test_table2_benchmark_summary(benchmark, settings):
+    rows = run_once(benchmark, table2_suite.run, settings)
+    print()
+    for row in rows:
+        print(f"{row.name:12s} {row.abbrev:4s} misses={row.tlb_misses:5d} "
+              f"({row.misses_per_kilo_inst:5.1f}/kinst) ipc={row.base_ipc:.2f}")
+
+    by_name = {row.name: row for row in rows}
+    # The paper's Table 2 ordering at the extremes: compress the most
+    # miss-heavy, alphadoom the least.
+    if {"compress", "alphadoom"} <= set(by_name):
+        assert (
+            by_name["compress"].misses_per_kilo_inst
+            > by_name["alphadoom"].misses_per_kilo_inst
+        )
+    for row in rows:
+        assert row.tlb_misses > 0
+        assert row.base_ipc > 0.3

@@ -1,0 +1,30 @@
+"""Table 3: limit studies of the multithreaded overheads."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3_limits
+
+
+def test_table3_limit_studies(benchmark, settings):
+    result = run_once(benchmark, table3_limits.run, settings)
+    print()
+    width = max(len(label) for label in result.labels())
+    for label in result.labels():
+        print(f"{label:{width}s}  {result.average_penalty(label):8.1f}")
+
+    trad = result.average_penalty("Traditional Software")
+    multi = result.average_penalty("Multithreaded")
+    no_exec = result.average_penalty("Multi w/o execute bandwidth overhead")
+    no_window = result.average_penalty("Multi w/o window overhead")
+    no_fetch = result.average_penalty("Multi w/o fetch/decode bandwidth overhead")
+    instant = result.average_penalty("Multi w/ instant handler fetch/decode")
+    hardware = result.average_penalty("Hardware TLB miss handler")
+
+    # Paper shape: traditional worst, hardware best, multithreaded in
+    # between; the bandwidth knobs are small, instant fetch is the big one.
+    assert trad > multi > hardware
+    assert instant < multi
+    big_knob = multi - instant
+    for small in (no_exec, no_window, no_fetch):
+        assert multi - small <= big_knob + 0.5
+    # Instant fetch recovers a substantial share of the hw gap.
+    assert (multi - instant) > 0.3 * (multi - hardware)

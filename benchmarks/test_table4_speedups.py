@@ -1,0 +1,28 @@
+"""Table 4: speedups over traditional software handling."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4_speedups
+
+
+def test_table4_speedups(benchmark, settings):
+    rows = run_once(benchmark, table4_speedups.run, settings)
+    print()
+    for row in rows:
+        cells = " ".join(
+            f"{label}={row.speedups[label]:+.1f}%"
+            for label in table4_speedups.COLUMNS
+        )
+        print(f"{row.benchmark:12s} ipc={row.base_ipc:.2f} "
+              f"misses={row.tlb_misses:5d} {cells}")
+
+    for row in rows:
+        # Perfect TLB is the upper bound and must beat traditional.
+        assert row.speedups["Perfect"] > 0, row.benchmark
+        # The paper's Table 4: every alternative mechanism speeds the
+        # miss-heavy benchmarks up over traditional.
+        if row.tlb_misses > 50:
+            assert row.speedups["Multi(1)"] > -1.0, row.benchmark
+            assert row.speedups["H/W"] > 0, row.benchmark
+        # Perfect bounds everything (within noise).
+        for label in ("H/W", "Multi(1)", "Multi(3)", "Quick(1)", "Quick(3)"):
+            assert row.speedups[label] <= row.speedups["Perfect"] + 2.0

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The generalized mechanism (paper Section 6): instruction emulation.
+
+The ISA's ``emul rd, ra`` (popcount) is "implemented in software": the
+hardware raises an emulation exception and a PAL handler computes the
+result.  Under the multithreaded mechanism the handler runs in an idle
+context, reads the faulting instruction's source value from a privileged
+register, and writes the result directly into the faulting instruction's
+destination with ``mtdst`` -- the excepting instruction completes as a
+nop and its consumers wake, with nothing squashed.
+
+Run::
+
+    python examples/emulated_instructions.py
+"""
+
+from repro import MachineConfig, Simulator
+from repro.workloads.builder import make_program
+
+SOURCE = """
+main:
+    li   r1, 1
+    li   r5, 200
+    li   r7, 0
+loop:
+    sll  r1, r1, 3
+    or   r1, r1, 5
+    emul r2, r1          ; software-emulated popcount
+    add  r7, r7, r2      ; consumer wakes straight from mtdst
+    sub  r5, r5, 1
+    bne  r5, r0, loop
+    halt
+"""
+
+
+def run(mechanism: str):
+    sim = Simulator(make_program(SOURCE), MachineConfig(mechanism=mechanism))
+    core = sim.core
+    while not core.threads[0].halted and core.cycle < 500_000:
+        core.step()
+    emulations = sim.mechanism.stats.emulations if sim.mechanism else 0
+    return core.cycle, emulations, core.threads[0].arch.read_int(7), core.stats.squashed
+
+
+def main() -> None:
+    print("software-emulated popcount, 200 iterations\n")
+    print(f"{'mechanism':15s} {'cycles':>8s} {'emuls':>6s} {'result':>8s} "
+          f"{'squashed':>9s}")
+    reference = None
+    for mechanism in ("perfect", "traditional", "multithreaded", "quickstart"):
+        cycles, emulations, result, squashed = run(mechanism)
+        if reference is None:
+            reference = result
+        assert result == reference, "mechanisms must agree on results"
+        print(f"{mechanism:15s} {cycles:8d} {emulations:6d} {result:8d} "
+              f"{squashed:9d}")
+    print("\nThe traditional trap squashes and refetches at every emul;")
+    print("the multithreaded mechanism squashes nothing (Section 6 of the")
+    print("paper: register write access via the excepting instruction's")
+    print("physical destination).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Render a paper figure as an ASCII bar chart.
+
+The paper presents its results as grouped bar charts; this example
+regenerates one (default: Figure 5) and renders it the same way using
+:mod:`repro.experiments.report`.
+
+Run::
+
+    python examples/paper_figures.py [fig5|fig6] [scale]
+"""
+
+import os
+import sys
+
+from repro.experiments import fig5_mechanisms, fig6_quickstart
+from repro.experiments.common import Settings
+from repro.experiments.report import bar_chart, sparkline
+
+FIGURES = {
+    "fig5": (
+        fig5_mechanisms,
+        "Figure 5: penalty cycles per TLB miss, by mechanism",
+    ),
+    "fig6": (
+        fig6_quickstart,
+        "Figure 6: quick-start vs multithreaded vs hardware",
+    ),
+}
+
+
+def main() -> None:
+    which = sys.argv[1] if len(sys.argv) > 1 else "fig5"
+    if len(sys.argv) > 2:
+        os.environ["REPRO_SCALE"] = sys.argv[2]
+    module, title = FIGURES[which]
+
+    settings = Settings.from_env()
+    result = module.run(settings)
+    print(bar_chart(result, title=title))
+
+    averages = [result.average_penalty(label) for label in result.labels()]
+    print(f"\ntrend across mechanisms: {sparkline(averages)}")
+
+
+if __name__ == "__main__":
+    main()

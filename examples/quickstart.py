@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: measure one benchmark under every exception mechanism.
+
+Reproduces the paper's headline result on ``compress``: executing the
+software TLB miss handler in a spare SMT thread context roughly halves
+the penalty cycles per miss compared with the traditional trap, and the
+quick-start optimisation closes most of the remaining gap to a hardware
+page walker.
+
+Run::
+
+    python examples/quickstart.py [benchmark] [user_insts]
+"""
+
+import sys
+
+from repro import MachineConfig, Simulator, build_benchmark
+
+MECHANISMS = (
+    ("traditional", 1),
+    ("multithreaded", 1),
+    ("multithreaded", 3),
+    ("quickstart", 1),
+    ("hardware", 1),
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    user_insts = int(sys.argv[2]) if len(sys.argv) > 2 else 12_000
+
+    print(f"benchmark: {name} ({user_insts} measured instructions)\n")
+    perfect = Simulator(
+        build_benchmark(name), MachineConfig(mechanism="perfect")
+    ).run(user_insts=user_insts)
+    print(f"perfect TLB baseline: {perfect.cycles} cycles "
+          f"(IPC {perfect.ipc:.2f})\n")
+
+    print(f"{'mechanism':18s} {'cycles':>8s} {'fills':>6s} {'penalty/miss':>13s}")
+    for mechanism, idle in MECHANISMS:
+        sim = Simulator(
+            build_benchmark(name),
+            MachineConfig(mechanism=mechanism, idle_threads=idle),
+        )
+        result = sim.run(user_insts=user_insts)
+        penalty = (result.cycles - perfect.cycles) / max(1, result.committed_fills)
+        label = f"{mechanism}({idle})"
+        print(f"{label:18s} {result.cycles:8d} {result.committed_fills:6d} "
+              f"{penalty:13.1f}")
+
+    print("\nExpected shape (paper, Fig. 5/6): traditional is worst;")
+    print("multithreaded(1) roughly halves it; quick-start approaches the")
+    print("hardware walker.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Multiprogrammed SMT: the paper's Figure 7 scenario on one mix.
+
+Runs three benchmarks simultaneously (each in its own address-space
+slice) with one idle context, comparing exception mechanisms.  With
+other threads to hide trap latency, the multithreaded mechanism's edge
+shrinks -- the paper reports ~25% instead of ~50% -- but the saved
+fetch/decode bandwidth still shows.
+
+Run::
+
+    python examples/smt_multiprogram.py [b1 b2 b3] [user_insts]
+"""
+
+import sys
+
+from repro import MachineConfig, Simulator
+from repro.workloads.suite import build_mix
+
+
+def main() -> None:
+    if len(sys.argv) >= 4:
+        mix = tuple(sys.argv[1:4])
+        user_insts = int(sys.argv[4]) if len(sys.argv) > 4 else 8_000
+    else:
+        mix = ("adm", "cmp", "vor")
+        user_insts = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+
+    print(f"mix: {'-'.join(mix)}  ({user_insts} instructions per thread)\n")
+    perfect = Simulator(
+        build_mix(mix), MachineConfig(mechanism="perfect", idle_threads=1)
+    ).run(user_insts=user_insts)
+    print(f"perfect TLB: {perfect.cycles} cycles, per-thread retirement "
+          f"{perfect.per_thread_user[:3]}\n")
+
+    print(f"{'mechanism':18s} {'cycles':>8s} {'fills':>6s} {'penalty/miss':>13s}")
+    for mechanism in ("traditional", "multithreaded", "quickstart", "hardware"):
+        sim = Simulator(
+            build_mix(mix), MachineConfig(mechanism=mechanism, idle_threads=1)
+        )
+        result = sim.run(user_insts=user_insts)
+        penalty = (result.cycles - perfect.cycles) / max(1, result.committed_fills)
+        print(f"{mechanism:18s} {result.cycles:8d} {result.committed_fills:6d} "
+              f"{penalty:13.1f}")
+
+    print("\nThe SMT's other threads absorb much of each trap's latency, so")
+    print("all mechanisms sit closer together than in single-program runs")
+    print("(the paper's Figure 7).")
+
+
+if __name__ == "__main__":
+    main()

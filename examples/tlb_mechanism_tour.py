@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A guided tour of one TLB miss under each exception architecture.
+
+Builds a tiny hand-written program whose first load misses the DTLB,
+then replays it under each mechanism with an event log, showing exactly
+what the paper's Figure 1 describes: the traditional trap squashes and
+refetches; the multithreaded mechanism spawns a handler thread whose
+instructions retire *between* the pre-exception instructions and the
+excepting load; the hardware walker resolves the miss with no
+instructions at all.
+
+Run::
+
+    python examples/tlb_mechanism_tour.py
+"""
+
+from repro.isa.program import DataSegment
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.builder import make_program
+
+DATA = 0x1000_0000
+
+SOURCE = f"""
+main:
+    li   r1, {DATA}
+    li   r4, 100          ; pre-exception independent work
+    add  r4, r4, 4
+    ld   r2, 0(r1)        ; <-- misses the DTLB
+    add  r3, r2, 1        ; depends on the load
+    add  r5, r4, 8        ; independent of the load
+    add  r6, r5, 8
+    halt
+"""
+
+
+def build_sim(mechanism: str) -> Simulator:
+    program = make_program(
+        SOURCE, segments=[DataSegment(base=DATA, words=[41], name="data")]
+    )
+    return Simulator(program, MachineConfig(mechanism=mechanism, idle_threads=1))
+
+
+def traced_run(mechanism: str) -> None:
+    print(f"\n=== {mechanism} ===")
+    sim = build_sim(mechanism)
+    core = sim.core
+    retire_log: list[str] = []
+
+    original = core._do_retire
+
+    def spy(thread, uop, now):
+        kind = "PAL" if uop.is_handler else "app"
+        retire_log.append(
+            f"  cycle {now:4d}  T{thread.tid} {kind}  pc={uop.pc:3d}  {uop.inst}"
+        )
+        return original(thread, uop, now)
+
+    core._do_retire = spy
+    while not core.threads[0].halted and core.cycle < 50_000:
+        core.step()
+
+    print(f"finished in {core.cycle} cycles; retirement order:")
+    for line in retire_log:
+        print(line)
+    if sim.mechanism is not None:
+        stats = sim.mechanism.stats
+        print(f"stats: traps={stats.traps} spawns={stats.spawns} "
+              f"walks={stats.walks_completed} fills={stats.committed_fills}")
+    squashed = core.stats.squashed
+    print(f"squashed instructions: {squashed}")
+    assert core.threads[0].arch.read_int(3) == 42
+
+
+def main() -> None:
+    for mechanism in ("perfect", "traditional", "multithreaded", "hardware"):
+        traced_run(mechanism)
+    print("\nNote how the multithreaded run retires the PAL handler between")
+    print("the pre-exception instructions and the excepting load, with zero")
+    print("squashed instructions -- the paper's Figure 1(b)/(c).")
+
+
+if __name__ == "__main__":
+    main()

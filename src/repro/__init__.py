@@ -1,0 +1,47 @@
+"""repro -- a reproduction of *The Use of Multithreading for Exception
+Handling* (Zilles, Emer, Sohi; MICRO-32, 1999).
+
+The package is a from-scratch, execution-driven SMT cycle simulator plus
+the paper's exception architectures:
+
+* :mod:`repro.isa` -- the RISC ISA and assembler,
+* :mod:`repro.memory` -- caches, page table, TLBs,
+* :mod:`repro.branch` -- YAGS / cascaded-indirect / RAS prediction,
+* :mod:`repro.pipeline` -- the dynamically scheduled SMT core,
+* :mod:`repro.exceptions` -- traditional, multithreaded, hardware, and
+  quick-start exception handling (the core contribution),
+* :mod:`repro.workloads` -- synthetic stand-ins for the paper's eight
+  benchmarks,
+* :mod:`repro.sim` -- configuration, runner, and the penalty-per-miss
+  metric,
+* :mod:`repro.experiments` -- one harness per figure/table of the paper.
+
+Quickstart::
+
+    from repro import MachineConfig, Simulator, build_benchmark, run_pair
+
+    config = MachineConfig(mechanism="multithreaded", idle_threads=1)
+    _, _, penalty = run_pair(lambda: build_benchmark("compress"),
+                             config, user_insts=20_000)
+    print(f"{penalty.penalty_per_miss:.1f} penalty cycles per TLB miss")
+"""
+
+from repro.sim.config import FUPool, MachineConfig
+from repro.sim.metrics import PenaltyResult, penalty_per_miss, run_pair
+from repro.sim.simulator import SimResult, Simulator
+from repro.workloads.suite import BENCHMARKS, build_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FUPool",
+    "MachineConfig",
+    "PenaltyResult",
+    "penalty_per_miss",
+    "run_pair",
+    "SimResult",
+    "Simulator",
+    "BENCHMARKS",
+    "build_benchmark",
+    "__version__",
+]

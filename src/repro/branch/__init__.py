@@ -1,0 +1,30 @@
+"""Branch prediction: YAGS, cascaded indirect, checkpointing RAS.
+
+Matches the Table 1 front end of the paper:
+
+* conditional directions from a YAGS predictor (2^14-entry choice table,
+  2^12-entry exception caches with 6-bit tags),
+* *perfect* targets for direct branches (the static instruction carries
+  its target, standing in for a perfect BTB),
+* indirect targets from a two-stage cascaded predictor (2^8 first stage,
+  2^10 tagged second stage),
+* returns from a 64-entry checkpointing return address stack,
+* exception returns (``reti``) deliberately *unpredicted* -- the paper's
+  simulator has no RAS-like mechanism for them, which is what produces
+  the second pipeline refill in Figure 2.
+"""
+
+from repro.branch.cascaded import CascadedIndirectPredictor
+from repro.branch.ras import RASCheckpoint, ReturnAddressStack
+from repro.branch.unit import BranchCheckpoint, BranchPredictionUnit, BranchStats
+from repro.branch.yags import YAGSPredictor
+
+__all__ = [
+    "CascadedIndirectPredictor",
+    "RASCheckpoint",
+    "ReturnAddressStack",
+    "BranchCheckpoint",
+    "BranchPredictionUnit",
+    "BranchStats",
+    "YAGSPredictor",
+]

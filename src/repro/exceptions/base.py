@@ -1,0 +1,139 @@
+"""Common machinery for exception mechanisms.
+
+An :class:`ExceptionMechanism` is a strategy object the SMT core invokes
+at well-defined points: when a user-mode memory operation misses the
+DTLB, when handler instructions (``tlbwr``/``hardexc``/``reti``) execute
+or retire, when uops are squashed, and once per cycle for autonomous
+hardware (the FSM walker, quick-start prefetch).
+
+Every dynamic exception is tracked by an :class:`ExceptionInstance`,
+which doubles as the *producer* identity for speculative TLB fills: the
+fill is confirmed if the instance's handler retires and rolled back if it
+is squashed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.core import SMTCore
+    from repro.pipeline.thread import ThreadContext
+    from repro.pipeline.uop import Uop
+
+_instance_ids = itertools.count(1)
+
+
+@dataclass
+class ExceptionInstance:
+    """One dynamic exception from detection to completion."""
+
+    vpn: int
+    va: int
+    #: The excepting instruction (None for the traditional mechanism,
+    #: whose faulting instruction is squashed and refetched).
+    master_uop: "Uop | None"
+    #: The exception thread running the handler (None for traditional and
+    #: hardware handling).
+    thread: "ThreadContext | None" = None
+    #: Exception type: "dtlb_miss" or "emul".
+    exc_type: str = "dtlb_miss"
+    #: Latched source value of the excepting instruction (Section 6
+    #: register-read access; emulation exceptions).
+    src_value: int = 0
+    id: int = field(default_factory=lambda: next(_instance_ids))
+    #: Faulting uops (beyond the master) waiting on this fill.
+    waiters: list = field(default_factory=list)
+    filled: bool = False
+    fill_cycle: int = -1
+    squashed: bool = False
+    spawn_cycle: int = -1
+
+    def alive_waiters(self) -> list:
+        """Waiters that have not been squashed."""
+        from repro.pipeline.uop import UopState  # local import: cycle guard
+
+        return [w for w in self.waiters if w.state != UopState.SQUASHED]
+
+
+@dataclass
+class MechanismStats:
+    """Counters shared by every exception mechanism."""
+
+    misses_seen: int = 0
+    spawns: int = 0
+    traps: int = 0
+    committed_fills: int = 0
+    secondary_merges: int = 0
+    relinks: int = 0
+    reverted_no_thread: int = 0
+    hard_exceptions: int = 0
+    emulations: int = 0
+    quickstart_wrong_type: int = 0
+    reclaimed_threads: int = 0
+    quickstart_hits: int = 0
+    quickstart_partial: int = 0
+    walks_started: int = 0
+    walks_completed: int = 0
+    walks_dropped: int = 0
+    page_faults: int = 0
+
+
+class ExceptionMechanism:
+    """Base class: no-op hooks plus the attach protocol."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.core: "SMTCore | None" = None
+        self.stats = MechanismStats()
+
+    def attach(self, core: "SMTCore") -> None:
+        """Bind to a core.  Called once by the simulator before running."""
+        self.core = core
+
+    # -- events from the execute stage ---------------------------------
+    def on_dtlb_miss(self, uop: "Uop", va: int, vpn: int, now: int) -> None:
+        """A user-mode memory op failed translation at issue time."""
+        raise NotImplementedError
+
+    def on_tlbwr(self, uop: "Uop", va: int, pte: int, now: int) -> None:
+        """A handler executed ``tlbwr``."""
+
+    def on_emulation(self, uop: "Uop", src_value: int, now: int) -> None:
+        """A user-mode ``emul`` instruction needs software emulation."""
+        raise NotImplementedError
+
+    def on_mtdst(self, uop: "Uop", value: int, now: int) -> None:
+        """A handler executed ``mtdst`` (write the excepting dest)."""
+
+    def on_hardexc(self, uop: "Uop", now: int) -> None:
+        """A handler executed ``hardexc`` (needs the traditional path)."""
+
+    def on_reti_executed(self, uop: "Uop", now: int) -> None:
+        """A handler's ``reti`` executed (fetch redirect point)."""
+
+    # -- events from the retire stage -----------------------------------
+    def on_reti_retired(self, uop: "Uop", now: int) -> None:
+        """A handler's ``reti`` retired (fills become architectural)."""
+
+    def on_store_retired(self, addr: int, now: int) -> None:
+        """A committed store hit the page-table region (coherence hook)."""
+
+    # -- events from squash recovery ------------------------------------
+    def on_uop_squashed(self, uop: "Uop", now: int) -> None:
+        """Any uop was squashed; mechanisms reclaim linked resources."""
+
+    # -- autonomous activity ---------------------------------------------
+    def tick(self, now: int) -> None:
+        """Called at the top of every cycle."""
+
+    def service_mem_ports(self, now: int, free_ports: int) -> int:
+        """Offer leftover load/store ports; returns how many were used."""
+        return 0
+
+    def fetch_idle(self, now: int, budget: int) -> int:
+        """Offer leftover fetch bandwidth (quick-start); returns used."""
+        return 0

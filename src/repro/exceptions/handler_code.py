@@ -1,0 +1,120 @@
+"""The software DTLB miss handler (PAL code).
+
+Mirrors the structure of the Alpha 21164 PALcode data-TLB miss handler
+the paper simulates: a handful of instructions that read the faulting
+virtual address from a privileged register, index the flat page table,
+load the PTE (a privileged, physically-addressed load that still travels
+through the caches), validity-check it, install the translation with
+``tlbwr``, and return with ``reti``.
+
+The page-fault path demonstrates the paper's *hard exception* reversion:
+``hardexc`` before any instruction that permanently affects visible
+machine state.  Executed by an exception thread it squashes the thread
+and re-raises the exception through the traditional mechanism; executed
+traditionally it is a no-op and the handler continues into fix-up code
+that "pages in" the page (sets the PTE valid bit) and retries.
+
+The handler deliberately performs **no stores** and reads **only** the
+privileged VA/PTBR registers and the page table on its common path --
+the structural properties Section 4.2 of the paper relies on to avoid
+general-purpose cross-thread register renaming.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+from repro.memory.address import PAGE_SHIFT
+
+#: The common-case handler: entry through ``reti`` (used for window
+#: reservations and handler-length prediction).
+DTLB_HANDLER_SOURCE = f"""
+; Data-TLB miss handler ({PAGE_SHIFT}-bit page offset, flat page table)
+dtlb_miss:
+    mfpr  r1, VA          ; faulting virtual address
+    mfpr  r2, PTBR        ; page table base
+    srl   r3, r1, {PAGE_SHIFT}
+    sll   r4, r3, 3
+    add   r4, r2, r4      ; &PTE
+    ld    r5, 0(r4)       ; PTE (privileged load: physical, cached)
+    and   r6, r5, 1       ; valid bit
+    beq   r6, r0, page_fault
+    tlbwr r1, r5          ; install translation (speculative fill)
+    reti
+page_fault:
+    hardexc               ; needs the traditional mechanism's full powers
+    or    r5, r5, 1       ; "page in": mark the PTE valid
+    st    r5, 0(r4)
+    tlbwr r1, r5
+    reti
+"""
+
+
+def build_dtlb_handler() -> tuple[list[Instruction], dict[str, int]]:
+    """Assemble the handler; returns (instructions, local labels)."""
+    return assemble(DTLB_HANDLER_SOURCE, privileged=True)
+
+
+def handler_length() -> int:
+    """Common-case handler length in instructions (entry through reti)."""
+    insts, labels = build_dtlb_handler()
+    return labels["page_fault"]
+
+
+def install_dtlb_handler(program: Program) -> int:
+    """Append the handler to ``program``; returns its entry PC."""
+    insts, labels = build_dtlb_handler()
+    return program.append_pal(insts, labels, name="dtlb_miss")
+
+
+#: Instruction-emulation handler (the paper's Section 6 generalized
+#: mechanism): reads the faulting instruction's source value from a
+#: privileged register, computes popcount branch-free, and writes the
+#: faulting instruction's destination with ``mtdst`` -- converting the
+#: excepting instruction into a completed nop and waking its consumers.
+EMUL_HANDLER_SOURCE = """
+emul_handler:
+    mfpr  r1, EXC_SRC
+    li    r2, 6148914691236517205     ; 0x5555...
+    srl   r3, r1, 1
+    and   r3, r3, r2
+    sub   r1, r1, r3                  ; pairwise sums
+    li    r2, 3689348814741910323     ; 0x3333...
+    and   r3, r1, r2
+    srl   r1, r1, 2
+    and   r1, r1, r2
+    add   r1, r1, r3                  ; nibble sums
+    srl   r3, r1, 4
+    add   r1, r1, r3
+    li    r2, 1085102592571150095     ; 0x0f0f...
+    and   r1, r1, r2
+    li    r2, 72340172838076673       ; 0x0101...
+    mul   r1, r1, r2
+    srl   r1, r1, 56                  ; byte-sum in the top byte
+    mtdst r1
+    reti
+"""
+
+
+def build_emul_handler() -> tuple[list[Instruction], dict[str, int]]:
+    """Assemble the instruction-emulation handler."""
+    return assemble(EMUL_HANDLER_SOURCE, privileged=True)
+
+
+def emul_handler_length() -> int:
+    """Length of the emulation handler in instructions."""
+    return len(build_emul_handler()[0])
+
+
+def install_emul_handler(program: Program) -> int:
+    """Append the emulation handler to ``program``; returns its entry PC."""
+    insts, labels = build_emul_handler()
+    return program.append_pal(insts, labels, name="emul")
+
+
+def install_handlers(program: Program) -> dict[str, int]:
+    """Install every PAL handler; returns {name: entry PC}."""
+    install_dtlb_handler(program)
+    install_emul_handler(program)
+    return dict(program.pal_entries)

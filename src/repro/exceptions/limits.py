@@ -1,0 +1,42 @@
+"""Limit-study knobs for Table 3 of the paper.
+
+Each flag surgically removes one overhead of the multithreaded mechanism
+to quantify its contribution to the gap between the multithreaded handler
+and the hardware walker:
+
+* ``no_execute_bandwidth`` -- handler instructions issue without consuming
+  issue slots or functional units ("Multi w/o execute bandwidth
+  overhead").
+* ``no_window_overhead`` -- handler instructions occupy no window entries
+  and need no reservation ("Multi w/o window overhead").
+* ``no_fetch_bandwidth`` -- handler fetch and decode consume none of the
+  shared front-end bandwidth ("Multi w/o fetch/decode bandwidth
+  overhead").
+* ``instant_fetch`` -- handler instructions appear fully decoded in the
+  window the cycle after the exception spawns ("Multi w/ instant handler
+  fetch/decode"), the knob the paper found dominant and then approximated
+  in hardware with quick-start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LimitKnobs:
+    """Overhead-removal switches applied only to exception threads."""
+
+    no_execute_bandwidth: bool = False
+    no_window_overhead: bool = False
+    no_fetch_bandwidth: bool = False
+    instant_fetch: bool = False
+
+    @property
+    def any_active(self) -> bool:
+        return (
+            self.no_execute_bandwidth
+            or self.no_window_overhead
+            or self.no_fetch_bandwidth
+            or self.instant_fetch
+        )

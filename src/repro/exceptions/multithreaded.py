@@ -1,0 +1,388 @@
+"""The multithreaded exception mechanism -- the paper's contribution.
+
+On a DTLB miss the faulting instruction *stays in the window*, marked
+not-ready; an idle SMT context is allocated and begins fetching the
+handler with fetch priority.  The excepting instruction records the
+handler thread (and the thread records its master + the excepting
+sequence number -- the paper's Figure 4 state), producing the retirement
+splice: the handler retires in its entirety after all pre-exception
+instructions and before the excepting one.
+
+Implemented behaviours from Section 4 of the paper:
+
+* window **reservation** of (perfectly predicted) handler-length slots at
+  spawn, plus the deadlock-avoidance tail squash in the core;
+* **secondary-miss buffering**: further misses to a page whose fill is in
+  flight wait on the same instance;
+* **re-linking**: a *older* excepting instruction to the same page
+  observed out of order steals the handler (the retirement splice moves
+  to the older instruction);
+* **reversion to the traditional mechanism** when no idle context is
+  available, and on ``hardexc`` (page fault discovered mid-handler): the
+  handler thread is squashed and the whole exception re-raised
+  traditionally;
+* **reclaim on squash**: if the excepting instruction dies (branch
+  misprediction), the exception thread resets to idle and speculative
+  fills roll back;
+* a **page-table write check**: a committed store that overwrites a PTE
+  being read by an in-flight handler squashes and respawns that handler
+  (the memory-ordering recovery of Section 4.2).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions.base import ExceptionInstance, ExceptionMechanism
+from repro.exceptions.predictors import SpawnPredictor
+from repro.exceptions.traditional import TraditionalMechanism
+from repro.isa.instructions import Opcode
+from repro.isa.registers import PrivReg
+from repro.memory.address import vpn_of
+from repro.memory.page_table import pte_pfn
+from repro.pipeline.thread import ThreadContext, ThreadState
+from repro.pipeline.uop import Uop, UopState
+
+
+class MultithreadedMechanism(ExceptionMechanism):
+    """Handler threads with spliced retirement."""
+
+    name = "multithreaded"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.traditional = TraditionalMechanism()
+        #: vpn -> live (unfilled or unretired) exception instance.
+        self._by_vpn: dict[int, ExceptionInstance] = {}
+        #: Section 4.3: which exception types deserve a handler thread.
+        self.spawn_predictor = SpawnPredictor()
+        self._suppressed: dict[str, int] = {}
+        #: While suppressed, probe with a real spawn every Nth exception
+        #: so the predictor can re-learn (clustered faults end).
+        self.spawn_probe_interval = 8
+
+    def attach(self, core) -> None:
+        """Bind to the core, sharing stats with the fallback engine."""
+        super().attach(core)
+        self.traditional.attach(core)
+        # The fallback engine reports into the same counters.
+        self.traditional.stats = self.stats
+
+    # ------------------------------------------------------------------
+    def _spawning_worthwhile(self, exc_type: str) -> bool:
+        if not self.core.config.use_spawn_predictor:
+            return True
+        if self.spawn_predictor.should_spawn(exc_type):
+            self._suppressed.pop(exc_type, None)
+            return True
+        count = self._suppressed.get(exc_type, 0) + 1
+        self._suppressed[exc_type] = count
+        # Periodic probe: without it the predictor could never observe a
+        # clean completion and would suppress the type forever.
+        return count % self.spawn_probe_interval == 0
+
+    def on_dtlb_miss(self, uop: Uop, va: int, vpn: int, now: int) -> None:
+        """Spawn a handler thread (or merge/revert per Section 4.5)."""
+        self.stats.misses_seen += 1
+        instance = self._by_vpn.get(vpn)
+        if instance is not None and not instance.squashed and not instance.filled:
+            self._merge_secondary(instance, uop, now)
+            return
+        if not self._spawning_worthwhile("dtlb_miss"):
+            self.traditional.on_dtlb_miss(uop, va, vpn, now)
+            return
+        thread = self.core.find_idle_thread()
+        if thread is None:
+            # Section 4.5: with no idle context, fall back to trapping.
+            self.stats.reverted_no_thread += 1
+            self.traditional.on_dtlb_miss(uop, va, vpn, now)
+            return
+        self._spawn(thread, uop, now=now, va=va, vpn=vpn)
+
+    def _merge_secondary(self, instance: ExceptionInstance, uop: Uop, now: int) -> None:
+        """Buffer a second miss to a page whose fill is already in flight."""
+        self.stats.secondary_merges += 1
+        instance.waiters.append(uop)
+        uop.waiting_fill = instance.vpn
+        master = instance.master_uop
+        if master is not None and uop.seq < master.seq:
+            # Re-linking (Section 4.5): the handler must retire before the
+            # *oldest* excepting instruction.
+            self.stats.relinks += 1
+            master.linked_handler = None
+            master.exc_instance = None
+            instance.waiters = [w for w in instance.waiters if w is not uop]
+            instance.waiters.append(master)
+            instance.master_uop = uop
+            uop.exc_instance = instance
+            if instance.thread is not None:
+                uop.linked_handler = instance.thread
+                instance.thread.master_uop = uop
+                instance.thread.master_tid = uop.thread_id
+
+    def on_emulation(self, uop: Uop, src_value: int, now: int) -> None:
+        """Section 6 generalized mechanism: emulate in a handler thread."""
+        if not self._spawning_worthwhile("emul"):
+            self.traditional.on_emulation(uop, src_value, now)
+            return
+        thread = self.core.find_idle_thread()
+        if thread is None:
+            self.stats.reverted_no_thread += 1
+            self.traditional.on_emulation(uop, src_value, now)
+            return
+        instance = ExceptionInstance(
+            vpn=-1,
+            va=0,
+            master_uop=uop,
+            thread=thread,
+            exc_type="emul",
+            src_value=src_value,
+        )
+        self._spawn(thread, uop, instance, now)
+
+    def _spawn(
+        self,
+        thread: ThreadContext,
+        uop: Uop,
+        instance: ExceptionInstance | None = None,
+        now: int = 0,
+        va: int = 0,
+        vpn: int = -1,
+    ) -> None:
+        """Allocate ``thread`` as the exception context for ``uop``."""
+        self.stats.spawns += 1
+        core = self.core
+        master = core.threads[uop.thread_id]
+        if instance is None:
+            instance = ExceptionInstance(vpn=vpn, va=va, master_uop=uop, thread=thread)
+        instance.spawn_cycle = now
+        if instance.exc_type == "dtlb_miss":
+            self._by_vpn[instance.vpn] = instance
+
+        uop.exc_instance = instance
+        uop.linked_handler = thread
+        # A sentinel "waiting" mark: dtlb misses wait on their vpn,
+        # emulations wait on the handler's mtdst.
+        uop.waiting_fill = instance.vpn
+
+        thread.state = ThreadState.EXCEPTION
+        thread.program = master.program
+        thread.master_tid = master.tid
+        thread.master_uop = uop
+        thread.exc_instance = instance
+        thread.fetch_priv = True
+        thread.fetch_done = False
+        thread.priv_regs[PrivReg.VA] = instance.va
+        thread.priv_regs[PrivReg.EXC_SRC] = instance.src_value
+        thread.priv_regs[PrivReg.PTBR] = master.priv_regs[PrivReg.PTBR]
+
+        if not core.config.limits.no_window_overhead:
+            length = core.handler_lengths.get(
+                instance.exc_type, core.handler_length
+            )
+            core.window.reserve(instance.id, length)
+
+        if core.config.limits.instant_fetch:
+            self._materialize_instantly(thread, now)
+        else:
+            self._start_frontend(thread, now)
+
+    def _handler_entry(self, thread: ThreadContext) -> int:
+        exc_type = (
+            thread.exc_instance.exc_type if thread.exc_instance else "dtlb_miss"
+        )
+        return self.core.pal_entries[exc_type]
+
+    def _start_frontend(self, thread: ThreadContext, now: int) -> None:
+        """Point the exception thread's fetch engine at the handler.
+
+        Overridden by the quick-start mechanism, which may already hold a
+        prefetched handler image in the thread's fetch buffer.
+        """
+        thread.pc = self._handler_entry(thread)
+        thread.fetch_stall_until = now + 1
+
+    def _materialize_instantly(self, thread: ThreadContext, now: int) -> None:
+        """Table 3 limit study: handler appears decoded in the window."""
+        core = self.core
+        exc_id = thread.exc_instance.id if thread.exc_instance else None
+        pc = self._handler_entry(thread)
+        while True:
+            inst = thread.program.fetch(pc)
+            uop = Uop(core.alloc_seq(), thread.tid, pc, inst)
+            uop.fetch_cycle = now
+            uop.avail_cycle = now
+            uop.is_handler = True
+            if core.config.limits.no_window_overhead:
+                uop.free_slot = True
+            if inst.is_branch:
+                pred = core.bpu.predict(pc, inst)
+                uop.checkpoint = pred.checkpoint
+                uop.pred_taken = pred.taken
+                uop.pred_target = pred.target
+            thread.rob.append(uop)
+            core._rename(thread, uop)
+            core.window.insert(uop, exc_id)
+            uop.insert_cycle = now
+            uop.min_sched_cycle = now + 1
+            uop.state = UopState.WINDOW
+            if inst.op is Opcode.RETI:
+                break
+            pc += 1
+        thread.fetch_done = True
+        thread.fetch_stall_until = 1 << 60
+
+    # ------------------------------------------------------------------
+    def on_tlbwr(self, uop: Uop, va: int, pte: int, now: int) -> None:
+        """Speculative fill: wake the master and buffered waiters."""
+        thread = self.core.threads[uop.thread_id]
+        if not thread.is_exception_thread:
+            self.traditional.on_tlbwr(uop, va, pte, now)
+            return
+        instance = thread.exc_instance
+        if instance is None or instance.squashed:
+            return
+        uop.exc_instance = instance
+        self.core.dtlb.fill(
+            vpn_of(va), pte_pfn(pte), speculative=True, producer=instance.id
+        )
+        instance.filled = True
+        instance.fill_cycle = now
+        self._wake_waiters(instance)
+        # New misses to this page must spawn fresh handling.
+        if self._by_vpn.get(instance.vpn) is instance:
+            del self._by_vpn[instance.vpn]
+
+    def _wake_waiters(self, instance: ExceptionInstance) -> None:
+        for waiter in [instance.master_uop, *instance.waiters]:
+            if waiter is not None and waiter.state != UopState.SQUASHED:
+                waiter.waiting_fill = None
+
+    def on_mtdst(self, uop: Uop, value: int, now: int) -> None:
+        """Section 6: write straight into the excepting instruction's
+        destination; it completes as a nop and its consumers wake."""
+        thread = self.core.threads[uop.thread_id]
+        if not thread.is_exception_thread:
+            return  # traditional: handled via the dynamic rename dest
+        instance = thread.exc_instance
+        if instance is None or instance.squashed:
+            return
+        master = instance.master_uop
+        if master is None or master.state == UopState.SQUASHED:
+            return
+        master.value = value & ((1 << 64) - 1)
+        master.issued = True
+        master.issue_cycle = now
+        master.finish_cycle = now + 1
+        master.waiting_fill = None
+        instance.filled = True
+        instance.fill_cycle = now
+
+    def on_hardexc(self, uop: Uop, now: int) -> None:
+        """Page fault mid-handler: squash the thread, trap traditionally."""
+        thread = self.core.threads[uop.thread_id]
+        if not thread.is_exception_thread:
+            self.traditional.on_hardexc(uop, now)
+            return
+        # Page fault discovered mid-handler: throw the in-progress handler
+        # away and re-execute the whole exception traditionally.
+        self.stats.hard_exceptions += 1
+        instance = thread.exc_instance
+        if instance is not None:
+            self.spawn_predictor.record_reversion(instance.exc_type)
+        master_uop = instance.master_uop if instance else None
+        master = self.core.threads[thread.master_tid]
+        self._reclaim(thread, now)
+        if master_uop is not None and master_uop.state != UopState.SQUASHED:
+            self.traditional.trap(master, master_uop, instance.va, now)
+
+    def on_reti_executed(self, uop: Uop, now: int) -> None:
+        """Exception-thread reti needs no redirect; route traditional."""
+        thread = self.core.threads[uop.thread_id]
+        if not thread.is_exception_thread:
+            self.traditional.on_reti_executed(uop, now)
+
+    def on_reti_retired(self, uop: Uop, now: int) -> None:
+        """Handler fully retired: confirm fills, free the context."""
+        thread = self.core.threads[uop.thread_id]
+        if not thread.is_exception_thread:
+            self.traditional.on_reti_retired(uop, now)
+            return
+        instance = thread.exc_instance
+        if instance is not None:
+            self.spawn_predictor.record_success(instance.exc_type)
+            if instance.exc_type == "dtlb_miss":
+                self.core.dtlb.confirm(instance.id)
+                self.stats.committed_fills += 1
+            else:
+                self.stats.emulations += 1
+            if instance.master_uop is not None:
+                instance.master_uop.linked_handler = None
+            if self._by_vpn.get(instance.vpn) is instance:
+                del self._by_vpn[instance.vpn]
+            self.core.window.release(instance.id)
+        self._thread_freed(thread, now)
+        thread.reset_to_idle()
+
+    def _thread_freed(self, thread: ThreadContext, now: int) -> None:
+        """Hook for quick-start: a context is about to go idle."""
+
+    # ------------------------------------------------------------------
+    def on_uop_squashed(self, uop: Uop, now: int) -> None:
+        """Reclaim handler threads/fills linked to squashed uops."""
+        instance = uop.exc_instance
+        if instance is None:
+            if uop.waiting_fill is not None:
+                # A buffered secondary miss died; drop it from its instance.
+                pending = self._by_vpn.get(uop.waiting_fill)
+                if pending is not None and uop in pending.waiters:
+                    pending.waiters.remove(uop)
+            return
+        if uop.inst.op is Opcode.TLBWR:
+            if not self.core.threads[uop.thread_id].is_exception_thread:
+                self.traditional.on_uop_squashed(uop, now)
+            # Exception-thread tlbwr squashes are handled by _reclaim.
+            return
+        if instance.master_uop is uop and instance.thread is not None:
+            # The excepting instruction died: reclaim the handler context.
+            self._reclaim(instance.thread, now)
+        elif instance.master_uop is uop:
+            instance.squashed = True
+            if self._by_vpn.get(instance.vpn) is instance:
+                del self._by_vpn[instance.vpn]
+
+    def _reclaim(self, thread: ThreadContext, now: int) -> None:
+        """Squash an exception thread and return it to the idle pool."""
+        self.stats.reclaimed_threads += 1
+        core = self.core
+        instance = thread.exc_instance
+        # Detach links first so the rob squash does not recurse into us.
+        if instance is not None:
+            instance.squashed = True
+            if instance.master_uop is not None:
+                instance.master_uop.linked_handler = None
+                instance.master_uop.exc_instance = None
+            for waiter in instance.alive_waiters():
+                waiter.waiting_fill = None  # re-raise on next issue attempt
+            if self._by_vpn.get(instance.vpn) is instance:
+                del self._by_vpn[instance.vpn]
+            core.dtlb.rollback(instance.id)
+            core.window.release(instance.id)
+        thread.exc_instance = None
+        core.squash_all(thread, now)
+        self._thread_freed(thread, now)
+        thread.reset_to_idle()
+
+    def on_store_retired(self, addr: int, now: int) -> None:
+        """A committed store wrote the page-table region: if an in-flight
+        handler read (or may read) that PTE, squash and respawn it."""
+        pt = self.core.page_table
+        for instance in list(self._by_vpn.values()):
+            if instance.thread is None or instance.squashed:
+                continue
+            if pt.pte_address(instance.vpn) != addr:
+                continue
+            master_uop = instance.master_uop
+            va = instance.va
+            vpn = instance.vpn
+            self._reclaim(instance.thread, now)
+            if master_uop is not None and master_uop.state != UopState.SQUASHED:
+                self.on_dtlb_miss(master_uop, va, vpn, now)

@@ -1,0 +1,145 @@
+"""The traditional (trap) exception mechanism -- the paper's baseline.
+
+On a DTLB miss the faulting instruction and everything younger are
+squashed; the hardware latches the faulting VA and PC into privileged
+registers, redirects fetch to the PAL handler *in the same thread*, and
+raises the thread's fetch privilege.  The handler's ``tlbwr`` installs a
+speculative TLB entry; ``reti``'s execution redirects fetch back to the
+(unpredicted) faulting PC -- the second pipeline refill of Figure 2 --
+and its retirement confirms the fill.
+
+Also used as the fallback engine by the multithreaded mechanism (no idle
+context / ``hardexc`` reversion) and by the hardware walker on page
+faults, via :meth:`TraditionalMechanism.trap`.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions.base import ExceptionInstance, ExceptionMechanism
+from repro.isa.instructions import Opcode
+from repro.isa.registers import PrivReg
+from repro.memory.page_table import pte_pfn
+from repro.memory.address import vpn_of
+from repro.pipeline.thread import ThreadContext
+from repro.pipeline.uop import Uop
+
+
+class TraditionalMechanism(ExceptionMechanism):
+    """Squash-and-refetch software trap handling."""
+
+    name = "traditional"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: thread id -> in-flight traditional exception instance.
+        self._active: dict[int, ExceptionInstance] = {}
+
+    # ------------------------------------------------------------------
+    def on_dtlb_miss(self, uop: Uop, va: int, vpn: int, now: int) -> None:
+        """Trap: squash from the faulting instruction and refetch."""
+        self.stats.misses_seen += 1
+        thread = self.core.threads[uop.thread_id]
+        self.trap(thread, uop, va, now)
+
+    def trap(self, thread: ThreadContext, uop: Uop, va: int, now: int) -> None:
+        """Take a traditional DTLB trap at ``uop``."""
+        thread.priv_regs[PrivReg.VA] = va
+        thread.priv_regs[PrivReg.EXC_PC] = uop.pc
+        instance = ExceptionInstance(vpn=vpn_of(va), va=va, master_uop=None)
+        self._enter_handler(thread, uop, instance, "dtlb_miss", now)
+
+    def trap_emul(
+        self, thread: ThreadContext, uop: Uop, src_value: int, now: int
+    ) -> None:
+        """Take a traditional instruction-emulation trap at ``uop``.
+
+        The hardware latches the faulting instruction's source value and
+        destination register; ``reti`` returns *past* the emulated
+        instruction (it never re-executes).
+        """
+        thread.priv_regs[PrivReg.EXC_SRC] = src_value
+        thread.priv_regs[PrivReg.EXC_DST] = uop.inst.rd or 0
+        thread.priv_regs[PrivReg.EXC_PC] = uop.pc + 1
+        instance = ExceptionInstance(
+            vpn=-1, va=0, master_uop=None, exc_type="emul", src_value=src_value
+        )
+        self._enter_handler(thread, uop, instance, "emul", now)
+
+    def _enter_handler(
+        self,
+        thread: ThreadContext,
+        uop: Uop,
+        instance: ExceptionInstance,
+        handler: str,
+        now: int,
+    ) -> None:
+        self.stats.traps += 1
+        self.core.squash_from(thread, uop.seq - 1, now)
+        instance.spawn_cycle = now
+        self._active[thread.tid] = instance
+        entry = self.core.pal_entries.get(handler)
+        if entry is None:
+            raise RuntimeError(f"no {handler!r} handler installed in the program")
+        thread.pc = entry
+        thread.fetch_priv = True
+        thread.fetch_stall_until = now + 1
+        thread.fetch_wait_uop = None
+
+    # ------------------------------------------------------------------
+    def on_tlbwr(self, uop: Uop, va: int, pte: int, now: int) -> None:
+        """Install a speculative fill tagged with the trap instance."""
+        thread = self.core.threads[uop.thread_id]
+        instance = self._active.get(thread.tid)
+        if instance is None:
+            return
+        uop.exc_instance = instance
+        self.core.dtlb.fill(
+            vpn_of(va), pte_pfn(pte), speculative=True, producer=instance.id
+        )
+        instance.filled = True
+        instance.fill_cycle = now
+
+    def on_hardexc(self, uop: Uop, now: int) -> None:
+        # Executed traditionally the handler already has full powers:
+        # hardexc is a no-op and the fix-up path simply continues.
+        return
+
+    def on_reti_executed(self, uop: Uop, now: int) -> None:
+        """Redirect fetch to the latched (unpredicted) return PC."""
+        thread = self.core.threads[uop.thread_id]
+        uop.exc_instance = self._active.get(thread.tid)
+        # Redirect fetch to the (unpredicted) faulting PC.
+        thread.pc = thread.priv_regs[PrivReg.EXC_PC]
+        thread.fetch_priv = False
+        thread.fetch_stall_until = now + 1
+        if thread.fetch_wait_uop is uop:
+            thread.fetch_wait_uop = None
+
+    def on_emulation(self, uop: Uop, src_value: int, now: int) -> None:
+        """Emulation exception: trap to the emulation handler."""
+        thread = self.core.threads[uop.thread_id]
+        self.trap_emul(thread, uop, src_value, now)
+
+    def on_reti_retired(self, uop: Uop, now: int) -> None:
+        """Confirm the fill (or count the emulation) architecturally."""
+        thread = self.core.threads[uop.thread_id]
+        instance = uop.exc_instance or self._active.get(thread.tid)
+        if instance is not None:
+            if instance.exc_type == "dtlb_miss":
+                self.core.dtlb.confirm(instance.id)
+                self.stats.committed_fills += 1
+            else:
+                self.stats.emulations += 1
+            if self._active.get(thread.tid) is instance:
+                del self._active[thread.tid]
+
+    # ------------------------------------------------------------------
+    def on_uop_squashed(self, uop: Uop, now: int) -> None:
+        # A squashed tlbwr's speculative fill is rolled back.  The trap
+        # instance itself stays active: a handler-internal misprediction
+        # (e.g. the valid-bit check) refetches the correct handler path,
+        # whose tlbwr must still find its instance.  If the whole trap was
+        # on the wrong path the stale instance is harmless -- the next
+        # trap overwrites it and reti attaches its instance at execute.
+        if uop.inst.op is Opcode.TLBWR and uop.exc_instance is not None:
+            self.core.dtlb.rollback(uop.exc_instance.id)

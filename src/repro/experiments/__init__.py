@@ -1,0 +1,20 @@
+"""Experiment harnesses: one module per figure/table of the paper.
+
+Each module exposes ``run(settings) -> ExperimentResult`` plus a
+``main()`` that prints the same rows/series the paper reports.  Run them
+all from the command line::
+
+    python -m repro.experiments all          # or: fig2, fig5, table3, ...
+    REPRO_SCALE=4 python -m repro.experiments fig5   # 4x longer runs
+
+| id     | paper content                                             |
+|--------|-----------------------------------------------------------|
+| fig2   | penalty/miss vs pipeline depth (3/7/11), traditional      |
+| fig3   | relative TLB overhead vs machine width (2/4/8)            |
+| table2 | benchmark summary: miss counts per run                    |
+| fig5   | traditional vs multithreaded(1/3) vs hardware             |
+| table3 | limit studies (execute/window/fetch bandwidth, instant)   |
+| fig6   | quick-start vs multithreaded(1) vs hardware               |
+| fig7   | 3 application threads + 1 idle: the paper's eight mixes   |
+| table4 | speedups over traditional, miss rates, base IPC           |
+"""

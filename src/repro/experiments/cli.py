@@ -1,0 +1,74 @@
+"""Command-line entry point: ``python -m repro.experiments <id>``.
+
+``repro-experiments all`` regenerates every table and figure of the
+paper; individual ids (``fig2`` ... ``table4``) run one experiment.
+``REPRO_SCALE`` scales run lengths (1 = quick, 4+ = measurement grade).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig2_pipeline,
+    fig3_width,
+    fig5_mechanisms,
+    fig6_quickstart,
+    fig7_multiprogram,
+    table2_suite,
+    table3_limits,
+    table4_speedups,
+)
+
+EXPERIMENTS = {
+    "fig2": fig2_pipeline.main,
+    "fig3": fig3_width.main,
+    "table2": table2_suite.main,
+    "fig5": fig5_mechanisms.main,
+    "table3": table3_limits.main,
+    "fig6": fig6_quickstart.main,
+    "fig7": fig7_multiprogram.main,
+    "table4": table4_speedups.main,
+}
+
+#: Order used by ``all`` (motivation first, like the paper).
+ALL_ORDER = ("fig2", "fig3", "table2", "fig5", "table3", "fig6", "fig7", "table4")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render figure results as ASCII bar charts",
+    )
+    args = parser.parse_args(argv)
+
+    names = ALL_ORDER if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        start = time.time()
+        print(f"\n{'=' * 72}\n[{name}]\n{'=' * 72}")
+        result = EXPERIMENTS[name]()
+        if args.chart:
+            from repro.experiments.common import ExperimentResult
+            from repro.experiments.report import bar_chart
+
+            if isinstance(result, ExperimentResult):
+                print()
+                print(bar_chart(result, title=f"{name} (bar chart)"))
+        print(f"\n({name} took {time.time() - start:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Rendering experiment results the way the paper presents them.
+
+The paper's figures are grouped bar charts (benchmarks on the x-axis,
+one bar per mechanism).  :func:`bar_chart` renders an
+:class:`~repro.experiments.common.ExperimentResult` as a horizontal
+ASCII bar chart; :func:`comparison_table` produces a compact
+paper-vs-measured summary block for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+
+#: Bar glyphs per series, cycled in label order.
+_GLYPHS = "█▓▒░◆"
+
+
+def bar_chart(
+    result: ExperimentResult,
+    value: str = "penalty_per_miss",
+    width: int = 48,
+    title: str | None = None,
+) -> str:
+    """Render a grouped horizontal bar chart of ``result``.
+
+    One group per benchmark, one bar per label, scaled to the global
+    maximum.  Deterministic, terminal-friendly, no dependencies.
+    """
+    labels = result.labels()
+    benchmarks: list[str] = []
+    for row in result.rows:
+        if row.benchmark not in benchmarks:
+            benchmarks.append(row.benchmark)
+    values = {
+        (row.benchmark, row.label): float(getattr(row, value))
+        for row in result.rows
+    }
+    peak = max((abs(v) for v in values.values()), default=0.0)
+    if peak == 0.0:
+        peak = 1.0
+
+    label_width = max((len(label) for label in labels), default=5)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    for bench in benchmarks:
+        lines.append(f"{bench}")
+        for i, label in enumerate(labels):
+            v = values.get((bench, label))
+            if v is None:
+                continue
+            bar = _GLYPHS[i % len(_GLYPHS)] * max(
+                0, round(abs(v) / peak * width)
+            )
+            lines.append(f"  {label:>{label_width}s} |{bar} {v:.1f}")
+        lines.append("")
+    # Averages footer.
+    lines.append("average")
+    for i, label in enumerate(labels):
+        rows = result.by_label(label)
+        avg = sum(getattr(r, value) for r in rows) / len(rows) if rows else 0.0
+        bar = _GLYPHS[i % len(_GLYPHS)] * max(0, round(abs(avg) / peak * width))
+        lines.append(f"  {label:>{label_width}s} |{bar} {avg:.1f}")
+    return "\n".join(lines)
+
+
+def comparison_table(
+    measured: dict[str, float],
+    paper: dict[str, float],
+    caption: str,
+) -> str:
+    """A paper-vs-measured markdown block.
+
+    ``measured``/``paper`` map row labels to values; labels missing from
+    ``paper`` render as '--' (the paper did not report them).
+    """
+    label_width = max(len(k) for k in measured)
+    lines = [
+        caption,
+        "",
+        f"| {'configuration':{label_width}s} | paper | measured |",
+        f"|{'-' * (label_width + 2)}|-------|----------|",
+    ]
+    for label, value in measured.items():
+        ref = paper.get(label)
+        ref_text = f"{ref:5.1f}" if ref is not None else "   --"
+        lines.append(f"| {label:{label_width}s} | {ref_text} | {value:8.1f} |")
+    return "\n".join(lines)
+
+
+def sparkline(values: list[float], width: int = 0) -> str:
+    """A one-line trend (for per-depth/width sweeps)."""
+    if not values:
+        return ""
+    glyphs = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(
+        glyphs[min(len(glyphs) - 1, int((v - lo) / span * (len(glyphs) - 1)))]
+        for v in values
+    )

@@ -1,0 +1,43 @@
+"""A small Alpha-flavoured 64-bit RISC ISA.
+
+This package provides the instruction set the simulated machine executes:
+
+* :mod:`repro.isa.registers` -- logical register names and the
+  architectural register file (integer, floating point, and privileged).
+* :mod:`repro.isa.instructions` -- opcodes, functional-unit classes, and
+  the :class:`~repro.isa.instructions.Instruction` static-instruction
+  record.
+* :mod:`repro.isa.semantics` -- pure functions giving each opcode its
+  functional meaning (used by the pipeline's execute stage).
+* :mod:`repro.isa.assembler` -- a two-pass textual assembler with labels.
+* :mod:`repro.isa.program` -- the :class:`~repro.isa.program.Program`
+  image: text segment, data segments, and entry point.
+
+The ISA is deliberately simple (fixed operand fields, 8-byte memory
+operations) but rich enough to express the paper's PAL-style TLB miss
+handler and the eight synthetic workloads.
+"""
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import FUClass, Instruction, Opcode
+from repro.isa.program import DataSegment, Program
+from repro.isa.registers import (
+    FP_REG_COUNT,
+    INT_REG_COUNT,
+    PrivReg,
+    RegisterFile,
+)
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "FUClass",
+    "Instruction",
+    "Opcode",
+    "DataSegment",
+    "Program",
+    "FP_REG_COUNT",
+    "INT_REG_COUNT",
+    "PrivReg",
+    "RegisterFile",
+]

@@ -1,0 +1,262 @@
+"""A two-pass textual assembler for the repro ISA.
+
+Syntax (one instruction or label per line; ``;`` and ``#`` start comments)::
+
+    start:
+        li    r1, 64
+        li    r2, 0
+    loop:
+        ld    r3, 0(r4)        ; displacement(base) addressing
+        add   r2, r2, r3
+        add   r4, r4, 8        ; immediate second operand auto-detected
+        sub   r1, r1, 1
+        bne   r1, r0, loop
+        call  helper
+        halt
+
+Register names: ``r0``-``r31``, ``f0``-``f31``, and the aliases ``zero``
+(r0), ``sp`` (r29), ``lr`` (r30).  Privileged register names (``VA``,
+``PTBR``, ``EXC_PC``, ``PS``, ``SCRATCH``) appear as the operand of
+``mfpr``/``mtpr``.
+
+Pass 1 collects label positions, pass 2 emits
+:class:`~repro.isa.instructions.Instruction` records with resolved targets.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import (
+    FP_DEST_OPS,
+    Instruction,
+    Opcode,
+)
+from repro.isa.registers import PrivReg, RA_REG, SP_REG
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_MEM_OPERAND_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+_REG_ALIASES = {"zero": 0, "sp": SP_REG, "lr": RA_REG}
+
+_PRIV_NAMES = {reg.name: int(reg) for reg in PrivReg}
+
+_OPCODES_BY_NAME = {op.value: op for op in Opcode}
+
+
+class AssemblerError(ValueError):
+    """Raised for any syntax or semantic error, with the offending line."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+def _parse_reg(token: str, space: str) -> int:
+    """Parse a register token; ``space`` is ``"int"`` or ``"fp"``."""
+    token = token.lower()
+    if space == "int" and token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    prefix = "f" if space == "fp" else "r"
+    if token.startswith(prefix) and token[1:].isdigit():
+        idx = int(token[1:])
+        if 0 <= idx < 32:
+            return idx
+    raise ValueError(f"bad {space} register {token!r}")
+
+
+def _parse_imm(token: str) -> int:
+    return int(token, 0)
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def assemble(
+    text: str,
+    privileged: bool = False,
+    extern_labels: dict[str, int] | None = None,
+) -> tuple[list[Instruction], dict[str, int]]:
+    """Assemble ``text`` into instructions plus a label table.
+
+    ``extern_labels`` resolves branch targets defined outside this unit
+    (labels defined locally shadow them).  When ``privileged`` is true
+    every emitted instruction carries the PAL privilege flag.
+
+    Returns ``(instructions, labels)`` where label values are instruction
+    indices relative to the start of this unit.
+    """
+    raw_lines = text.splitlines()
+    labels: dict[str, int] = {}
+    parsed: list[tuple[int, str, str, list[str]]] = []
+
+    # Pass 1: strip comments, record labels, tokenize.
+    for line_no, raw in enumerate(raw_lines, start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            name = match.group(1)
+            if name in labels:
+                raise AssemblerError(f"duplicate label {name!r}", line_no, raw)
+            labels[name] = len(parsed)
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        if mnemonic not in _OPCODES_BY_NAME:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no, raw)
+        parsed.append((line_no, raw, mnemonic, _split_operands(rest)))
+
+    def resolve(label: str, line_no: int, raw: str) -> int:
+        if label in labels:
+            return labels[label]
+        if extern_labels and label in extern_labels:
+            return extern_labels[label]
+        raise AssemblerError(f"undefined label {label!r}", line_no, raw)
+
+    # Pass 2: emit instructions.
+    insts: list[Instruction] = []
+    for line_no, raw, mnemonic, ops in parsed:
+        op = _OPCODES_BY_NAME[mnemonic]
+        try:
+            inst = _emit(op, ops, lambda lbl: resolve(lbl, line_no, raw), privileged)
+        except AssemblerError:
+            raise
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line_no, raw) from exc
+        insts.append(inst)
+    return insts, labels
+
+
+def _reg_or_imm(token: str):
+    """Classify an ALU second operand as register or immediate."""
+    try:
+        return ("reg", _parse_reg(token, "int"))
+    except ValueError:
+        return ("imm", _parse_imm(token))
+
+
+def _emit(op: Opcode, ops: list[str], resolve, privileged: bool) -> Instruction:
+    """Emit one instruction; ``resolve`` maps a label name to a PC."""
+    kwargs: dict = {"privileged": privileged}
+
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise ValueError(f"{op.value} expects {count} operand(s), got {len(ops)}")
+
+    three_op_alu = {
+        Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.CMPLT, Opcode.CMPULT,
+        Opcode.CMPEQ, Opcode.MUL, Opcode.DIV,
+    }
+    if op in three_op_alu:
+        need(3)
+        kind, value = _reg_or_imm(ops[2])
+        kwargs.update(rd=_parse_reg(ops[0], "int"), ra=_parse_reg(ops[1], "int"))
+        kwargs["rb" if kind == "reg" else "imm"] = value
+    elif op is Opcode.LI:
+        need(2)
+        kwargs.update(rd=_parse_reg(ops[0], "int"), imm=_parse_imm(ops[1]))
+    elif op in (Opcode.LD, Opcode.ST, Opcode.FLD, Opcode.FST):
+        need(2)
+        match = _MEM_OPERAND_RE.match(ops[1].replace(" ", ""))
+        if not match:
+            raise ValueError(f"bad memory operand {ops[1]!r}")
+        disp, base = match.groups()
+        data_space = "fp" if op in (Opcode.FLD, Opcode.FST) else "int"
+        data_reg = _parse_reg(ops[0], data_space)
+        kwargs.update(ra=_parse_reg(base, "int"), imm=_parse_imm(disp))
+        if op in (Opcode.LD, Opcode.FLD):
+            kwargs["rd"] = data_reg
+        else:
+            kwargs["rb"] = data_reg
+    elif op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+        need(3)
+        kwargs.update(
+            ra=_parse_reg(ops[0], "int"),
+            rb=_parse_reg(ops[1], "int"),
+            target=resolve(ops[2]),
+            label=ops[2],
+        )
+    elif op in (Opcode.JMP, Opcode.CALL):
+        need(1)
+        kwargs.update(target=resolve(ops[0]), label=ops[0])
+        if op is Opcode.CALL:
+            kwargs["rd"] = RA_REG
+    elif op in (Opcode.CALLI, Opcode.JMPI):
+        need(1)
+        kwargs["ra"] = _parse_reg(ops[0], "int")
+        if op is Opcode.CALLI:
+            kwargs["rd"] = RA_REG
+    elif op is Opcode.RET:
+        need(0)
+        kwargs["ra"] = RA_REG
+    elif op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV):
+        need(3)
+        kwargs.update(
+            rd=_parse_reg(ops[0], "fp"),
+            ra=_parse_reg(ops[1], "fp"),
+            rb=_parse_reg(ops[2], "fp"),
+        )
+    elif op is Opcode.FSQRT:
+        need(2)
+        kwargs.update(rd=_parse_reg(ops[0], "fp"), ra=_parse_reg(ops[1], "fp"))
+    elif op is Opcode.ITOF:
+        need(2)
+        kwargs.update(rd=_parse_reg(ops[0], "fp"), ra=_parse_reg(ops[1], "int"))
+    elif op is Opcode.FTOI:
+        need(2)
+        kwargs.update(rd=_parse_reg(ops[0], "int"), ra=_parse_reg(ops[1], "fp"))
+    elif op is Opcode.MFPR:
+        need(2)
+        if ops[1].upper() not in _PRIV_NAMES:
+            raise ValueError(f"unknown privileged register {ops[1]!r}")
+        kwargs.update(rd=_parse_reg(ops[0], "int"), imm=_PRIV_NAMES[ops[1].upper()])
+    elif op is Opcode.MTPR:
+        need(2)
+        if ops[0].upper() not in _PRIV_NAMES:
+            raise ValueError(f"unknown privileged register {ops[0]!r}")
+        kwargs.update(imm=_PRIV_NAMES[ops[0].upper()], ra=_parse_reg(ops[1], "int"))
+    elif op is Opcode.TLBWR:
+        need(2)
+        kwargs.update(ra=_parse_reg(ops[0], "int"), rb=_parse_reg(ops[1], "int"))
+    elif op is Opcode.MTDST:
+        need(1)
+        kwargs["ra"] = _parse_reg(ops[0], "int")
+    elif op is Opcode.EMUL:
+        need(2)
+        kwargs.update(rd=_parse_reg(ops[0], "int"), ra=_parse_reg(ops[1], "int"))
+    elif op in (Opcode.RETI, Opcode.HARDEXC, Opcode.NOP, Opcode.HALT):
+        need(0)
+    else:  # pragma: no cover - every opcode is handled above
+        raise ValueError(f"unhandled opcode {op}")
+
+    if op in PRIV_REQUIRED and not privileged:
+        raise ValueError(f"{op.value} is a privileged instruction")
+    if kwargs.get("rd") is not None and op in FP_DEST_OPS:
+        pass  # FP destination indices share the 0-31 range; nothing to adjust.
+    return Instruction(op=op, **kwargs)
+
+
+#: Opcodes the assembler refuses to emit outside privileged units.
+PRIV_REQUIRED = frozenset(
+    {
+        Opcode.MFPR,
+        Opcode.MTPR,
+        Opcode.TLBWR,
+        Opcode.RETI,
+        Opcode.HARDEXC,
+        Opcode.MTDST,
+    }
+)

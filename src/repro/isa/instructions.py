@@ -1,0 +1,286 @@
+"""Static instructions: opcodes, functional-unit classes, operand record.
+
+A :class:`Instruction` is the *static* form -- what the assembler emits and
+what lives in the program's text segment.  The pipeline wraps each fetched
+occurrence in a dynamic record (:class:`repro.pipeline.uop.Uop`).
+
+Operand conventions (fields unused by an opcode are ``None``):
+
+========  =======================================================
+pattern   meaning
+========  =======================================================
+``rd``    destination register (int or FP space per opcode)
+``ra``    first source register
+``rb``    second source register (``None`` when ``imm`` is used)
+``imm``   immediate operand / memory displacement
+``target``  label name, resolved to an instruction index by the
+          assembler (direct branches and calls)
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FUClass(enum.Enum):
+    """Functional-unit class an opcode executes on (Table 1 of the paper)."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    FP_SQRT = "fp_sqrt"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NONE = "none"
+
+
+class Opcode(enum.Enum):
+    """Every operation in the ISA."""
+
+    # Integer ALU (rb or imm as second operand).
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    CMPLT = "cmplt"  # signed less-than -> 0/1
+    CMPULT = "cmpult"  # unsigned less-than -> 0/1
+    CMPEQ = "cmpeq"
+    MUL = "mul"
+    DIV = "div"  # signed; divide-by-zero yields 0 (wrong-path safe)
+    LI = "li"  # rd <- imm (assembler-level, executes on INT_ALU)
+
+    # Memory (8-byte, naturally aligned; effective address ra + imm).
+    LD = "ld"
+    ST = "st"
+    FLD = "fld"
+    FST = "fst"
+
+    # Control.  Conditional branches compare ra against rb (or r0).
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JMP = "jmp"  # direct unconditional
+    CALL = "call"  # direct; writes return address to r30, pushes RAS
+    CALLI = "calli"  # indirect call through ra; writes r30, pushes RAS
+    RET = "ret"  # indirect jump through r30, pops RAS
+    JMPI = "jmpi"  # indirect jump through ra (computed goto / switch)
+
+    # Floating point.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    ITOF = "itof"  # rd(fp) <- float(ra(int))
+    FTOI = "ftoi"  # rd(int) <- trunc(ra(fp))
+
+    # Privileged / PAL (legal only in privileged mode).
+    MFPR = "mfpr"  # rd <- priv[imm]
+    MTPR = "mtpr"  # priv[imm] <- ra
+    TLBWR = "tlbwr"  # install translation: va in ra, PTE in rb
+    RETI = "reti"  # return from exception to the excepting instruction
+    HARDEXC = "hardexc"  # request reversion to the traditional mechanism
+    MTDST = "mtdst"  # write ra to the excepting instruction's destination
+
+    # Software-emulated operation (Section 6): rd <- popcount(ra).
+    # Raises an emulation exception; only the perfect machine (and the
+    # handler) compute it directly.
+    EMUL = "emul"
+
+    # Misc.
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Opcode -> functional-unit class.
+OPCODE_FU: dict[Opcode, FUClass] = {
+    Opcode.ADD: FUClass.INT_ALU,
+    Opcode.SUB: FUClass.INT_ALU,
+    Opcode.AND: FUClass.INT_ALU,
+    Opcode.OR: FUClass.INT_ALU,
+    Opcode.XOR: FUClass.INT_ALU,
+    Opcode.SLL: FUClass.INT_ALU,
+    Opcode.SRL: FUClass.INT_ALU,
+    Opcode.SRA: FUClass.INT_ALU,
+    Opcode.CMPLT: FUClass.INT_ALU,
+    Opcode.CMPULT: FUClass.INT_ALU,
+    Opcode.CMPEQ: FUClass.INT_ALU,
+    Opcode.LI: FUClass.INT_ALU,
+    Opcode.MUL: FUClass.INT_MUL,
+    Opcode.DIV: FUClass.INT_DIV,
+    Opcode.LD: FUClass.LOAD,
+    Opcode.FLD: FUClass.LOAD,
+    Opcode.ST: FUClass.STORE,
+    Opcode.FST: FUClass.STORE,
+    Opcode.BEQ: FUClass.BRANCH,
+    Opcode.BNE: FUClass.BRANCH,
+    Opcode.BLT: FUClass.BRANCH,
+    Opcode.BGE: FUClass.BRANCH,
+    Opcode.JMP: FUClass.BRANCH,
+    Opcode.CALL: FUClass.BRANCH,
+    Opcode.CALLI: FUClass.BRANCH,
+    Opcode.RET: FUClass.BRANCH,
+    Opcode.JMPI: FUClass.BRANCH,
+    Opcode.FADD: FUClass.FP_ADD,
+    Opcode.FSUB: FUClass.FP_ADD,
+    Opcode.FMUL: FUClass.FP_MUL,
+    Opcode.FDIV: FUClass.FP_DIV,
+    Opcode.FSQRT: FUClass.FP_SQRT,
+    Opcode.ITOF: FUClass.FP_ADD,
+    Opcode.FTOI: FUClass.FP_ADD,
+    Opcode.MFPR: FUClass.INT_ALU,
+    Opcode.MTPR: FUClass.INT_ALU,
+    Opcode.TLBWR: FUClass.INT_ALU,
+    Opcode.RETI: FUClass.BRANCH,
+    Opcode.HARDEXC: FUClass.INT_ALU,
+    Opcode.MTDST: FUClass.INT_ALU,
+    Opcode.EMUL: FUClass.INT_ALU,
+    Opcode.NOP: FUClass.INT_ALU,
+    Opcode.HALT: FUClass.INT_ALU,
+}
+
+#: Opcodes that end execution of conditional/unconditional control flow.
+BRANCH_OPS = frozenset(
+    {
+        Opcode.BEQ,
+        Opcode.BNE,
+        Opcode.BLT,
+        Opcode.BGE,
+        Opcode.JMP,
+        Opcode.CALL,
+        Opcode.CALLI,
+        Opcode.RET,
+        Opcode.JMPI,
+        Opcode.RETI,
+    }
+)
+
+#: Conditional subset of :data:`BRANCH_OPS`.
+COND_BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+
+#: Indirect control flow (the target comes from a register).
+INDIRECT_OPS = frozenset({Opcode.CALLI, Opcode.RET, Opcode.JMPI, Opcode.RETI})
+
+#: Memory operations.
+MEM_OPS = frozenset({Opcode.LD, Opcode.ST, Opcode.FLD, Opcode.FST})
+LOAD_OPS = frozenset({Opcode.LD, Opcode.FLD})
+STORE_OPS = frozenset({Opcode.ST, Opcode.FST})
+
+#: Opcodes legal only at elevated privilege.
+PRIV_OPS = frozenset(
+    {
+        Opcode.MFPR,
+        Opcode.MTPR,
+        Opcode.TLBWR,
+        Opcode.RETI,
+        Opcode.HARDEXC,
+        Opcode.MTDST,
+    }
+)
+
+#: Opcodes whose destination is a floating-point register.
+FP_DEST_OPS = frozenset(
+    {
+        Opcode.FADD,
+        Opcode.FSUB,
+        Opcode.FMUL,
+        Opcode.FDIV,
+        Opcode.FSQRT,
+        Opcode.ITOF,
+        Opcode.FLD,
+    }
+)
+
+#: Opcodes whose ra source is a floating-point register.
+FP_SRC_A_OPS = frozenset(
+    {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FSQRT, Opcode.FTOI}
+)
+
+#: Opcodes whose rb source is a floating-point register.
+FP_SRC_B_OPS = frozenset({Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FST})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A static instruction as assembled into the text segment.
+
+    ``target`` holds the *resolved* instruction index for direct control
+    flow after assembly.  ``label`` preserves the symbolic name purely for
+    disassembly and debugging.
+    """
+
+    op: Opcode
+    rd: int | None = None
+    ra: int | None = None
+    rb: int | None = None
+    imm: int | None = None
+    target: int | None = None
+    label: str | None = None
+    #: True for PAL/handler code; checked against the thread's privilege.
+    privileged: bool = field(default=False, compare=False)
+
+    @property
+    def fu_class(self) -> FUClass:
+        """Functional-unit class this instruction executes on."""
+        return OPCODE_FU[self.op]
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.op in COND_BRANCH_OPS
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.op in INDIRECT_OPS
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in MEM_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORE_OPS
+
+    @property
+    def is_priv(self) -> bool:
+        return self.op in PRIV_OPS
+
+    def __str__(self) -> str:
+        parts = [self.op.value]
+        operands = []
+        if self.rd is not None:
+            prefix = "f" if self.op in FP_DEST_OPS else "r"
+            operands.append(f"{prefix}{self.rd}")
+        if self.ra is not None:
+            prefix = "f" if self.op in FP_SRC_A_OPS else "r"
+            operands.append(f"{prefix}{self.ra}")
+        if self.rb is not None:
+            prefix = "f" if self.op in FP_SRC_B_OPS else "r"
+            operands.append(f"{prefix}{self.rb}")
+        if self.imm is not None:
+            operands.append(str(self.imm))
+        if self.label is not None:
+            operands.append(self.label)
+        elif self.target is not None:
+            operands.append(f"@{self.target}")
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)

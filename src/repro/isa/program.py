@@ -1,0 +1,177 @@
+"""Program images: text segment, data segments, and entry point.
+
+A :class:`Program` owns everything a simulated thread needs to run: the
+assembled instruction list (indexed by PC -- one instruction per PC), the
+label table, and the initial contents of data memory.  PAL (handler) code
+is appended to the same text segment at :attr:`Program.pal_base`; the
+instructions carry a ``privileged`` flag and the hardware transfers
+control there on exceptions.
+
+Memory is word-granular: all data is 8-byte words at 8-byte-aligned
+virtual addresses.  :meth:`Program.build_memory_words` produces the
+initial functional memory image consumed by
+:class:`repro.memory.main_memory.MainMemory`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class DataSegment:
+    """Initialised data: ``words[i]`` lives at ``base + 8*i``.
+
+    ``base`` must be 8-byte aligned.  Integer words are stored as unsigned
+    64-bit values; floats are stored as Python floats (the functional
+    memory keeps native Python values -- the timing model never looks at
+    data, only addresses).
+    """
+
+    base: int
+    words: Sequence[int | float]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.base % 8 != 0:
+            raise ValueError(f"data segment base {self.base:#x} not 8-byte aligned")
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * len(self.words)
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the segment."""
+        return self.base + self.size_bytes
+
+
+@dataclass
+class Program:
+    """An executable image for the simulated machine."""
+
+    insts: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    data_segments: list[DataSegment] = field(default_factory=list)
+    entry: int = 0
+    #: First PC of PAL (privileged handler) code, or ``None`` if absent.
+    pal_base: int | None = None
+    #: Entry PCs of installed PAL handlers, keyed by handler name
+    #: (e.g. ``"dtlb_miss"``).
+    pal_entries: dict[str, int] = field(default_factory=dict)
+    #: Uninitialised address ranges (base, size) the program will touch;
+    #: the simulator maps their pages (contents read as zero).
+    regions: list[tuple[int, int]] = field(default_factory=list)
+    #: Ranges to pre-install in the L2 cache (checkpoint-warm data).
+    warm_ranges: list[tuple[int, int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def fetch(self, pc: int) -> Instruction | None:
+        """Return the instruction at ``pc``, or ``None`` past the end.
+
+        Wrong-path fetch can run off the end of the text segment; callers
+        treat ``None`` as an implicit stall until the misprediction is
+        repaired.
+        """
+        if 0 <= pc < len(self.insts):
+            return self.insts[pc]
+        return None
+
+    def label_of(self, pc: int) -> str | None:
+        """Return a label naming ``pc`` if one exists (for diagnostics)."""
+        for name, where in self.labels.items():
+            if where == pc:
+                return name
+        return None
+
+    def add_data(self, segment: DataSegment) -> DataSegment:
+        """Attach a data segment, rejecting overlap with existing ones."""
+        for existing in self.data_segments:
+            if segment.base < existing.end and existing.base < segment.end:
+                raise ValueError(
+                    f"data segment {segment.name!r} at "
+                    f"[{segment.base:#x}, {segment.end:#x}) overlaps "
+                    f"{existing.name!r} at [{existing.base:#x}, {existing.end:#x})"
+                )
+        self.data_segments.append(segment)
+        return segment
+
+    def add_region(self, base: int, size_bytes: int, name: str = "") -> None:
+        """Declare an uninitialised data range (mapped, zero-filled)."""
+        if base % 8 != 0:
+            raise ValueError(f"region base {base:#x} not 8-byte aligned")
+        self.regions.append((base, size_bytes))
+
+    def append_text(
+        self,
+        insts: Iterable[Instruction],
+        labels: dict[str, int] | None = None,
+    ) -> int:
+        """Append an assembled unit, rebasing its branch targets.
+
+        Returns the base PC the unit was placed at.  Unit-relative label
+        values are rebased into :attr:`labels`.
+        """
+        base = len(self.insts)
+        for inst in insts:
+            if inst.target is not None:
+                inst = dataclasses.replace(inst, target=inst.target + base)
+            self.insts.append(inst)
+        if labels:
+            for label, offset in labels.items():
+                if label in self.labels:
+                    raise ValueError(f"duplicate label {label!r}")
+                self.labels[label] = base + offset
+        return base
+
+    def append_pal(
+        self,
+        insts: Iterable[Instruction],
+        labels: dict[str, int] | None = None,
+        name: str = "dtlb_miss",
+    ) -> int:
+        """Append privileged handler code to the text segment.
+
+        Returns the handler's entry PC and records it in
+        :attr:`pal_entries`.  ``labels`` are handler-local label offsets
+        (relative to the handler's first instruction) and are rebased.
+        """
+        base = len(self.insts)
+        if self.pal_base is None:
+            self.pal_base = base
+        for inst in insts:
+            if inst.target is not None:
+                inst = dataclasses.replace(inst, target=inst.target + base)
+            self.insts.append(inst)
+        if labels:
+            for label, offset in labels.items():
+                self.labels[f"pal_{name}_{label}"] = base + offset
+        self.pal_entries[name] = base
+        return base
+
+    def build_memory_words(self) -> dict[int, int | float]:
+        """Initial functional memory: word address (``va >> 3``) -> value."""
+        image: dict[int, int | float] = {}
+        for segment in self.data_segments:
+            word_base = segment.base >> 3
+            for offset, value in enumerate(segment.words):
+                image[word_base + offset] = value
+        return image
+
+    def disassemble(self, start: int = 0, count: int | None = None) -> str:
+        """Human-readable listing of ``count`` instructions from ``start``."""
+        end = len(self.insts) if count is None else min(len(self.insts), start + count)
+        lines = []
+        for pc in range(start, end):
+            label = self.label_of(pc)
+            if label:
+                lines.append(f"{label}:")
+            priv = " [pal]" if self.insts[pc].privileged else ""
+            lines.append(f"  {pc:5d}: {self.insts[pc]}{priv}")
+        return "\n".join(lines)

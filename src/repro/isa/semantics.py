@@ -1,0 +1,119 @@
+"""Functional semantics of each opcode.
+
+These are *pure* helpers used by the pipeline's execute stage.  They take
+already-read operand values and return result values; they never touch
+memory or machine state themselves, which keeps wrong-path execution safe:
+a speculative instruction fed garbage operands still produces a
+well-defined (if meaningless) value instead of crashing the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import to_signed, to_unsigned
+
+_INT_MASK = (1 << 64) - 1
+
+
+def compute_int(inst: Instruction, a: int, b: int) -> int:
+    """Evaluate an integer ALU/mul/div opcode.
+
+    ``a`` and ``b`` are the unsigned-64 source values (``b`` is the
+    immediate when the instruction has no ``rb``).  Division by zero and
+    shift amounts are clamped so wrong-path execution never raises.
+    """
+    op = inst.op
+    if op is Opcode.ADD:
+        return (a + b) & _INT_MASK
+    if op is Opcode.SUB:
+        return (a - b) & _INT_MASK
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.SLL:
+        return (a << (b & 63)) & _INT_MASK
+    if op is Opcode.SRL:
+        return (a & _INT_MASK) >> (b & 63)
+    if op is Opcode.SRA:
+        return to_unsigned(to_signed(a) >> (b & 63))
+    if op is Opcode.CMPLT:
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if op is Opcode.CMPULT:
+        return 1 if (a & _INT_MASK) < (b & _INT_MASK) else 0
+    if op is Opcode.CMPEQ:
+        return 1 if (a & _INT_MASK) == (b & _INT_MASK) else 0
+    if op is Opcode.MUL:
+        return (a * b) & _INT_MASK
+    if op is Opcode.DIV:
+        sb = to_signed(b)
+        if sb == 0:
+            return 0
+        sa = to_signed(a)
+        # Truncating division, like hardware.
+        return to_unsigned(int(sa / sb))
+    if op is Opcode.LI:
+        return to_unsigned(b)
+    if op is Opcode.EMUL:
+        return popcount(a)
+    raise ValueError(f"not an integer compute opcode: {op}")
+
+
+def popcount(value: int) -> int:
+    """Bit count of an unsigned 64-bit value (the ``emul`` operation)."""
+    return bin(value & _INT_MASK).count("1")
+
+
+def compute_fp(inst: Instruction, a: float, b: float) -> float:
+    """Evaluate a floating-point opcode on operand values ``a`` and ``b``.
+
+    Undefined inputs (negative sqrt, divide by zero) are clamped to 0.0 so
+    wrong-path execution is total.
+    """
+    op = inst.op
+    if op is Opcode.FADD:
+        return a + b
+    if op is Opcode.FSUB:
+        return a - b
+    if op is Opcode.FMUL:
+        return a * b
+    if op is Opcode.FDIV:
+        return a / b if b != 0.0 else 0.0
+    if op is Opcode.FSQRT:
+        return math.sqrt(a) if a >= 0.0 else 0.0
+    raise ValueError(f"not an FP compute opcode: {op}")
+
+
+def convert(inst: Instruction, a: int | float) -> int | float:
+    """Evaluate a conversion opcode (``itof``/``ftoi``)."""
+    if inst.op is Opcode.ITOF:
+        return float(to_signed(int(a)))
+    if inst.op is Opcode.FTOI:
+        value = float(a)
+        if math.isnan(value) or math.isinf(value):
+            return 0
+        return to_unsigned(int(value))
+    raise ValueError(f"not a conversion opcode: {inst.op}")
+
+
+def effective_address(inst: Instruction, base: int) -> int:
+    """Effective address of a memory instruction: ``base + imm``."""
+    return (base + (inst.imm or 0)) & _INT_MASK
+
+
+def branch_taken(inst: Instruction, a: int, b: int) -> bool:
+    """Resolve a conditional branch's direction from its operand values."""
+    op = inst.op
+    if op is Opcode.BEQ:
+        return a == b
+    if op is Opcode.BNE:
+        return a != b
+    if op is Opcode.BLT:
+        return to_signed(a) < to_signed(b)
+    if op is Opcode.BGE:
+        return to_signed(a) >= to_signed(b)
+    raise ValueError(f"not a conditional branch: {op}")

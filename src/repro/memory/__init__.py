@@ -1,0 +1,42 @@
+"""Memory subsystem: functional memory, caches, page table, and TLBs.
+
+The model separates *function* from *timing*:
+
+* :class:`~repro.memory.main_memory.MainMemory` holds the actual data
+  (word-granular Python values) and knows nothing about time.
+* :class:`~repro.memory.cache.Cache` /
+  :class:`~repro.memory.hierarchy.MemoryHierarchy` are tag-only timing
+  models that turn an address and a cycle into a completion cycle,
+  modelling Table 1 of the paper: 64 KB 2-way L1s, a 1 MB 4-way L2,
+  80-cycle memory, MSHRs and bus occupancy.
+* :class:`~repro.memory.page_table.PageTable` lives *in* cacheable
+  memory, so PTE loads from the TLB miss handler (or the hardware walker)
+  compete with application data for cache space -- a first-order effect
+  in the paper.
+* :class:`~repro.memory.tlb.TLB` supports speculative fills that are
+  confirmed when the producing handler retires and rolled back when it is
+  squashed.
+"""
+
+from repro.memory.address import PAGE_SHIFT, PAGE_SIZE, page_offset, vpn_of
+from repro.memory.cache import Cache, CacheStats
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.main_memory import MainMemory
+from repro.memory.page_table import PTE_VALID, PageTable
+from repro.memory.tlb import PerfectTLB, TLB, TLBEntry
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "page_offset",
+    "vpn_of",
+    "Cache",
+    "CacheStats",
+    "MemoryHierarchy",
+    "MainMemory",
+    "PTE_VALID",
+    "PageTable",
+    "PerfectTLB",
+    "TLB",
+    "TLBEntry",
+]

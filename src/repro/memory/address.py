@@ -1,0 +1,43 @@
+"""Virtual-address arithmetic.
+
+Pages are 8 KB (Alpha's base page size).  The simulated machine uses a
+single flat address space with an identity virtual-to-physical mapping for
+*user* pages; the page table itself occupies a reserved high range that
+user code never touches and that privileged (PAL) memory operations access
+physically, bypassing the TLB.  This keeps the functional store simple
+while preserving every timing-relevant behaviour: TLB reach, miss rate,
+and PTE loads travelling through the cache hierarchy.
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 13
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+_ADDR_MASK = (1 << 64) - 1
+
+
+def vpn_of(va: int) -> int:
+    """Virtual page number of ``va``."""
+    return (va & _ADDR_MASK) >> PAGE_SHIFT
+
+
+def page_offset(va: int) -> int:
+    """Offset of ``va`` within its page."""
+    return va & PAGE_MASK
+
+
+def page_base(va: int) -> int:
+    """Base address of the page containing ``va``."""
+    return va & ~PAGE_MASK & _ADDR_MASK
+
+
+def word_index(va: int) -> int:
+    """Word (8-byte) index of an address -- the functional-memory key."""
+    return (va & _ADDR_MASK) >> 3
+
+
+def align_word(va: int) -> int:
+    """Clamp an address onto an 8-byte boundary (wrong-path safety)."""
+    return va & ~7 & _ADDR_MASK

@@ -1,0 +1,19 @@
+"""The dynamically scheduled SMT pipeline.
+
+* :mod:`repro.pipeline.uop` -- the dynamic (in-flight) instruction record.
+* :mod:`repro.pipeline.thread` -- per-hardware-context state, including
+  the paper's Figure 4 exception-linkage fields.
+* :mod:`repro.pipeline.window` -- the shared instruction window with the
+  reservation bookkeeping the multithreaded mechanism uses for deadlock
+  avoidance.
+* :mod:`repro.pipeline.core` -- the cycle loop: fetch (abstract front end
+  with chooser), decode/rename, oldest-first schedule/execute, load/store
+  handling, squash recovery, and splicing retirement.
+"""
+
+from repro.pipeline.core import SMTCore
+from repro.pipeline.thread import ThreadContext, ThreadState
+from repro.pipeline.uop import Uop, UopState
+from repro.pipeline.window import InstructionWindow
+
+__all__ = ["SMTCore", "ThreadContext", "ThreadState", "Uop", "UopState", "InstructionWindow"]

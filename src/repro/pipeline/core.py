@@ -1,0 +1,855 @@
+"""The SMT core: the cycle-by-cycle machine model.
+
+One :class:`SMTCore` owns all thread contexts, the shared front end,
+window, functional units, and the memory system handles.  Each call to
+:meth:`SMTCore.step` advances one cycle through the stages (in reverse
+pipeline order so every stage sees the machine state as of the cycle
+start):
+
+1. mechanism ``tick`` (hardware walker completions, etc.),
+2. retirement (unlimited bandwidth, with cross-thread splicing),
+3. schedule/execute (oldest-fetched-first among ready instructions),
+4. decode/rename/window-insert,
+5. fetch (abstract front end with handler-priority + ICOUNT chooser).
+
+Design points taken straight from the paper's Section 5.1: instructions
+are scheduled the same cycle they execute (perfect cache hit/miss
+prediction), they must wait ``post_insert_delay`` cycles after window
+insertion (register read), retirement bandwidth is unlimited, writeback
+is unmodeled, and the front end can supply instructions from multiple
+non-contiguous basic blocks in one cycle with no taken-branch limit.
+Wrong-path execution is real: it touches the caches and the TLB.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.branch.unit import BranchPredictionUnit
+from repro.isa import semantics
+from repro.isa.instructions import (
+    FP_DEST_OPS,
+    FP_SRC_A_OPS,
+    FP_SRC_B_OPS,
+    Instruction,
+    Opcode,
+)
+from repro.isa.program import Program
+from repro.isa.registers import PrivReg, pal_reg
+from repro.memory.address import align_word, vpn_of
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.main_memory import MainMemory
+from repro.memory.page_table import PageTable
+from repro.memory.tlb import TLB, PerfectTLB
+from repro.pipeline.thread import ThreadContext, ThreadState
+from repro.pipeline.uop import Uop, UopState
+from repro.pipeline.window import InstructionWindow
+from repro.sim.config import MachineConfig
+from repro.sim.stats import SimStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exceptions.base import ExceptionMechanism
+
+_FAR_FUTURE = 1 << 60
+
+# Source operand register spaces per opcode: (space_a, space_b) where a
+# space is "int", "fp", or None.  Immediates are bound when rb is absent.
+_SRC_SPACES: dict[Opcode, tuple[str | None, str | None]] = {
+    Opcode.ADD: ("int", "int"),
+    Opcode.SUB: ("int", "int"),
+    Opcode.AND: ("int", "int"),
+    Opcode.OR: ("int", "int"),
+    Opcode.XOR: ("int", "int"),
+    Opcode.SLL: ("int", "int"),
+    Opcode.SRL: ("int", "int"),
+    Opcode.SRA: ("int", "int"),
+    Opcode.CMPLT: ("int", "int"),
+    Opcode.CMPULT: ("int", "int"),
+    Opcode.CMPEQ: ("int", "int"),
+    Opcode.MUL: ("int", "int"),
+    Opcode.DIV: ("int", "int"),
+    Opcode.LI: (None, None),
+    Opcode.LD: ("int", None),
+    Opcode.FLD: ("int", None),
+    Opcode.ST: ("int", "int"),
+    Opcode.FST: ("int", "fp"),
+    Opcode.BEQ: ("int", "int"),
+    Opcode.BNE: ("int", "int"),
+    Opcode.BLT: ("int", "int"),
+    Opcode.BGE: ("int", "int"),
+    Opcode.JMP: (None, None),
+    Opcode.CALL: (None, None),
+    Opcode.CALLI: ("int", None),
+    Opcode.JMPI: ("int", None),
+    Opcode.RET: ("int", None),
+    Opcode.FADD: ("fp", "fp"),
+    Opcode.FSUB: ("fp", "fp"),
+    Opcode.FMUL: ("fp", "fp"),
+    Opcode.FDIV: ("fp", "fp"),
+    Opcode.FSQRT: ("fp", None),
+    Opcode.ITOF: ("int", None),
+    Opcode.FTOI: ("fp", None),
+    Opcode.MFPR: (None, None),
+    Opcode.MTPR: ("int", None),
+    Opcode.TLBWR: ("int", "int"),
+    Opcode.RETI: (None, None),
+    Opcode.HARDEXC: (None, None),
+    Opcode.MTDST: ("int", None),
+    Opcode.EMUL: ("int", None),
+    Opcode.NOP: (None, None),
+    Opcode.HALT: (None, None),
+}
+
+_INT_ALU_OPS = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.CMPLT, Opcode.CMPULT,
+        Opcode.CMPEQ, Opcode.MUL, Opcode.DIV, Opcode.LI,
+    }
+)
+_FP_ALU_OPS = frozenset(
+    {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FSQRT}
+)
+
+
+class SMTCore:
+    """The simulated simultaneous-multithreading core."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        memory: MainMemory,
+        hierarchy: MemoryHierarchy,
+        dtlb: TLB | PerfectTLB,
+        page_table: PageTable,
+        bpu: BranchPredictionUnit | None = None,
+        mechanism: "ExceptionMechanism | None" = None,
+    ) -> None:
+        self.config = config
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self.dtlb = dtlb
+        self.page_table = page_table
+        self.bpu = bpu or BranchPredictionUnit()
+        self.mechanism = mechanism
+        self.window = InstructionWindow(config.window_size)
+        self.threads = [
+            ThreadContext(tid, config.fetch_buffer_size)
+            for tid in range(config.num_threads)
+        ]
+        self.cycle = 0
+        self._next_seq = 0
+        self.stats = SimStats()
+        #: PAL entries by handler name, set when programs load; lengths
+        #: (per handler) drive window reservations and fetch stop.
+        self.pal_entries: dict[str, int] = {}
+        self.handler_lengths: dict[str, int] = {}
+        if mechanism is not None:
+            mechanism.attach(self)
+
+    # ------------------------------------------------------------------
+    # Setup helpers.
+    # ------------------------------------------------------------------
+    def load_program(self, tid: int, program: Program) -> ThreadContext:
+        """Bind ``program`` to thread ``tid`` and load its data image."""
+        thread = self.threads[tid]
+        thread.activate(program)
+        thread.priv_regs[PrivReg.PTBR] = self.page_table.base
+        self.memory.load_image(program.build_memory_words())
+        self.pal_entries.update(program.pal_entries)
+        return thread
+
+    @property
+    def pal_entry(self) -> int | None:
+        """Entry PC of the DTLB miss handler (the common case)."""
+        return self.pal_entries.get("dtlb_miss")
+
+    @property
+    def handler_length(self) -> int:
+        """Common-case DTLB handler length (reservations, quick-start)."""
+        return self.handler_lengths.get("dtlb_miss", 10)
+
+    @handler_length.setter
+    def handler_length(self, value: int) -> None:
+        self.handler_lengths["dtlb_miss"] = value
+
+    def alloc_seq(self) -> int:
+        """Allocate the next global fetch-order sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def find_idle_thread(self) -> ThreadContext | None:
+        """An idle hardware context usable for an exception, if any."""
+        for thread in self.threads:
+            if thread.state is ThreadState.IDLE:
+                return thread
+        return None
+
+    @property
+    def app_threads(self) -> list[ThreadContext]:
+        return [t for t in self.threads if t.state is ThreadState.NORMAL]
+
+    # ------------------------------------------------------------------
+    # The cycle loop.
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the machine by one cycle."""
+        now = self.cycle
+        if self.mechanism is not None:
+            self.mechanism.tick(now)
+        self._retire(now)
+        self._execute(now)
+        self._decode(now)
+        self._fetch(now)
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    def run(self, user_insts: int, max_cycles: int = 10_000_000) -> None:
+        """Run until every application thread retires ``user_insts``
+        *additional* user-mode instructions (or halts), or ``max_cycles``
+        total elapse."""
+        targets = {
+            thread.tid: thread.retired_user + user_insts
+            for thread in self.threads
+            if thread.state is ThreadState.NORMAL
+        }
+        while self.cycle < max_cycles:
+            done = True
+            for thread in self.threads:
+                target = targets.get(thread.tid)
+                if target is None or thread.halted:
+                    continue
+                if thread.state is ThreadState.NORMAL and thread.retired_user < target:
+                    done = False
+                    break
+            if done:
+                return
+            self.step()
+        raise RuntimeError(
+            f"simulation exceeded {max_cycles} cycles "
+            f"(retired: {[t.retired_user for t in self.threads]})"
+        )
+
+    # ------------------------------------------------------------------
+    # Fetch.
+    # ------------------------------------------------------------------
+    def _fetch_priority(self) -> list[ThreadContext]:
+        """Thread order for fetch/decode: handler threads first, then the
+        configured chooser among application threads."""
+        handlers = [t for t in self.threads if t.state is ThreadState.EXCEPTION]
+        apps = [t for t in self.threads if t.state is ThreadState.NORMAL]
+        if self.config.chooser == "icount":
+            apps.sort(key=lambda t: (t.in_flight, t.tid))
+        else:
+            offset = self.cycle % max(1, len(apps)) if apps else 0
+            apps = apps[offset:] + apps[:offset]
+        if not self.config.handler_fetch_priority:
+            return apps + handlers
+        return handlers + apps
+
+    def _fetch(self, now: int) -> None:
+        config = self.config
+        budget = config.width
+        free_handler_fetch = config.limits.no_fetch_bandwidth
+        for thread in self._fetch_priority():
+            handler_free = free_handler_fetch and thread.is_exception_thread
+            if budget <= 0 and not handler_free:
+                continue
+            per_thread = config.width
+            while per_thread > 0 and (budget > 0 or handler_free):
+                if not thread.can_fetch(now):
+                    break
+                if not self._fetch_one(thread, now):
+                    break
+                per_thread -= 1
+                if not handler_free:
+                    budget -= 1
+        if budget > 0 and self.mechanism is not None:
+            budget -= self.mechanism.fetch_idle(now, budget)
+
+    def _fetch_one(self, thread: ThreadContext, now: int) -> bool:
+        """Fetch a single instruction for ``thread``; False to stop."""
+        inst = thread.program.fetch(thread.pc)
+        if inst is None:
+            # Wrong-path fetch ran off the text segment: wait for a squash.
+            thread.fetch_stall_until = _FAR_FUTURE
+            return False
+        if inst.privileged and not thread.fetch_priv:
+            # Wrong-path fetch fell into PAL code: privilege fence.
+            thread.fetch_stall_until = _FAR_FUTURE
+            return False
+
+        # Instruction cache: one probe per line transition.
+        ready = self.hierarchy.ifetch(thread.pc * 4, now)
+        if ready > now + self.hierarchy.config.l1_latency:
+            thread.fetch_stall_until = ready
+            return False
+
+        uop = Uop(self.alloc_seq(), thread.tid, thread.pc, inst)
+        uop.fetch_cycle = now
+        uop.avail_cycle = now + self.config.fetch_latency
+        uop.is_handler = inst.privileged
+        if thread.overfetch_after_reti:
+            uop.discard = True
+        thread.rob.append(uop)
+        thread.fetch_buffer.append(uop)
+        self.stats.fetched += 1
+
+        op = inst.op
+        if op is Opcode.HALT:
+            thread.fetch_wait_uop = uop
+            return False
+        if inst.is_branch:
+            pred = self.bpu.predict(thread.pc, inst)
+            uop.checkpoint = pred.checkpoint
+            uop.pred_taken = pred.taken
+            uop.pred_target = pred.target
+            if op is Opcode.RETI:
+                if thread.is_exception_thread:
+                    if self.config.predict_handler_length:
+                        thread.fetch_done = True
+                        return False
+                    # No length prediction: keep fetching (and wasting
+                    # bandwidth) past the handler until reti is decoded.
+                    thread.overfetch_after_reti = True
+                    thread.pc += 1
+                    return True
+                thread.fetch_wait_uop = uop
+                return False
+            thread.pc = pred.target if pred.taken else thread.pc + 1
+            return True
+        thread.pc += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Decode / rename / window insertion.
+    # ------------------------------------------------------------------
+    def _decode(self, now: int) -> None:
+        config = self.config
+        budget = config.width
+        free_handler_decode = config.limits.no_fetch_bandwidth
+        for thread in self._fetch_priority():
+            handler_free = free_handler_decode and thread.is_exception_thread
+            while thread.fetch_buffer and (budget > 0 or handler_free):
+                uop = thread.fetch_buffer[0]
+                if uop.avail_cycle > now:
+                    break
+                if uop.discard:
+                    thread.fetch_buffer.popleft()
+                    thread.rob.remove(uop)
+                    uop.state = UopState.SQUASHED
+                    self.stats.overfetch_discarded += 1
+                    if not handler_free:
+                        budget -= 1
+                    continue
+                if not self._admit(thread, uop, now):
+                    break
+                thread.fetch_buffer.popleft()
+                if uop.inst.op is Opcode.RETI and thread.is_exception_thread:
+                    # Reti decoded: stop any overfetch past the handler.
+                    thread.fetch_done = True
+                    thread.overfetch_after_reti = False
+                self._rename(thread, uop)
+                exc_id = None
+                if thread.is_exception_thread and thread.exc_instance is not None:
+                    exc_id = thread.exc_instance.id
+                if config.limits.no_window_overhead and uop.is_handler:
+                    uop.free_slot = True
+                self.window.insert(uop, exc_id)
+                uop.insert_cycle = now
+                uop.min_sched_cycle = (
+                    now + config.decode_latency + config.post_insert_delay
+                )
+                uop.state = UopState.WINDOW
+                if not handler_free:
+                    budget -= 1
+            if budget <= 0 and not free_handler_decode:
+                break
+
+    def _admit(self, thread: ThreadContext, uop: Uop, now: int) -> bool:
+        """Window admission check, including deadlock avoidance."""
+        if uop.is_handler and thread.is_exception_thread:
+            if self.config.limits.no_window_overhead:
+                return True
+            if self.window.occupancy < self.window.capacity:
+                return True
+            return self._make_room_for_handler(thread, now)
+        if uop.is_handler:
+            # Traditional handler uops run in the application thread and
+            # are admitted like ordinary instructions (no reservations).
+            return self.window.occupancy < self.window.capacity
+        return self.window.can_insert_app()
+
+    def _make_room_for_handler(self, exc_thread: ThreadContext, now: int) -> bool:
+        """Squash the master thread's tail so the handler can advance.
+
+        The paper's deadlock-avoidance rule: reclaim window slots from the
+        youngest post-exception instructions, never killing the excepting
+        instruction itself (in which case the handler stalls instead).
+        """
+        master = self.threads[exc_thread.master_tid]
+        master_uop = exc_thread.master_uop
+        if master_uop is None:
+            return False
+        boundary = None
+        freed = 0
+        for victim in reversed(master.rob):
+            if victim.seq <= master_uop.seq:
+                break
+            boundary = victim
+            if victim.state == UopState.WINDOW and not victim.free_slot:
+                freed += 1
+                if freed >= 1:
+                    break
+        if boundary is None or freed == 0:
+            return False
+        self.window.tail_squashes += 1
+        self._resource_squash(master, boundary.seq - 1, now)
+        return self.window.occupancy < self.window.capacity
+
+    def _rename(self, thread: ThreadContext, uop: Uop) -> None:
+        """Record dataflow sources and claim the destination mapping."""
+        inst = uop.inst
+        space_a, space_b = _SRC_SPACES[inst.op]
+        priv = inst.privileged
+        if space_a == "int":
+            reg = pal_reg(inst.ra) if priv else inst.ra
+            producer = thread.int_map[reg]
+            if producer is not None:
+                uop.src_a_uop = producer
+            else:
+                uop.src_a_value = thread.arch.read_int(reg)
+        elif space_a == "fp":
+            producer = thread.fp_map[inst.ra]
+            if producer is not None:
+                uop.src_a_uop = producer
+            else:
+                uop.src_a_value = thread.arch.read_fp(inst.ra)
+        if space_b == "int":
+            if inst.rb is not None:
+                reg = pal_reg(inst.rb) if priv else inst.rb
+                producer = thread.int_map[reg]
+                if producer is not None:
+                    uop.src_b_uop = producer
+                else:
+                    uop.src_b_value = thread.arch.read_int(reg)
+            else:
+                uop.src_b_value = inst.imm or 0
+        elif space_b == "fp":
+            producer = thread.fp_map[inst.rb]
+            if producer is not None:
+                uop.src_b_uop = producer
+            else:
+                uop.src_b_value = thread.arch.read_fp(inst.rb)
+        elif inst.op is Opcode.LI:
+            uop.src_b_value = inst.imm or 0
+
+        if inst.rd is not None:
+            if inst.op in FP_DEST_OPS:
+                thread.fp_map[inst.rd] = uop
+            else:
+                reg = pal_reg(inst.rd) if priv else inst.rd
+                thread.int_map[reg] = uop
+        elif inst.op is Opcode.MTDST and not thread.is_exception_thread:
+            # Traditional emulation: mtdst writes the excepting
+            # instruction's (user) destination register; the hardware
+            # latched its index at the trap.
+            dest = thread.priv_regs[PrivReg.EXC_DST]
+            if 0 < dest < 32:
+                uop.dyn_dest = dest
+                thread.int_map[dest] = uop
+        if inst.is_store:
+            thread.store_queue.append(uop)
+        uop.renamed = True
+
+    # ------------------------------------------------------------------
+    # Schedule / execute.
+    # ------------------------------------------------------------------
+    def _execute(self, now: int) -> None:
+        config = self.config
+        pool = config.fu_pool
+        budget = config.width
+        fu_used = {"alu": 0, "muldiv": 0, "fp": 0, "fpdiv": 0, "mem": 0}
+        free_handler_exec = config.limits.no_execute_bandwidth
+        for uop in list(self.window.uops):
+            if budget <= 0 and not free_handler_exec:
+                break
+            if uop.state != UopState.WINDOW or uop.issued:
+                continue
+            if uop.min_sched_cycle > now or uop.waiting_fill is not None:
+                continue
+            if not uop.src_ready(now):
+                continue
+            inst = uop.inst
+            if inst.is_load and not self._load_ordering_ok(uop, now):
+                continue
+            if inst.op is Opcode.RETI and not self._older_all_issued(uop):
+                # Return-from-exception serializes: it must not redirect
+                # fetch before the handler's tlbwr has installed the fill.
+                continue
+            handler_free = free_handler_exec and uop.is_handler
+            group = config.fu_group(inst.fu_class)
+            if not handler_free:
+                if budget <= 0 or fu_used[group] >= pool.capacity(group):
+                    continue
+            issued = self._issue(uop, now)
+            if issued and not handler_free:
+                fu_used[group] += 1
+                budget -= 1
+        if self.mechanism is not None:
+            free_mem = pool.mem - fu_used["mem"]
+            if free_mem > 0:
+                self.mechanism.service_mem_ports(now, free_mem)
+
+    def _older_all_issued(self, uop: Uop) -> bool:
+        """True when every older same-thread uop has issued."""
+        for older in self.threads[uop.thread_id].rob:
+            if older.seq >= uop.seq:
+                return True
+            if not older.issued and older.state != UopState.SQUASHED:
+                return False
+        return True
+
+    @staticmethod
+    def _store_addr_if_known(store: Uop, now: int) -> int | None:
+        """A store's effective address once its base operand is ready.
+
+        Models the usual STA/STD split: the address generation of a store
+        completes as soon as the base register is available, even if the
+        store data is still in flight.
+        """
+        if store.issued:
+            return store.eff_addr
+        base_producer = store.src_a_uop
+        if base_producer is not None and not (
+            base_producer.issued and base_producer.finish_cycle <= now
+        ):
+            return None
+        base = (
+            base_producer.value if base_producer is not None else store.src_a_value
+        )
+        return align_word(semantics.effective_address(store.inst, int(base)))
+
+    def _load_ordering_ok(self, uop: Uop, now: int) -> bool:
+        """Memory disambiguation for a load about to issue.
+
+        The load waits on any older same-thread store whose address is
+        still unknown, and on a matching-address store whose data is not
+        yet available (it will forward once the store issues).  Stores to
+        other addresses are bypassed -- this is what lets independent
+        iterations overlap their cache and TLB misses.
+        """
+        if uop.inst.privileged:
+            return True  # handler loads: the handler performs no stores
+        thread = self.threads[uop.thread_id]
+        if not thread.store_queue:
+            return True
+        addr = align_word(
+            semantics.effective_address(uop.inst, int(uop.src_values()[0]))
+        )
+        for store in thread.store_queue:
+            if store.seq >= uop.seq:
+                break
+            store_addr = self._store_addr_if_known(store, now)
+            if store_addr is None:
+                return False
+            if store_addr == addr and not store.issued:
+                return False
+        return True
+
+    def _issue(self, uop: Uop, now: int) -> bool:
+        """Execute ``uop`` functionally and stamp its completion time.
+
+        Returns False when the uop could not issue after all (it raised a
+        TLB miss and is now waiting or was squashed by a trap).
+        """
+        inst = uop.inst
+        op = inst.op
+        thread = self.threads[uop.thread_id]
+        a, b = uop.src_values()
+
+        if inst.is_mem:
+            return self._issue_mem(uop, thread, inst, a, b, now)
+
+        latency = self.config.fu_latency(inst.fu_class)
+        if op in _INT_ALU_OPS:
+            uop.value = semantics.compute_int(inst, int(a), int(b))
+        elif op in _FP_ALU_OPS:
+            uop.value = semantics.compute_fp(inst, float(a), float(b))
+        elif op in (Opcode.ITOF, Opcode.FTOI):
+            uop.value = semantics.convert(inst, a)
+        elif op is Opcode.MFPR:
+            uop.value = thread.priv_regs[inst.imm]
+        elif op is Opcode.MTPR:
+            thread.priv_regs[inst.imm] = int(a)
+            uop.value = None
+        elif op is Opcode.TLBWR:
+            if self.mechanism is not None:
+                self.mechanism.on_tlbwr(uop, int(a), int(b), now)
+        elif op is Opcode.EMUL:
+            if self.mechanism is None:
+                # The perfect machine implements the operation natively.
+                uop.value = semantics.compute_int(inst, int(a), 0)
+            else:
+                self.stats.emulation_events += 1
+                self.mechanism.on_emulation(uop, int(a), now)
+                return False  # waits for the handler's mtdst
+        elif op is Opcode.MTDST:
+            uop.value = int(a) & ((1 << 64) - 1)
+            if self.mechanism is not None:
+                self.mechanism.on_mtdst(uop, int(a), now)
+        elif op is Opcode.HARDEXC:
+            # Takes effect at retirement: a speculatively fetched hardexc
+            # (e.g. behind a mispredicted handler branch) must not revert.
+            uop.value = None
+        elif op in (Opcode.NOP, Opcode.HALT):
+            uop.value = None
+        elif inst.is_branch:
+            return self._issue_branch(uop, thread, inst, a, b, now)
+
+        uop.issued = True
+        uop.issue_cycle = now
+        uop.finish_cycle = now + latency
+        return True
+
+    def _issue_mem(
+        self,
+        uop: Uop,
+        thread: ThreadContext,
+        inst: Instruction,
+        a,
+        b,
+        now: int,
+    ) -> bool:
+        addr = align_word(semantics.effective_address(inst, int(a)))
+        uop.eff_addr = addr
+        if not inst.privileged:
+            entry = self.dtlb.lookup(vpn_of(addr))
+            if entry is None:
+                self.stats.dtlb_miss_events += 1
+                if self.mechanism is not None:
+                    self.mechanism.on_dtlb_miss(uop, addr, vpn_of(addr), now)
+                return False
+        if inst.is_load:
+            forwarded = None
+            if not inst.privileged:
+                for store in reversed(thread.store_queue):
+                    if store.seq < uop.seq and store.issued and store.eff_addr == addr:
+                        forwarded = store.value
+                        break
+            if forwarded is not None:
+                uop.value = forwarded
+                ready = now + self.hierarchy.config.l1_latency
+                self.stats.store_forwards += 1
+            else:
+                uop.value = self.memory.read_word(addr)
+                ready = self.hierarchy.load(addr, now)
+            if inst.op is Opcode.FLD:
+                uop.value = float(uop.value)
+            else:
+                uop.value = int(uop.value) & ((1 << 64) - 1)
+            uop.finish_cycle = ready
+        else:
+            uop.value = b  # store data
+            self.hierarchy.store(addr, now)
+            uop.finish_cycle = now + self.config.store_latency
+        uop.issued = True
+        uop.issue_cycle = now
+        return True
+
+    def _issue_branch(
+        self,
+        uop: Uop,
+        thread: ThreadContext,
+        inst: Instruction,
+        a,
+        b,
+        now: int,
+    ) -> bool:
+        op = inst.op
+        taken = True
+        if inst.is_cond_branch:
+            taken = semantics.branch_taken(inst, int(a), int(b))
+            target = inst.target if taken else uop.pc + 1
+        elif op in (Opcode.JMP, Opcode.CALL):
+            target = inst.target
+        elif op in (Opcode.CALLI, Opcode.JMPI, Opcode.RET):
+            target = int(a) % max(1, len(thread.program.insts) + 1)
+        elif op is Opcode.RETI:
+            target = thread.priv_regs[PrivReg.EXC_PC]
+        else:  # pragma: no cover
+            raise AssertionError(f"unexpected branch {inst}")
+
+        if op in (Opcode.CALL, Opcode.CALLI):
+            uop.value = uop.pc + 1  # link register
+        uop.actual_taken = taken
+        uop.actual_target = target
+        uop.issued = True
+        uop.issue_cycle = now
+        uop.finish_cycle = now + 1
+
+        if op is Opcode.RETI:
+            if self.mechanism is not None:
+                self.mechanism.on_reti_executed(uop, now)
+            return True
+        mispredicted = taken != uop.pred_taken or (
+            taken and target != uop.pred_target
+        )
+        if mispredicted:
+            self._mispredict(thread, uop, now)
+        return True
+
+    def _mispredict(self, thread: ThreadContext, uop: Uop, now: int) -> None:
+        self.stats.mispredicts += 1
+        self.squash_from(thread, uop.seq, now)
+        self.bpu.repair(
+            uop.pc, uop.inst, uop.checkpoint, uop.actual_taken, uop.actual_target
+        )
+        thread.pc = uop.actual_target
+        thread.fetch_priv = uop.inst.privileged
+        thread.fetch_stall_until = now + 1
+        thread.fetch_wait_uop = None
+        thread.fetch_done = False
+        thread.overfetch_after_reti = False
+
+    # ------------------------------------------------------------------
+    # Squash machinery.
+    # ------------------------------------------------------------------
+    def squash_from(self, thread: ThreadContext, boundary_seq: int, now: int) -> int:
+        """Squash every uop of ``thread`` with ``seq > boundary_seq``.
+
+        Returns the number of squashed uops.  Exception threads linked to
+        squashed excepting instructions are reclaimed via the mechanism.
+        """
+        squashed = 0
+        while thread.rob and thread.rob[-1].seq > boundary_seq:
+            victim = thread.rob.pop()
+            self._squash_uop(thread, victim, now)
+            squashed += 1
+        if squashed:
+            thread.rebuild_rename_maps()
+            self.stats.squashed += squashed
+        if thread.fetch_wait_uop is not None and (
+            thread.fetch_wait_uop.state == UopState.SQUASHED
+        ):
+            thread.fetch_wait_uop = None
+        return squashed
+
+    def _squash_uop(self, thread: ThreadContext, victim: Uop, now: int) -> None:
+        if victim.state == UopState.WINDOW:
+            self.window.remove(victim)
+        victim.state = UopState.SQUASHED
+        if victim in thread.fetch_buffer:
+            thread.fetch_buffer.remove(victim)
+        if victim.inst.is_store and victim in thread.store_queue:
+            thread.store_queue.remove(victim)
+        if self.mechanism is not None:
+            self.mechanism.on_uop_squashed(victim, now)
+
+    def squash_all(self, thread: ThreadContext, now: int) -> int:
+        """Squash every in-flight uop of ``thread`` (thread reclaim)."""
+        return self.squash_from(thread, -1, now)
+
+    def _resource_squash(self, thread: ThreadContext, boundary_seq: int, now: int) -> None:
+        """Squash for window-space reclamation (not a misprediction).
+
+        The squashed instructions are simply refetched from the oldest
+        squashed PC; front-end speculative state is restored to the oldest
+        squashed branch's checkpoint (no outcome is re-applied).
+        """
+        doomed = [u for u in thread.rob if u.seq > boundary_seq]
+        if not doomed:
+            return
+        oldest = doomed[0]
+        oldest_branch = next((u for u in doomed if u.checkpoint is not None), None)
+        self.squash_from(thread, boundary_seq, now)
+        if oldest_branch is not None:
+            self.bpu.restore_checkpoint(oldest_branch.checkpoint)
+        thread.pc = oldest.pc
+        thread.fetch_priv = oldest.inst.privileged
+        thread.fetch_stall_until = now + 1
+        thread.fetch_wait_uop = None
+
+    # ------------------------------------------------------------------
+    # Retire.
+    # ------------------------------------------------------------------
+    def _retire(self, now: int) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for thread in self.threads:
+                if thread.state is ThreadState.IDLE or not thread.rob:
+                    continue
+                head = thread.rob[0]
+                if not (head.issued and head.finish_cycle <= now):
+                    continue
+                if head.state != UopState.WINDOW:
+                    continue
+                if thread.is_exception_thread:
+                    master = self.threads[thread.master_tid]
+                    if not master.rob or master.rob[0] is not thread.master_uop:
+                        continue
+                elif head.linked_handler is not None:
+                    continue  # splice: the handler thread retires first
+                self._do_retire(thread, head, now)
+                progress = True
+
+    def _do_retire(self, thread: ThreadContext, uop: Uop, now: int) -> None:
+        thread.rob.popleft()
+        self.window.remove(uop)
+        uop.state = UopState.RETIRED
+        inst = uop.inst
+        op = inst.op
+
+        if inst.rd is not None:
+            if op in FP_DEST_OPS:
+                if uop.value is not None:
+                    thread.arch.write_fp(inst.rd, uop.value)
+                if thread.fp_map[inst.rd] is uop:
+                    thread.fp_map[inst.rd] = None
+            else:
+                reg = pal_reg(inst.rd) if inst.privileged else inst.rd
+                if uop.value is not None:
+                    thread.arch.write_int(reg, int(uop.value))
+                if thread.int_map[reg] is uop:
+                    thread.int_map[reg] = None
+        elif uop.dyn_dest is not None:
+            thread.arch.write_int(uop.dyn_dest, int(uop.value))
+            if thread.int_map[uop.dyn_dest] is uop:
+                thread.int_map[uop.dyn_dest] = None
+
+        if inst.is_store:
+            self.memory.write_word(uop.eff_addr, uop.value)
+            if uop in thread.store_queue:
+                thread.store_queue.remove(uop)
+            if (
+                self.mechanism is not None
+                and uop.eff_addr >= self.page_table.base
+            ):
+                self.mechanism.on_store_retired(uop.eff_addr, now)
+        elif inst.is_branch and op is not Opcode.RETI:
+            self.bpu.train(
+                uop.pc,
+                inst,
+                uop.checkpoint,
+                uop.actual_taken,
+                uop.actual_target,
+                uop.pred_taken,
+                uop.pred_target,
+            )
+        elif op is Opcode.RETI:
+            if self.mechanism is not None:
+                self.mechanism.on_reti_retired(uop, now)
+        elif op is Opcode.HARDEXC:
+            if self.mechanism is not None:
+                self.mechanism.on_hardexc(uop, now)
+        elif op is Opcode.HALT:
+            thread.halted = True
+
+        if uop.is_handler:
+            thread.retired_handler += 1
+            self.stats.retired_handler += 1
+        else:
+            thread.retired_user += 1
+            self.stats.retired_user += 1

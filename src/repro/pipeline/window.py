@@ -1,0 +1,96 @@
+"""The shared instruction window with exception reservations.
+
+All threads share one centralized window (Table 1).  The multithreaded
+exception mechanism *reserves* enough slots for the (perfectly predicted)
+handler length when an exception spawns; application threads may not
+claim those slots, which is the paper's first line of defence against the
+out-of-order-fetch deadlock.  The second line -- squashing the main
+thread's tail when a handler instruction still cannot enter -- lives in
+the core, which calls :meth:`InstructionWindow.can_insert_app` /
+:meth:`InstructionWindow.insert` here.
+
+Occupancy is held from insertion (decode) to retirement, per the paper
+("instructions maintain entries in the instruction window until
+retirement").  Uops flagged ``free_slot`` (limit studies) are tracked but
+never counted.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.uop import Uop
+
+
+class InstructionWindow:
+    """Centralized instruction window plus reservation accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        #: Occupying uops ordered by fetch sequence (oldest first).
+        self.uops: list["Uop"] = []
+        self._occupancy = 0
+        #: exception-instance id -> window slots still reserved for it.
+        self._reservations: dict[int, int] = {}
+        self._reserved_total = 0
+        self.peak_occupancy = 0
+        self.tail_squashes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy
+
+    @property
+    def reserved_total(self) -> int:
+        return self._reserved_total
+
+    def can_insert_app(self) -> bool:
+        """May an application-thread uop take a slot this cycle?"""
+        return self._occupancy + self._reserved_total < self.capacity
+
+    def can_insert_handler(self, exc_id: int | None) -> bool:
+        """May a handler uop take a slot (using its reservation if any)?"""
+        if self._occupancy < self.capacity:
+            return True
+        return False
+
+    def insert(self, uop: "Uop", exc_id: int | None = None) -> None:
+        """Place a uop into the window (caller checked admissibility).
+
+        A handler uop consumes one unit of its instance's reservation, if
+        any remains.
+        """
+        insort(self.uops, uop, key=lambda u: u.seq)
+        if not uop.free_slot:
+            self._occupancy += 1
+            self.peak_occupancy = max(self.peak_occupancy, self._occupancy)
+        if exc_id is not None and self._reservations.get(exc_id, 0) > 0:
+            self._reservations[exc_id] -= 1
+            self._reserved_total -= 1
+
+    def remove(self, uop: "Uop") -> None:
+        """Remove a uop (retirement or squash)."""
+        try:
+            self.uops.remove(uop)
+        except ValueError:
+            return
+        if not uop.free_slot:
+            self._occupancy -= 1
+
+    # ------------------------------------------------------------------
+    def reserve(self, exc_id: int, slots: int) -> None:
+        """Reserve ``slots`` window entries for exception ``exc_id``."""
+        slots = max(0, slots)
+        self._reservations[exc_id] = self._reservations.get(exc_id, 0) + slots
+        self._reserved_total += slots
+
+    def release(self, exc_id: int) -> None:
+        """Drop any remaining reservation for ``exc_id``."""
+        remaining = self._reservations.pop(exc_id, 0)
+        self._reserved_total -= remaining
+
+    def __len__(self) -> int:
+        return len(self.uops)

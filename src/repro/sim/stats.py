@@ -1,0 +1,57 @@
+"""Simulation statistics.
+
+:class:`SimStats` collects core-level event counts during a run; the
+:class:`~repro.sim.simulator.Simulator` packages it together with the
+branch, cache, TLB, and mechanism counters into a
+:class:`~repro.sim.simulator.SimResult` at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SimStats:
+    """Core pipeline event counters."""
+
+    cycles: int = 0
+    fetched: int = 0
+    retired_user: int = 0
+    retired_handler: int = 0
+    squashed: int = 0
+    mispredicts: int = 0
+    dtlb_miss_events: int = 0
+    emulation_events: int = 0
+    store_forwards: int = 0
+    overfetch_discarded: int = 0
+
+    @property
+    def retired_total(self) -> int:
+        return self.retired_user + self.retired_handler
+
+    @property
+    def ipc(self) -> float:
+        """User-instruction IPC (handler work is overhead, not progress)."""
+        return self.retired_user / self.cycles if self.cycles else 0.0
+
+    @property
+    def fetch_waste_fraction(self) -> float:
+        """Fraction of fetched instructions that never retired."""
+        if not self.fetched:
+            return 0.0
+        return self.squashed / self.fetched
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "fetched": self.fetched,
+            "retired_user": self.retired_user,
+            "retired_handler": self.retired_handler,
+            "squashed": self.squashed,
+            "mispredicts": self.mispredicts,
+            "dtlb_miss_events": self.dtlb_miss_events,
+            "store_forwards": self.store_forwards,
+            "overfetch_discarded": self.overfetch_discarded,
+            "ipc": self.ipc,
+        }

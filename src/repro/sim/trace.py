@@ -1,0 +1,168 @@
+"""Pipeline tracing: observe what the machine does, cycle by cycle.
+
+A :class:`PipelineTracer` attaches to a core non-invasively (it wraps
+the retire/issue/squash entry points) and records typed events.  It
+powers the examples' retirement-order dumps, debugging sessions, and
+the tests that assert ordering properties without reaching into core
+internals.
+
+Event kinds:
+
+``retire``   (cycle, tid, seq, pc, op, is_handler)
+``issue``    (cycle, tid, seq, pc, op)
+``squash``   (cycle, tid, seq, pc, op)
+``exception``(cycle, tid, seq, kind)   -- via mechanism stats deltas
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.pipeline.core import SMTCore
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    kind: str
+    cycle: int
+    tid: int
+    seq: int
+    pc: int
+    op: str
+    is_handler: bool = False
+
+
+@dataclass
+class ExceptionEpisode:
+    """One exception's life: detection to completion."""
+
+    start_cycle: int
+    end_cycle: int
+    handler_instructions: int
+
+    @property
+    def latency(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+class PipelineTracer:
+    """Records core events; detach restores the original methods."""
+
+    def __init__(self, core: SMTCore, kinds: Iterable[str] = ("retire",)) -> None:
+        self.core = core
+        self.kinds = frozenset(kinds)
+        self.events: list[TraceEvent] = []
+        self._originals: dict[str, object] = {}
+        self._attach()
+
+    # ------------------------------------------------------------------
+    def _attach(self) -> None:
+        core = self.core
+        if "retire" in self.kinds:
+            self._originals["_do_retire"] = core.__dict__.get("_do_retire")
+
+            def retire_spy(thread, uop, now, _orig=core._do_retire):
+                self.events.append(
+                    TraceEvent(
+                        "retire", now, thread.tid, uop.seq, uop.pc,
+                        uop.inst.op.value, uop.is_handler,
+                    )
+                )
+                return _orig(thread, uop, now)
+
+            core._do_retire = retire_spy
+        if "issue" in self.kinds:
+            self._originals["_issue"] = core.__dict__.get("_issue")
+
+            def issue_spy(uop, now, _orig=core._issue):
+                result = _orig(uop, now)
+                if uop.issued:
+                    self.events.append(
+                        TraceEvent(
+                            "issue", now, uop.thread_id, uop.seq, uop.pc,
+                            uop.inst.op.value, uop.is_handler,
+                        )
+                    )
+                return result
+
+            core._issue = issue_spy
+        if "squash" in self.kinds:
+            self._originals["_squash_uop"] = core.__dict__.get("_squash_uop")
+
+            def squash_spy(thread, victim, now, _orig=core._squash_uop):
+                self.events.append(
+                    TraceEvent(
+                        "squash", now, thread.tid, victim.seq, victim.pc,
+                        victim.inst.op.value, victim.is_handler,
+                    )
+                )
+                return _orig(thread, victim, now)
+
+            core._squash_uop = squash_spy
+
+    def detach(self) -> None:
+        """Restore the core's pre-attach state.
+
+        The spies live in the instance ``__dict__``; we saved what (if
+        anything) was there before -- ``None`` means attribute lookup fell
+        through to the class method, an earlier tracer's spy otherwise.
+        """
+        for name, previous in self._originals.items():
+            if previous is None:
+                self.core.__dict__.pop(name, None)
+            else:
+                self.core.__dict__[name] = previous
+        self._originals.clear()
+
+    def __enter__(self) -> "PipelineTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def retirement_order(self) -> list[TraceEvent]:
+        return self.of_kind("retire")
+
+    def handler_episodes(self) -> list[ExceptionEpisode]:
+        """Contiguous handler-retirement episodes (splice occurrences)."""
+        episodes: list[ExceptionEpisode] = []
+        current: list[TraceEvent] = []
+        for event in self.retirement_order():
+            if event.is_handler and event.tid != 0:
+                current.append(event)
+            elif current:
+                episodes.append(
+                    ExceptionEpisode(
+                        start_cycle=current[0].cycle,
+                        end_cycle=current[-1].cycle,
+                        handler_instructions=len(current),
+                    )
+                )
+                current = []
+        if current:
+            episodes.append(
+                ExceptionEpisode(
+                    start_cycle=current[0].cycle,
+                    end_cycle=current[-1].cycle,
+                    handler_instructions=len(current),
+                )
+            )
+        return episodes
+
+    def format(self, limit: int = 50) -> str:
+        """Human-readable event listing."""
+        lines = []
+        for event in self.events[:limit]:
+            tag = "PAL" if event.is_handler else "   "
+            lines.append(
+                f"cycle {event.cycle:6d}  {event.kind:7s} T{event.tid} "
+                f"{tag} seq={event.seq:<6d} pc={event.pc:<5d} {event.op}"
+            )
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Synthetic, execution-driven stand-ins for the paper's benchmarks.
+
+The paper runs eight Alpha binaries (five from SPEC95 plus alphadoom,
+deltablue, and murphi).  We cannot execute Alpha binaries, so each
+benchmark here is a small assembly kernel -- built on the repro ISA --
+that reproduces the *character* that drives the paper's per-benchmark
+spread: data footprint vs. TLB reach (miss rate), access pattern
+(strided FP sweep, hash probing, pointer chasing, random record
+lookups), branch predictability, and the instruction-level parallelism
+available around each miss.  See DESIGN.md section 4 for the mapping.
+
+All kernels loop forever; the simulator runs them for a fixed number of
+retired user instructions.  Each takes a ``base`` address so SMT mixes
+(Figure 7) can give every thread its own address-space slice.
+"""
+
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    BENCHMARKS,
+    BenchmarkSpec,
+    build_benchmark,
+)
+
+__all__ = ["BENCHMARK_NAMES", "BENCHMARKS", "BenchmarkSpec", "build_benchmark"]

@@ -1,0 +1,90 @@
+"""``alphadoom`` stand-in: column rendering driven by level geometry.
+
+Doom's renderer walks level data (BSP nodes, seg/linedef records --
+spread across the map's memory) to decide what each screen column shows,
+then draws the column from hot texture tables into the framebuffer.
+Table 2 gives alphadoom the *lowest* TLB miss count of the suite and
+Table 4 a high base IPC (4.3).
+
+The kernel reproduces that structure: one geometry record read per
+column (a random page in a multi-hundred-KB level image -- the only TLB
+pressure), whose value determines the column's texture and framebuffer
+placement (so the column's pixel work *depends* on the geometry read),
+while the framebuffer and textures themselves stay TLB- and
+cache-resident.  Successive columns' geometry reads are independent, so
+a dynamically scheduled machine overlaps them -- unless a trap squashes
+them, which is exactly the effect the paper measures.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import DataSegment, Program
+from repro.workloads.builder import DEFAULT_BASE, LCG_ADD, LCG_MUL, make_program
+
+LEVEL_PAGES = 72  # 576 KB of level geometry: the TLB-pressure region
+LEVEL_WORDS = LEVEL_PAGES * 1024
+FB_PAGES = 24  # 192 KB framebuffer: TLB/cache resident
+FB_BYTES = FB_PAGES * 8192
+TEXTURE_WORDS = 2048  # 16 KB hot texture
+COLUMN_PIXELS = 4
+
+
+def build(base: int = DEFAULT_BASE) -> Program:
+    """Build the alphadoom stand-in in the address slice at ``base``."""
+    level_base = base
+    fb_base = base + LEVEL_WORDS * 8
+    tex_base = fb_base + FB_BYTES
+
+    source = f"""
+main:
+    li    r1, {level_base}
+    li    r2, {fb_base}
+    li    r7, {tex_base}
+    li    r10, 20177
+    li    r20, {LCG_MUL}
+    li    r21, {LCG_ADD}
+    li    r22, {LEVEL_WORDS}
+    li    r16, 1
+column:
+    mul   r10, r10, r20       ; next BSP lookup
+    add   r10, r10, r21
+    srl   r11, r10, 32
+    mul   r12, r11, r22
+    srl   r12, r12, 32
+    sll   r12, r12, 3
+    add   r12, r1, r12        ; &geometry record
+    ld    r13, 0(r12)         ; geometry read: the TLB-pressure access
+    and   r14, r13, {FB_BYTES - 8}
+    and   r14, r14, -8
+    add   r4, r2, r14         ; framebuffer column base (from geometry)
+    and   r15, r13, 2046
+    li    r3, 0               ; pixel row counter
+pixel:
+    sll   r5, r15, 3
+    add   r5, r7, r5
+    ld    r6, 0(r5)           ; texture lookup (hot)
+    mul   r8, r6, r16
+    srl   r8, r8, 7           ; shading math
+    add   r8, r8, r3
+    st    r8, 0(r4)           ; pixel write
+    add   r4, r4, 64          ; next row (framebuffer stays resident)
+    add   r15, r15, 1
+    and   r15, r15, 2046
+    add   r16, r16, r6        ; lighting state (loop-carried)
+    add   r3, r3, 1
+    li    r9, {COLUMN_PIXELS}
+    blt   r3, r9, pixel
+    add   r16, r16, r13       ; column state consumes the geometry value
+    jmp   column
+"""
+    return make_program(
+        source,
+        segments=[
+            DataSegment(
+                base=tex_base,
+                words=[(i * 2654435761) & 0xFFFF for i in range(TEXTURE_WORDS)],
+                name="texture",
+            )
+        ],
+        regions=[(level_base, LEVEL_WORDS * 8), (fb_base, FB_BYTES)],
+    )

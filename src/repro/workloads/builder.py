@@ -1,0 +1,109 @@
+"""Program-construction helpers shared by the benchmark kernels.
+
+Every workload program is laid out identically:
+
+* PC 0: the PAL DTLB miss handler (:mod:`repro.exceptions.handler_code`)
+  -- giving all programs the same "kernel" instruction addresses, like a
+  shared OS image;
+* user code after it, entered at the ``main`` label;
+* data segments / reserved regions in the thread's address-space slice.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions.handler_code import install_handlers
+from repro.isa.assembler import assemble
+from repro.isa.program import DataSegment, Program
+
+#: Default base of a single program's data slice.
+DEFAULT_BASE = 0x1000_0000
+
+#: Spacing between address-space slices for SMT mixes: far larger than
+#: any workload footprint, so co-scheduled threads never share pages.
+SLICE_STRIDE = 1 << 32
+
+LCG_MUL = 6364136223846793005
+LCG_ADD = 1442695040888963407
+_MASK = (1 << 64) - 1
+
+
+def make_program(
+    source: str,
+    segments: Sequence[DataSegment] = (),
+    regions: Sequence[tuple[int, int]] = (),
+    entry_label: str = "main",
+    cold_regions: Sequence[tuple[int, int]] = (),
+) -> Program:
+    """Assemble a user kernel into a runnable program with PAL installed.
+
+    ``segments`` and ``regions`` are treated as checkpoint-warm (the
+    simulator pre-installs them in L2); ``cold_regions`` are mapped but
+    start cache-cold (e.g. gcc's wrong-path-only far region).
+    """
+    program = Program()
+    install_handlers(program)
+    insts, labels = assemble(source)
+    base = program.append_text(insts, labels)
+    program.entry = program.labels.get(entry_label, base)
+    for segment in segments:
+        program.add_data(segment)
+        program.warm_ranges.append((segment.base, segment.size_bytes))
+    for region_base, size in regions:
+        program.add_region(region_base, size)
+        program.warm_ranges.append((region_base, size))
+    for region_base, size in cold_regions:
+        program.add_region(region_base, size)
+    return program
+
+
+def lcg_next(state: int) -> int:
+    """One step of the 64-bit LCG the kernels also compute in registers."""
+    return (state * LCG_MUL + LCG_ADD) & _MASK
+
+
+def lcg_stream(seed: int, count: int) -> list[int]:
+    """``count`` successive LCG values starting from ``seed``."""
+    values = []
+    state = seed & _MASK
+    for _ in range(count):
+        state = lcg_next(state)
+        values.append(state)
+    return values
+
+
+def pointer_ring(
+    base: int,
+    node_count: int,
+    node_words: int,
+    seed: int = 0x9E3779B97F4A7C15,
+) -> DataSegment:
+    """A random-permutation pointer ring for dependent-load chasing.
+
+    Node ``i`` occupies ``node_words`` 8-byte words at
+    ``base + i * node_words * 8``; word 0 holds the address of the next
+    node in a single random cycle over all nodes, so a chase visits every
+    node before repeating, with no exploitable locality.
+    """
+    order = list(range(node_count))
+    # Fisher-Yates with the deterministic LCG (no wall-clock randomness).
+    state = seed & _MASK
+    for i in range(node_count - 1, 0, -1):
+        state = lcg_next(state)
+        j = (state >> 33) % (i + 1)
+        order[i], order[j] = order[j], order[i]
+    words = [0] * (node_count * node_words)
+    for idx in range(node_count):
+        src = order[idx]
+        dst = order[(idx + 1) % node_count]
+        words[src * node_words] = base + dst * node_words * 8
+        if node_words > 1:
+            # A payload word the kernel can read/update.
+            words[src * node_words + 1] = (src * 2654435761) & _MASK
+    return DataSegment(base=base, words=words, name="pointer_ring")
+
+
+def jump_table(base: int, targets: Sequence[int]) -> DataSegment:
+    """A table of code addresses for indirect-branch kernels."""
+    return DataSegment(base=base, words=list(targets), name="jump_table")

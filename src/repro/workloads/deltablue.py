@@ -1,0 +1,85 @@
+"""``deltablue`` stand-in: pointer-chasing with virtual dispatch.
+
+DeltaBlue is a C++ incremental dataflow constraint solver (the paper
+takes it from the Driesen/Hölzle virtual-call study): traversals walk
+linked constraint graphs and dispatch through vtables.  The kernel
+chases a random-permutation pointer ring whose footprint modestly
+exceeds the TLB reach (dependent loads: low ILP around each miss, base
+IPC 2.2 in Table 4) and makes an indirect call per node, selected by
+node payload -- exercising the cascaded indirect predictor.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.builder import (
+    DEFAULT_BASE,
+    jump_table,
+    make_program,
+    pointer_ring,
+)
+
+NODE_WORDS = 4  # 32-byte constraint nodes
+RING_PAGES = 72
+NODE_COUNT = RING_PAGES * 8192 // (NODE_WORDS * 8)
+
+
+def build(base: int = DEFAULT_BASE) -> Program:
+    """Build the deltablue stand-in in the address slice at ``base``."""
+    ring_base = base
+    table_base = base + NODE_COUNT * NODE_WORDS * 8
+
+    chase_b_start = ring_base + (NODE_COUNT // 2) * NODE_WORDS * 8
+    source = f"""
+main:
+    li    r1, {ring_base}     ; constraint walk A
+    li    r2, {chase_b_start} ; constraint walk B (independent plan)
+    li    r7, {table_base}    ; method table
+    li    r16, 0
+    li    r17, 0
+loop:
+    ld    r3, 0(r1)           ; A: next-constraint pointer (dependent)
+    ld    r4, 8(r1)           ; A: payload
+    ld    r5, 0(r2)           ; B: next-constraint pointer (independent of A)
+    ld    r6, 8(r2)           ; B: payload
+    and   r8, r4, 3           ; A: constraint kind
+    sll   r8, r8, 3
+    add   r8, r7, r8
+    ld    r9, 0(r8)           ; vtable slot
+    calli r9                  ; virtual dispatch
+    add   r16, r16, r4
+    xor   r17, r17, r6
+    add   r17, r17, 3
+    or    r1, r3, r0          ; advance walk A
+    or    r2, r5, r0          ; advance walk B
+    jmp   loop
+
+method0:
+    add   r16, r16, 1
+    ret
+method1:
+    xor   r16, r16, r4
+    sub   r16, r16, 1
+    ret
+method2:
+    sll   r10, r4, 1
+    add   r16, r16, r10
+    ret
+method3:
+    srl   r10, r4, 2
+    xor   r16, r16, r10
+    add   r16, r16, 2
+    ret
+"""
+    program = make_program(
+        source,
+        segments=[pointer_ring(ring_base, NODE_COUNT, NODE_WORDS)],
+    )
+    targets = [
+        program.labels["method0"],
+        program.labels["method1"],
+        program.labels["method2"],
+        program.labels["method3"],
+    ]
+    program.add_data(jump_table(table_base, targets))
+    return program

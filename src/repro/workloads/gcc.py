@@ -1,0 +1,77 @@
+"""``gcc`` stand-in: branchy traversal with speculative wrong-path loads.
+
+The paper's gcc is its most interesting data point: hard-to-predict
+branches send the machine down wrong paths whose *speculative loads miss
+the TLB*.  With a hardware walker those wrong-path misses are serviced
+and pollute the TLB and caches; with a perfect TLB the speculative loads
+go straight to the caches and pollute *them*; the software mechanisms'
+speculative fills are rolled back at the squash.  That asymmetry is why
+gcc is the one benchmark where the multithreaded handler beats the
+hardware walker (Figure 5).
+
+The kernel chases an IR-like pointer ring and branches on a
+payload-parity condition that is essentially random to YAGS.  The
+rarely-executed-but-often-misfetched side of the branch loads from a
+*far, cold* region, so wrong paths issue loads to pages the correct
+path never touches.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.builder import DEFAULT_BASE, make_program, pointer_ring
+
+NODE_WORDS = 4
+RING_PAGES = 40
+NODE_COUNT = RING_PAGES * 8192 // (NODE_WORDS * 8)
+#: Two symbol/rtx pools, one per branch side: wrong paths speculatively
+#: load from the pool the correct path was not going to touch.  A power
+#: of two, so offset masking is exact.
+POOL_PAGES = 32
+POOL_BYTES = POOL_PAGES * 8192
+
+
+def build(base: int = DEFAULT_BASE) -> Program:
+    """Build the gcc stand-in in the address slice at ``base``."""
+    ring_base = base
+    pool_a = base + NODE_COUNT * NODE_WORDS * 8
+    pool_b = pool_a + POOL_BYTES
+
+    source = f"""
+main:
+    li    r1, {ring_base}
+    li    r7, {pool_a}
+    li    r9, {pool_b}
+    li    r8, {POOL_BYTES - 8}
+    li    r16, 0
+    li    r17, 0
+loop:
+    ld    r2, 0(r1)           ; next IR node (dependent load)
+    ld    r3, 8(r1)           ; node payload
+    and   r5, r3, r8          ; pool-A offset: ready *early*
+    and   r5, r5, -8
+    add   r5, r7, r5
+    srl   r6, r3, 16          ; pool-B offset: also ready early
+    and   r6, r6, r8
+    and   r6, r6, -8
+    add   r6, r9, r6
+    mul   r4, r3, 2654435761  ; slow condition: branch resolves *after*
+    srl   r4, r4, 63          ; the wrong-path load already issued
+    bne   r4, r0, rtx_path
+sym_path:
+    ld    r10, 0(r5)          ; symbol-pool load
+    add   r16, r16, r10
+    or    r1, r2, r0
+    jmp   loop
+rtx_path:
+    ld    r11, 0(r6)          ; rtx-pool load
+    xor   r17, r17, r11
+    or    r1, r2, r0
+    jmp   loop
+"""
+    program = make_program(
+        source,
+        segments=[pointer_ring(ring_base, NODE_COUNT, NODE_WORDS)],
+        regions=[(pool_a, POOL_BYTES), (pool_b, POOL_BYTES)],
+    )
+    return program

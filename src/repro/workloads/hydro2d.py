@@ -1,0 +1,58 @@
+"""``hydro2d`` stand-in: FP relaxation sweeps with divide chains.
+
+SpecFP 95 ``hydro2d`` (astrophysical Navier-Stokes) has the lowest base
+IPC in the paper's Table 4 (1.3) -- long dependent FP chains including
+divides -- and a moderate TLB miss rate from sweeping a working set
+somewhat larger than the TLB's reach.  The kernel sweeps a ~640 KB grid
+with a coarse stride (a page boundary every ~25 points, so the cyclic
+sweep misses at a measured, moderate rate) computing a *dependent*
+chain with an ``fdiv`` per point, which throttles ILP exactly the way
+the original does.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import DataSegment, Program
+from repro.workloads.builder import DEFAULT_BASE, make_program
+
+GRID_PAGES = 80  # 640 KB: sweeps thrash a 64-entry TLB gently
+GRID_BYTES = GRID_PAGES * 8192
+#: Sweep stride in bytes: a page boundary every ~25 points.
+STRIDE_BYTES = 320
+
+
+def build(base: int = DEFAULT_BASE) -> Program:
+    """Build the hydro2d stand-in in the address slice at ``base``."""
+    grid_base = base
+    coeff_base = base + GRID_BYTES
+    end_off = GRID_BYTES - 64
+
+    source = f"""
+main:
+    li    r1, {grid_base}
+    li    r2, {coeff_base}
+    li    r3, 0               ; sweep offset
+    li    r4, {end_off}
+    fld   f10, 0(r2)          ; relaxation coefficients (hot)
+    fld   f11, 8(r2)
+    fadd  f12, f10, f11       ; running residual (loop-carried)
+loop:
+    add   r7, r1, r3
+    fld   f1, 0(r7)
+    fdiv  f3, f1, f11         ; per-point divide consumes the load
+    fadd  f4, f3, f1
+    fmul  f5, f4, f10
+    fadd  f12, f12, f4        ; residual accumulates the relaxed value
+    fst   f5, 0(r7)
+    add   r3, r3, {STRIDE_BYTES}
+    blt   r3, r4, loop
+    li    r3, 0               ; wrap: next relaxation sweep
+    jmp   loop
+"""
+    return make_program(
+        source,
+        segments=[
+            DataSegment(base=coeff_base, words=[3.0, 7.0], name="coefficients")
+        ],
+        regions=[(grid_base, GRID_BYTES)],
+    )

@@ -1,0 +1,76 @@
+"""``murphi`` stand-in: state-space exploration (hash & expand).
+
+Murphi is a finite-state-space verifier: generate a successor state,
+hash it into a large visited table, and append unseen states to a work
+queue.  Table 2 ranks it third for TLB misses; Table 4 gives it a high
+base IPC (3.9, integer-heavy with predictable control).  The kernel
+hashes LCG-generated states into a visited table that overflows the TLB
+reach and appends to a sequential (TLB-friendly) work queue; the
+seen/unseen branch is data-dependent but skewed.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.builder import DEFAULT_BASE, LCG_ADD, LCG_MUL, make_program
+
+VISITED_PAGES = 76  # 608 KB visited-state table
+VISITED_WORDS = VISITED_PAGES * 1024
+QUEUE_PAGES = 16  # 128 KB work queue (sequential, TLB/L2 friendly)
+QUEUE_BYTES = QUEUE_PAGES * 8192
+
+
+def build(base: int = DEFAULT_BASE) -> Program:
+    """Build the murphi stand-in in the address slice at ``base``."""
+    visited_base = base
+    queue_base = base + VISITED_WORDS * 8
+
+    source = f"""
+main:
+    li    r1, {visited_base}
+    li    r2, {queue_base}
+    li    r3, 0               ; queue offset
+    li    r10, 999331
+    li    r20, {LCG_MUL}
+    li    r21, {LCG_ADD}
+    li    r22, {VISITED_WORDS}
+    li    r16, 0
+    li    r9, 777000777
+loop:
+    ; --- expansion worker A: serial hash-and-mark ---
+    mul   r10, r10, r20       ; successor state
+    add   r10, r10, r21
+    srl   r11, r10, 32
+    mul   r12, r11, r22
+    srl   r12, r12, 32        ; visited-table index
+    sll   r12, r12, 3
+    add   r12, r1, r12
+    ld    r13, 0(r12)         ; visited probe (TLB pressure)
+    xor   r10, r10, r13       ; successor generation reads the entry
+    and   r14, r13, 7
+    bne   r14, r0, seen       ; skewed data-dependent branch
+    add   r13, r13, 1
+    st    r13, 0(r12)         ; mark visited
+    add   r15, r2, r3
+    st    r10, 0(r15)         ; enqueue (sequential, TLB friendly)
+    add   r3, r3, 8
+    and   r3, r3, {QUEUE_BYTES - 8}
+seen:
+    ; --- expansion worker B: an independent rule firing ---
+    mul   r9, r9, r20
+    add   r9, r9, r21
+    srl   r5, r9, 32
+    mul   r6, r5, r22
+    srl   r6, r6, 32
+    sll   r6, r6, 3
+    add   r6, r1, r6
+    ld    r7, 0(r6)           ; second probe
+    xor   r9, r9, r7          ; worker B is serial in the same way
+    add   r16, r16, r11
+    add   r17, r16, r14
+    jmp   loop
+"""
+    return make_program(
+        source,
+        regions=[(visited_base, VISITED_WORDS * 8), (queue_base, QUEUE_BYTES)],
+    )

@@ -1,0 +1,77 @@
+"""``vortex`` stand-in: random record lookups in an object database.
+
+SpecInt 95 ``vortex`` is a single-user OO transactional database with
+the second-highest TLB miss count in Table 2 and the highest base IPC
+(4.9): lookups land on random records (new page, TLB pressure) but the
+fields *within* a record are co-located, and successive transactions are
+independent, so the machine extracts lots of ILP.  The kernel runs two
+interleaved, independent transaction streams, each picking a random
+record in a multi-megabyte store, reading three fields, and writing one
+back.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.builder import DEFAULT_BASE, LCG_ADD, LCG_MUL, make_program
+
+DB_PAGES = 88  # 704 KB record store
+RECORD_WORDS = 8  # 64-byte records
+RECORD_COUNT = DB_PAGES * 1024 // RECORD_WORDS
+
+
+def build(base: int = DEFAULT_BASE) -> Program:
+    """Build the vortex stand-in in the address slice at ``base``."""
+    db_base = base
+
+    source = f"""
+main:
+    li    r1, {db_base}
+    li    r10, 424242424242
+    li    r11, 171717171717
+    li    r20, {LCG_MUL}
+    li    r21, {LCG_ADD}
+    li    r22, {RECORD_COUNT}
+    li    r16, 0
+    li    r17, 0
+loop:
+    ; --- transaction stream A ---
+    mul   r10, r10, r20
+    add   r10, r10, r21
+    srl   r2, r10, 32
+    mul   r2, r2, r22
+    srl   r2, r2, 32          ; record index
+    sll   r2, r2, 6           ; * 64-byte records
+    add   r2, r1, r2
+    ld    r3, 0(r2)           ; field reads: same page, independent
+    ld    r4, 8(r2)
+    ld    r5, 16(r2)
+    and   r14, r3, 24
+    add   r14, r2, r14
+    ld    r15, 0(r14)         ; indexed sub-field: depends on field 0
+    add   r6, r3, r4
+    add   r6, r6, r5
+    add   r6, r6, r15
+    st    r6, 24(r2)          ; field update
+    xor   r10, r10, r3        ; the next lookup key comes from this
+                              ; record (index traversal is serial)
+    add   r16, r16, r6
+    ; --- transaction stream B (independent: ILP across streams) ---
+    mul   r11, r11, r20
+    add   r11, r11, r21
+    srl   r7, r11, 32
+    mul   r7, r7, r22
+    srl   r7, r7, 32
+    sll   r7, r7, 6
+    add   r7, r1, r7
+    ld    r8, 0(r7)
+    ld    r9, 8(r7)
+    ld    r12, 16(r7)
+    add   r13, r8, r9
+    add   r13, r13, r12
+    st    r13, 24(r7)
+    xor   r11, r11, r8        ; stream B is serial in the same way
+    add   r17, r17, r13
+    jmp   loop
+"""
+    return make_program(source, regions=[(db_base, DB_PAGES * 8192)])

@@ -1,0 +1,52 @@
+"""Unit tests for the cascaded indirect target predictor."""
+
+from repro.branch.cascaded import CascadedIndirectPredictor
+
+
+class TestCascaded:
+    def test_monomorphic_branch_uses_stage1(self):
+        pred = CascadedIndirectPredictor()
+        for _ in range(5):
+            predicted = pred.predict(40, 0)
+            pred.update(40, 0, 500, predicted)
+        assert pred.predict(40, 0) == 500
+        # Leaky filter: after the cold-start miss, a monomorphic branch
+        # earns no further stage-2 entries.
+        allocated = [e for e in pred.stage2 if e is not None]
+        assert len(allocated) <= 1
+
+    def test_polymorphic_branch_earns_stage2_entries(self):
+        pred = CascadedIndirectPredictor()
+        # Alternate targets under two distinct path histories.
+        for _ in range(6):
+            for path, target in ((0b01, 111), (0b10, 222)):
+                predicted = pred.predict(40, path)
+                pred.update(40, path, target, predicted)
+        assert pred.predict(40, 0b01) == 111
+        assert pred.predict(40, 0b10) == 222
+
+    def test_stage2_requires_tag_match(self):
+        pred = CascadedIndirectPredictor()
+        predicted = pred.predict(40, 0)
+        pred.update(40, 0, 999, predicted)  # stage-1 miss -> allocate s2
+        # A different PC mapping to the same set must not read that entry.
+        other = pred.predict(40 + pred.stage2_size, 0)
+        assert other != 999 or pred.stage1[pred._s1_index(40 + pred.stage2_size)] == 999
+
+    def test_fold_path_changes_history(self):
+        path = 0
+        folded = CascadedIndirectPredictor.fold_path(path, 1234)
+        assert folded != path
+
+    def test_fold_path_bounded(self):
+        path = (1 << 12) - 1
+        folded = CascadedIndirectPredictor.fold_path(path, 0xFFFF)
+        assert 0 <= folded < (1 << 12)
+
+    def test_accuracy_counters(self):
+        pred = CascadedIndirectPredictor()
+        for _ in range(4):
+            predicted = pred.predict(1, 0)
+            pred.update(1, 0, 77, predicted)
+        assert pred.predictions == 4
+        assert 0.0 <= pred.accuracy <= 1.0

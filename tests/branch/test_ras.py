@@ -1,0 +1,91 @@
+"""Unit and property tests for the checkpointing return address stack."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.branch.ras import ReturnAddressStack
+
+
+class TestBasics:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(8)
+        ras.push(100)
+        ras.push(200)
+        assert ras.pop() == 200
+        assert ras.pop() == 100
+
+    def test_peek_does_not_pop(self):
+        ras = ReturnAddressStack(8)
+        ras.push(42)
+        assert ras.peek() == 42
+        assert ras.pop() == 42
+
+    def test_wraps_at_capacity(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)  # overwrites the oldest
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+
+class TestCheckpointing:
+    def test_restore_undoes_pushes(self):
+        ras = ReturnAddressStack(8)
+        ras.push(1)
+        cp = ras.checkpoint()
+        ras.push(2)
+        ras.push(3)
+        ras.restore(cp)
+        assert ras.pop() == 1
+
+    def test_restore_undoes_pops(self):
+        ras = ReturnAddressStack(8)
+        ras.push(1)
+        ras.push(2)
+        cp = ras.checkpoint()
+        ras.pop()
+        ras.pop()
+        ras.restore(cp)
+        assert ras.pop() == 2
+
+    def test_restore_repairs_overwritten_top(self):
+        """A wrong-path pop-then-push clobbers the entry the correct path
+        needs; the saved top value must repair it."""
+        ras = ReturnAddressStack(8)
+        ras.push(10)
+        cp = ras.checkpoint()
+        ras.pop()  # wrong path returns...
+        ras.push(99)  # ...then calls, overwriting slot of 10
+        ras.restore(cp)
+        assert ras.pop() == 10
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), st.integers(0, 1000)),
+                st.tuples(st.just("pop"), st.just(0)),
+            ),
+            max_size=30,
+        )
+    )
+    def test_checkpoint_restores_top_after_any_single_branch_shadow(self, ops):
+        """Property: after any sequence of speculative operations, restore
+        brings back the checkpointed top-of-stack value."""
+        ras = ReturnAddressStack(16)
+        for i in range(5):
+            ras.push(1000 + i)
+        cp = ras.checkpoint()
+        top_before = ras.peek()
+        for op, value in ops:
+            if op == "push":
+                ras.push(value)
+            else:
+                ras.pop()
+        ras.restore(cp)
+        assert ras.peek() == top_before

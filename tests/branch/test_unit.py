@@ -1,0 +1,109 @@
+"""Unit tests for the combined front-end prediction unit."""
+
+import pytest
+
+from repro.branch.unit import BranchPredictionUnit
+from repro.isa.instructions import Instruction, Opcode
+
+
+def _inst(op, **kw):
+    return Instruction(op=op, **kw)
+
+
+@pytest.fixture
+def unit():
+    return BranchPredictionUnit()
+
+
+class TestPredict:
+    def test_direct_jump_perfect_target(self, unit):
+        pred = unit.predict(10, _inst(Opcode.JMP, target=55))
+        assert pred.taken and pred.target == 55
+
+    def test_cond_branch_gets_direction_and_target(self, unit):
+        inst = _inst(Opcode.BNE, ra=1, rb=0, target=3)
+        pred = unit.predict(10, inst)
+        assert pred.target in (3, 11)
+
+    def test_cond_branch_updates_speculative_history(self, unit):
+        before = unit.ghr
+        unit.predict(10, _inst(Opcode.BEQ, ra=1, rb=0, target=3))
+        assert unit.ghr != before or unit.ghr == (before << 1) & unit.yags.history_mask
+
+    def test_call_pushes_return_address(self, unit):
+        unit.predict(10, _inst(Opcode.CALL, rd=30, target=99))
+        pred = unit.predict(99, _inst(Opcode.RET, ra=30))
+        assert pred.target == 11
+
+    def test_calli_pushes_and_predicts_indirect(self, unit):
+        pred = unit.predict(10, _inst(Opcode.CALLI, rd=30, ra=5))
+        assert pred.taken
+        ret = unit.predict(50, _inst(Opcode.RET, ra=30))
+        assert ret.target == 11
+
+    def test_reti_is_unpredictable(self, unit):
+        pred = unit.predict(10, _inst(Opcode.RETI))
+        assert pred.target is None
+
+    def test_non_branch_rejected(self, unit):
+        with pytest.raises(ValueError):
+            unit.predict(10, _inst(Opcode.ADD, rd=1, ra=1, rb=1))
+
+
+class TestRepair:
+    def test_repair_restores_and_reapplies_direction(self, unit):
+        inst = _inst(Opcode.BEQ, ra=1, rb=0, target=3)
+        pred = unit.predict(10, inst)
+        ghr_spec = unit.ghr
+        unit.predict(11, inst)  # deeper speculation
+        unit.repair(10, inst, pred.checkpoint, actual_taken=not pred.taken,
+                    actual_target=3 if not pred.taken else 11)
+        # History now reflects the actual outcome of the repaired branch
+        expected = ((pred.checkpoint.ghr << 1) | (0 if pred.taken else 1))
+        assert unit.ghr == expected & unit.yags.history_mask
+        assert unit.ghr != ghr_spec or pred.taken != (not pred.taken)
+
+    def test_repair_restores_ras_for_wrong_path_call(self, unit):
+        unit.predict(10, _inst(Opcode.CALL, rd=30, target=99))  # real call
+        inst = _inst(Opcode.BEQ, ra=1, rb=0, target=3)
+        pred = unit.predict(99, inst)
+        unit.predict(3, _inst(Opcode.CALL, rd=30, target=50))  # wrong path
+        unit.repair(99, inst, pred.checkpoint, actual_taken=not pred.taken,
+                    actual_target=100)
+        ret = unit.predict(60, _inst(Opcode.RET, ra=30))
+        assert ret.target == 11  # the real call's return address
+
+    def test_repair_of_mispredicted_ret(self, unit):
+        unit.predict(10, _inst(Opcode.CALL, rd=30, target=99))
+        inst = _inst(Opcode.RET, ra=30)
+        pred = unit.predict(99, inst)
+        unit.repair(99, inst, pred.checkpoint, actual_taken=True, actual_target=77)
+        # The pop is re-applied: stack is back to pre-call depth.
+        assert unit.ras._tos == 0
+
+
+class TestTrain:
+    def test_training_improves_cond_prediction(self, unit):
+        inst = _inst(Opcode.BNE, ra=1, rb=0, target=3)
+        for _ in range(10):
+            pred = unit.predict(10, inst)
+            unit.train(10, inst, pred.checkpoint, True, 3, pred.taken, pred.target)
+            unit.repair(10, inst, pred.checkpoint, True, 3)
+        pred = unit.predict(10, inst)
+        assert pred.taken is True
+
+    def test_stats_track_mispredictions(self, unit):
+        inst = _inst(Opcode.BNE, ra=1, rb=0, target=3)
+        pred = unit.predict(10, inst)
+        unit.train(10, inst, pred.checkpoint, not pred.taken,
+                   3 if not pred.taken else 11, pred.taken, pred.target)
+        assert unit.stats.cond_predictions == 1
+        assert unit.stats.cond_mispredictions == 1
+
+    def test_indirect_training(self, unit):
+        inst = _inst(Opcode.JMPI, ra=4)
+        for _ in range(4):
+            pred = unit.predict(20, inst)
+            unit.train(20, inst, pred.checkpoint, True, 333, True, pred.target)
+        pred = unit.predict(20, inst)
+        assert pred.target == 333

@@ -1,0 +1,67 @@
+"""Unit tests for the YAGS direction predictor."""
+
+from repro.branch.yags import YAGSPredictor
+
+
+def train(pred: YAGSPredictor, pc: int, history: int, taken: bool, times: int = 8):
+    for _ in range(times):
+        predicted = pred.predict(pc, history)
+        pred.update(pc, history, taken, predicted)
+
+
+class TestYAGS:
+    def test_learns_always_taken(self):
+        pred = YAGSPredictor()
+        train(pred, pc=100, history=0, taken=True)
+        assert pred.predict(100, 0) is True
+
+    def test_learns_always_not_taken(self):
+        pred = YAGSPredictor()
+        train(pred, pc=100, history=0, taken=False)
+        assert pred.predict(100, 0) is False
+
+    def test_exception_cache_learns_history_correlated_branch(self):
+        """A branch taken under history A but not under history B must be
+        predicted correctly for both (the whole point of YAGS)."""
+        pred = YAGSPredictor()
+        for _ in range(12):
+            for history, taken in ((0b0101, True), (0b1010, False)):
+                predicted = pred.predict(300, history)
+                pred.update(300, history, taken, predicted)
+        assert pred.predict(300, 0b0101) is True
+        assert pred.predict(300, 0b1010) is False
+
+    def test_biased_branch_allocates_at_most_cold_start_exception(self):
+        pred = YAGSPredictor()
+        train(pred, pc=7, history=3, taken=True, times=20)
+        # The cold not-taken bias may allocate one T-cache entry on the
+        # first misprediction; a settled biased branch earns no more.
+        assert all(e is None for e in pred.nt_cache)
+        assert sum(e is not None for e in pred.t_cache) <= 1
+
+    def test_settled_not_taken_branch_allocates_nothing(self):
+        pred = YAGSPredictor()
+        train(pred, pc=9, history=3, taken=False, times=20)
+        assert all(e is None for e in pred.nt_cache)
+        assert all(e is None for e in pred.t_cache)
+
+    def test_mispredicting_bias_allocates_exception_entry(self):
+        pred = YAGSPredictor()
+        train(pred, pc=7, history=3, taken=True, times=8)
+        predicted = pred.predict(7, 5)
+        pred.update(7, 5, False, predicted)  # exception to the bias
+        allocated = [e for e in pred.nt_cache if e is not None]
+        assert len(allocated) == 1
+
+    def test_accuracy_counters(self):
+        pred = YAGSPredictor()
+        train(pred, pc=1, history=0, taken=True, times=10)
+        assert pred.predictions == 10
+        assert pred.accuracy > 0.5
+
+    def test_different_pcs_do_not_interfere_in_choice(self):
+        pred = YAGSPredictor()
+        train(pred, pc=10, history=0, taken=True)
+        train(pred, pc=11, history=0, taken=False)
+        assert pred.predict(10, 0) is True
+        assert pred.predict(11, 0) is False

@@ -1,0 +1,52 @@
+"""Property tests on the YAGS predictor's structural invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.branch.yags import YAGSPredictor
+
+_outcomes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=500),  # pc
+        st.integers(min_value=0, max_value=4095),  # history
+        st.booleans(),  # taken
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestYAGSProperties:
+    @settings(max_examples=30)
+    @given(_outcomes)
+    def test_counters_stay_saturating(self, stream):
+        pred = YAGSPredictor()
+        for pc, history, taken in stream:
+            predicted = pred.predict(pc, history)
+            pred.update(pc, history, taken, predicted)
+        assert all(0 <= c <= 3 for c in pred.choice)
+        for cache in (pred.t_cache, pred.nt_cache):
+            for entry in cache:
+                if entry is not None:
+                    assert 0 <= entry.counter <= 3
+                    assert 0 <= entry.tag <= pred.tag_mask
+
+    @settings(max_examples=30)
+    @given(_outcomes)
+    def test_prediction_counters_consistent(self, stream):
+        pred = YAGSPredictor()
+        for pc, history, taken in stream:
+            predicted = pred.predict(pc, history)
+            pred.update(pc, history, taken, predicted)
+        assert pred.mispredictions <= pred.predictions
+        assert 0.0 <= pred.accuracy <= 1.0
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_fixed_outcome_converges(self, pc):
+        """Any branch with a constant outcome is eventually predicted
+        perfectly."""
+        pred = YAGSPredictor()
+        for _ in range(6):
+            predicted = pred.predict(pc, 7)
+            pred.update(pc, 7, True, predicted)
+        assert pred.predict(pc, 7) is True

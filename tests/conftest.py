@@ -1,0 +1,63 @@
+"""Shared test helpers.
+
+``make_sim`` assembles a small user program (PAL handler installed at PC
+0 automatically), maps its data, and returns a ready
+:class:`~repro.sim.simulator.Simulator`.  ``run_to_halt`` steps a
+simulator until every application thread retires ``halt`` (the usual
+pattern for the deterministic architectural-state tests).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.program import DataSegment, Program
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.builder import make_program
+
+
+def build_test_program(
+    source: str,
+    segments: list[DataSegment] | None = None,
+    regions: list[tuple[int, int]] | None = None,
+) -> Program:
+    """Assemble a test kernel with the standard layout."""
+    return make_program(source, segments=segments or [], regions=regions or [])
+
+
+def make_sim(
+    source: str,
+    mechanism: str = "perfect",
+    segments: list[DataSegment] | None = None,
+    regions: list[tuple[int, int]] | None = None,
+    **config_kwargs,
+) -> Simulator:
+    """Build a simulator around one small assembled program."""
+    program = build_test_program(source, segments, regions)
+    config = MachineConfig(mechanism=mechanism, **config_kwargs)
+    return Simulator(program, config)
+
+
+def run_to_halt(sim: Simulator, max_cycles: int = 200_000) -> int:
+    """Step until every application thread halts; returns the cycle count."""
+    core = sim.core
+    while core.cycle < max_cycles:
+        if all(
+            t.halted
+            for t in core.threads
+            if t.program is not None and not t.is_exception_thread
+        ):
+            return core.cycle
+        core.step()
+    raise AssertionError(f"program did not halt within {max_cycles} cycles")
+
+
+@pytest.fixture
+def data_base() -> int:
+    """A standard data base address used by small test kernels."""
+    return 0x1000_0000
+
+
+#: All real exception mechanisms (perfect excluded).
+ALL_MECHANISMS = ("traditional", "multithreaded", "hardware", "quickstart")

@@ -1,0 +1,225 @@
+"""Tests for the Section 6 generalized mechanism: instruction emulation.
+
+``emul rd, ra`` (popcount) is "implemented in software": executing it
+raises an emulation exception whose handler reads the faulting
+instruction's source value from a privileged register and writes the
+result straight into its destination -- under the multithreaded
+mechanism via ``mtdst``, which completes the excepting instruction as a
+nop and wakes its consumers.
+"""
+
+import pytest
+
+from repro.isa.semantics import popcount
+from tests.conftest import ALL_MECHANISMS, make_sim, run_to_halt
+
+MECHS = ("perfect",) + ALL_MECHANISMS
+
+
+class TestPopcountSemantics:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 0), (1, 1), (255, 8), ((1 << 64) - 1, 64), (0b1010101, 4)],
+    )
+    def test_popcount(self, value, expected):
+        assert popcount(value) == expected
+
+
+class TestEmulationAcrossMechanisms:
+    @pytest.mark.parametrize("mechanism", MECHS)
+    def test_single_emulation(self, mechanism):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 4095
+                emul r2, r1
+                add  r3, r2, 100
+                halt
+            """,
+            mechanism=mechanism,
+        )
+        run_to_halt(sim)
+        arch = sim.core.threads[0].arch
+        assert arch.read_int(2) == 12
+        assert arch.read_int(3) == 112
+
+    @pytest.mark.parametrize("mechanism", MECHS)
+    def test_emulation_in_a_loop(self, mechanism):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 1
+                li   r5, 10
+                li   r7, 0
+            loop:
+                emul r2, r1
+                add  r7, r7, r2
+                sll  r1, r1, 1
+                or   r1, r1, 1
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            mechanism=mechanism,
+        )
+        run_to_halt(sim)
+        # values 1, 11, 111, ... -> popcounts 1 + 2 + ... + 10
+        assert sim.core.threads[0].arch.read_int(7) == 55
+
+
+class TestMultithreadedEmulation:
+    def test_handler_runs_in_exception_thread(self):
+        sim = make_sim(
+            "main:\n  li r1, 7\n  emul r2, r1\n  halt",
+            mechanism="multithreaded",
+        )
+        run_to_halt(sim)
+        assert sim.mechanism.stats.spawns == 1
+        assert sim.mechanism.stats.emulations == 1
+        assert sim.core.threads[0].retired_handler == 0
+        assert sim.core.stats.squashed == 0  # no trap, no refetch
+
+    def test_excepting_instruction_completes_as_nop(self):
+        """The consumer of the emul result wakes from mtdst's write."""
+        sim = make_sim(
+            """
+            main:
+                li   r1, 31
+                emul r2, r1
+                add  r3, r2, r2
+                mul  r4, r3, r3
+                halt
+            """,
+            mechanism="multithreaded",
+        )
+        run_to_halt(sim)
+        arch = sim.core.threads[0].arch
+        assert arch.read_int(3) == 10
+        assert arch.read_int(4) == 100
+
+    def test_reverts_when_no_idle_thread(self):
+        """Two in-flight emulations with one context: the second traps."""
+        sim = make_sim(
+            """
+            main:
+                li   r1, 7
+                li   r2, 56
+                emul r3, r1
+                emul r4, r2
+                add  r5, r3, r4
+                halt
+            """,
+            mechanism="multithreaded",
+            idle_threads=1,
+        )
+        run_to_halt(sim)
+        stats = sim.mechanism.stats
+        assert stats.emulations == 2
+        assert stats.reverted_no_thread >= 1
+        assert sim.core.threads[0].arch.read_int(5) == 6
+
+    def test_wrong_path_emulation_reclaimed(self):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 20
+                li   r7, 0
+            loop:
+                and  r3, r1, 1
+                mul  r3, r3, 9
+                beq  r3, r0, skip
+                emul r4, r1
+                add  r7, r7, r4
+            skip:
+                sub  r1, r1, 1
+                bne  r1, r0, loop
+                halt
+            """,
+            mechanism="multithreaded",
+            idle_threads=2,
+        )
+        run_to_halt(sim)
+        expected = sum(popcount(i) for i in range(1, 21) if i % 2 == 1)
+        assert sim.core.threads[0].arch.read_int(7) == expected
+
+
+class TestTraditionalEmulation:
+    def test_reti_skips_the_emulated_instruction(self):
+        """Traditional emulation returns *past* the faulting instruction
+        (it must not re-execute and re-trap forever)."""
+        sim = make_sim(
+            "main:\n  li r1, 15\n  emul r2, r1\n  halt",
+            mechanism="traditional",
+        )
+        run_to_halt(sim)
+        assert sim.mechanism.stats.traps == 1
+        assert sim.core.threads[0].arch.read_int(2) == 4
+
+    def test_dynamic_destination_feeds_consumers(self):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 3
+                emul r2, r1
+                add  r3, r2, 1
+                emul r4, r3
+                add  r5, r4, r3
+                halt
+            """,
+            mechanism="traditional",
+        )
+        run_to_halt(sim)
+        arch = sim.core.threads[0].arch
+        assert arch.read_int(3) == 3  # popcount(3)+1
+        assert arch.read_int(5) == 2 + 3  # popcount(3)==2
+
+
+class TestQuickStartEmulation:
+    def test_type_predictor_prefetches_emul_handler(self):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 1023
+                li   r5, 6
+                li   r7, 0
+            loop:
+                emul r2, r1
+                add  r7, r7, r2
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            mechanism="quickstart",
+        )
+        run_to_halt(sim)
+        stats = sim.mechanism.stats
+        assert sim.mechanism.type_predictor.predict() == "emul"
+        assert stats.quickstart_hits + stats.quickstart_partial >= 1
+        assert sim.core.threads[0].arch.read_int(7) == 60
+
+    def test_mixed_exception_types(self, data_base):
+        """Both dtlb misses and emulations in one program; the predictor
+        may guess wrong, but results stay exact."""
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r5, 8
+                li   r7, 0
+            loop:
+                ld   r6, 0(r1)
+                emul r2, r5
+                add  r7, r7, r2
+                add  r7, r7, r6
+                li   r8, 8192
+                add  r1, r1, r8
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            mechanism="quickstart",
+            regions=[(data_base, 8 * 8192)],
+        )
+        run_to_halt(sim)
+        expected = sum(popcount(i) for i in range(1, 9))
+        assert sim.core.threads[0].arch.read_int(7) == expected

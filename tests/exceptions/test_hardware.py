@@ -1,0 +1,156 @@
+"""Tests for the hardware FSM page walker."""
+
+import pytest
+
+from repro.isa.program import DataSegment
+from repro.memory.address import vpn_of
+from tests.conftest import make_sim, run_to_halt
+
+
+def _single_load(data_base, **kw):
+    return make_sim(
+        f"""
+        main:
+            li   r1, {data_base}
+            ld   r2, 0(r1)
+            add  r3, r2, 1
+            halt
+        """,
+        mechanism="hardware",
+        segments=[DataSegment(base=data_base, words=[41])],
+        **kw,
+    )
+
+
+class TestWalks:
+    def test_walk_resolves_miss_without_instructions(self, data_base):
+        sim = _single_load(data_base)
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(2) == 41
+        stats = sim.mechanism.stats
+        assert stats.walks_started == 1
+        assert stats.walks_completed == 1
+        assert sim.core.stats.retired_handler == 0  # no software ran
+
+    def test_fill_is_architectural_immediately(self, data_base):
+        sim = _single_load(data_base)
+        run_to_halt(sim)
+        entry = sim.dtlb.probe(vpn_of(data_base))
+        assert entry is not None and not entry.speculative
+
+    def test_no_squash_on_walked_miss(self, data_base):
+        sim = _single_load(data_base)
+        run_to_halt(sim)
+        assert sim.core.stats.squashed == 0
+
+    def test_parallel_walks(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)
+                ld   r3, 8192(r1)
+                ld   r4, 16384(r1)
+                halt
+            """,
+            mechanism="hardware",
+            regions=[(data_base, 3 * 8192)],
+        )
+        run_to_halt(sim)
+        assert sim.mechanism.stats.walks_started == 3
+        assert sim.mechanism.stats.committed_fills == 3
+
+    def test_same_page_misses_merge_into_one_walk(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)
+                ld   r3, 8(r1)
+                halt
+            """,
+            mechanism="hardware",
+            segments=[DataSegment(base=data_base, words=[7, 8])],
+        )
+        run_to_halt(sim)
+        assert sim.mechanism.stats.walks_started == 1
+        assert sim.mechanism.stats.secondary_merges >= 1
+        assert sim.core.threads[0].arch.read_int(3) == 8
+
+    def test_walker_overflow_queues_misses(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)
+                ld   r3, 8192(r1)
+                ld   r4, 16384(r1)
+                ld   r5, 24576(r1)
+                halt
+            """,
+            mechanism="hardware",
+            walker_entries=1,
+            regions=[(data_base, 4 * 8192)],
+        )
+        run_to_halt(sim)
+        assert sim.mechanism.stats.committed_fills == 4
+
+    def test_walks_consume_cache_bandwidth(self, data_base):
+        """The PTE load travels through the data cache like any load."""
+        sim = _single_load(data_base)
+        run_to_halt(sim)
+        pte_line = sim.page_table.pte_address(vpn_of(data_base))
+        assert sim.hierarchy.l1d.probe(pte_line)
+
+    def test_walker_latency_config_respected(self, data_base):
+        fast = _single_load(data_base, walker_latency=0)
+        slow = _single_load(data_base, walker_latency=40)
+        assert run_to_halt(fast) < run_to_halt(slow)
+
+
+class TestPageFault:
+    def test_invalid_pte_falls_back_to_trap(self, data_base):
+        far = data_base + (1 << 30)  # unmapped
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {far}
+                li   r2, 6
+                st   r2, 0(r1)
+                ld   r3, 0(r1)
+                halt
+            """,
+            mechanism="hardware",
+        )
+        run_to_halt(sim)
+        stats = sim.mechanism.stats
+        assert stats.page_faults >= 1
+        assert stats.traps >= 1
+        assert sim.core.threads[0].arch.read_int(3) == 6
+
+
+class TestWrongPath:
+    def test_wrong_path_walk_drops_when_everyone_dies(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r5, 30
+                li   r7, 0
+            loop:
+                and  r3, r5, 1
+                mul  r3, r3, 5
+                mul  r3, r3, 7
+                beq  r3, r0, skip
+                ld   r6, 0(r1)
+                add  r7, r7, r6
+            skip:
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            mechanism="hardware",
+            segments=[DataSegment(base=data_base, words=[4])],
+        )
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(7) == 4 * 15

@@ -1,0 +1,89 @@
+"""Tests for the Table 3 limit-study knobs."""
+
+import pytest
+
+from repro.exceptions.limits import LimitKnobs
+from repro.isa.program import DataSegment
+from tests.conftest import make_sim, run_to_halt
+
+SRC = """
+main:
+    li   r1, {base}
+    li   r5, 8
+    li   r7, 0
+loop:
+    ld   r6, 0(r1)
+    add  r7, r7, r6
+    li   r8, 8192
+    add  r1, r1, r8
+    sub  r5, r5, 1
+    bne  r5, r0, loop
+    halt
+"""
+
+
+def _sim(base, knobs=LimitKnobs(), idle=3):
+    return make_sim(
+        SRC.format(base=base),
+        mechanism="multithreaded",
+        idle_threads=idle,
+        limits=knobs,
+        regions=[(base, 8 * 8192)],
+    )
+
+
+ALL_KNOBS = [
+    LimitKnobs(no_execute_bandwidth=True),
+    LimitKnobs(no_window_overhead=True),
+    LimitKnobs(no_fetch_bandwidth=True),
+    LimitKnobs(instant_fetch=True),
+]
+
+
+class TestLimitKnobs:
+    @pytest.mark.parametrize("knobs", ALL_KNOBS, ids=lambda k: str(vars(k)))
+    def test_correctness_preserved(self, data_base, knobs):
+        sim = _sim(data_base, knobs)
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(7) == 0  # zero-filled region
+        assert sim.mechanism.stats.committed_fills == 8
+
+    def test_instant_fetch_is_fastest(self, data_base):
+        base_cycles = run_to_halt(_sim(data_base))
+        instant = run_to_halt(_sim(data_base, LimitKnobs(instant_fetch=True)))
+        assert instant < base_cycles
+
+    def test_no_knob_is_slower_than_instant(self, data_base):
+        instant = run_to_halt(_sim(data_base, LimitKnobs(instant_fetch=True)))
+        for knobs in ALL_KNOBS[:-1]:
+            assert run_to_halt(_sim(data_base, knobs)) >= instant
+
+    def test_any_active_property(self):
+        assert not LimitKnobs().any_active
+        assert LimitKnobs(no_window_overhead=True).any_active
+
+    def test_knobs_are_immutable(self):
+        knobs = LimitKnobs()
+        with pytest.raises(Exception):
+            knobs.instant_fetch = True
+
+
+class TestHandlerLengthPredictionAblation:
+    def test_overfetch_without_length_prediction(self, data_base):
+        """Disabling handler-length prediction makes exception threads
+        overfetch past reti, discarding instructions at decode."""
+        sim = make_sim(
+            SRC.format(base=data_base),
+            mechanism="multithreaded",
+            idle_threads=1,
+            predict_handler_length=False,
+            regions=[(data_base, 8 * 8192)],
+        )
+        run_to_halt(sim)
+        assert sim.core.stats.overfetch_discarded > 0
+        assert sim.mechanism.stats.committed_fills == 8
+
+    def test_length_prediction_never_discards(self, data_base):
+        sim = _sim(data_base, idle=1)
+        run_to_halt(sim)
+        assert sim.core.stats.overfetch_discarded == 0

@@ -1,0 +1,42 @@
+"""Tests for the mechanism registry and lazy package exports."""
+
+import pytest
+
+import repro.exceptions as exc
+from repro.exceptions import make_mechanism
+
+
+class TestMakeMechanism:
+    def test_all_names_construct(self):
+        for name, cls_name in (
+            ("traditional", "TraditionalMechanism"),
+            ("multithreaded", "MultithreadedMechanism"),
+            ("hardware", "HardwareWalkerMechanism"),
+            ("quickstart", "QuickStartMechanism"),
+        ):
+            mech = make_mechanism(name)
+            assert type(mech).__name__ == cls_name
+            assert mech.name == name
+
+    def test_perfect_is_none(self):
+        assert make_mechanism("perfect") is None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_mechanism("psychic")
+
+
+class TestLazyExports:
+    def test_lazy_attributes_resolve(self):
+        assert exc.TraditionalMechanism.__name__ == "TraditionalMechanism"
+        assert exc.LimitKnobs().any_active is False
+        assert callable(exc.handler_length)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            exc.NoSuchThing  # noqa: B018
+
+    def test_quickstart_is_a_multithreaded(self):
+        from repro.exceptions.multithreaded import MultithreadedMechanism
+
+        assert issubclass(exc.QuickStartMechanism, MultithreadedMechanism)

@@ -1,0 +1,312 @@
+"""Tests for the multithreaded exception mechanism (the contribution)."""
+
+import pytest
+
+from repro.isa.program import DataSegment
+from repro.memory.address import vpn_of
+from repro.pipeline.thread import ThreadState
+from tests.conftest import make_sim, run_to_halt
+
+
+def _single_load(data_base, **kw):
+    return make_sim(
+        f"""
+        main:
+            li   r1, {data_base}
+            ld   r2, 0(r1)
+            add  r3, r2, 1
+            halt
+        """,
+        mechanism="multithreaded",
+        segments=[DataSegment(base=data_base, words=[41])],
+        **kw,
+    )
+
+
+class TestSingleMiss:
+    def test_value_correct_and_fill_confirmed(self, data_base):
+        sim = _single_load(data_base)
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(2) == 41
+        entry = sim.dtlb.probe(vpn_of(data_base))
+        assert entry is not None and not entry.speculative
+
+    def test_handler_ran_in_separate_thread(self, data_base):
+        sim = _single_load(data_base)
+        run_to_halt(sim)
+        assert sim.mechanism.stats.spawns == 1
+        assert sim.core.threads[0].retired_handler == 0
+        assert sim.core.threads[1].retired_handler >= 10
+
+    def test_no_application_squash(self, data_base):
+        """The whole point: the main thread's instructions survive."""
+        sim = _single_load(data_base)
+        run_to_halt(sim)
+        assert sim.core.stats.squashed == 0
+
+    def test_exception_thread_returns_to_idle(self, data_base):
+        sim = _single_load(data_base)
+        run_to_halt(sim)
+        assert sim.core.threads[1].state is ThreadState.IDLE
+
+    def test_faster_than_traditional(self, data_base):
+        """Post-exception independent work must survive under the
+        multithreaded mechanism, beating squash-and-refetch."""
+        body = "\n".join(
+            f"    add  r{8 + (i % 4)}, r{8 + (i % 4)}, {i}" for i in range(24)
+        )
+        src = f"""
+        main:
+            li   r1, {0x1000_0000}
+            ld   r2, 0(r1)
+{body}
+            add  r3, r2, 1
+            halt
+        """
+        seg = [DataSegment(base=0x1000_0000, words=[41])]
+        mt = make_sim(src, mechanism="multithreaded", segments=seg)
+        trad = make_sim(src, mechanism="traditional", segments=seg)
+        assert run_to_halt(mt) < run_to_halt(trad)
+
+
+class TestRetirementSplice:
+    def test_handler_retires_between_pre_and_post_exception(self, data_base):
+        """Figure 1(c): retirement order is (pre..., handler..., excepting,
+        post...) even though fetch order interleaves differently."""
+        sim = _single_load(data_base)
+        order = []
+        core = sim.core
+        original = core._do_retire
+
+        def spy(thread, uop, now):
+            order.append((thread.tid, uop.is_handler, uop.pc))
+            return original(thread, uop, now)
+
+        core._do_retire = spy
+        run_to_halt(sim)
+
+        handler_span = [i for i, (_, h, _) in enumerate(order) if h]
+        assert handler_span, "handler never retired"
+        faulting_pc = sim.programs[0].entry + 1  # the ld after the li
+        faulting = next(
+            i for i, (tid, h, pc) in enumerate(order)
+            if tid == 0 and pc == faulting_pc
+        )
+        # The handler retires contiguously and entirely before the
+        # excepting instruction.
+        assert max(handler_span) < faulting
+        assert handler_span == list(
+            range(min(handler_span), max(handler_span) + 1)
+        )
+
+    def test_excepting_instruction_waits_for_handler(self, data_base):
+        sim = _single_load(data_base)
+        core = sim.core
+        saw_link = False
+        while not all(
+            t.halted for t in core.threads if t.program and not t.is_exception_thread
+        ):
+            core.step()
+            if core.threads[0].rob and core.threads[0].rob[0].linked_handler:
+                saw_link = True
+            if core.cycle > 100_000:
+                raise AssertionError("did not halt")
+        assert saw_link
+
+
+class TestSecondaryMisses:
+    def test_same_page_misses_merge(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)
+                ld   r3, 8(r1)
+                ld   r4, 16(r1)
+                halt
+            """,
+            mechanism="multithreaded",
+            segments=[DataSegment(base=data_base, words=[1, 2, 3])],
+        )
+        run_to_halt(sim)
+        stats = sim.mechanism.stats
+        assert stats.spawns == 1
+        assert stats.secondary_merges >= 1
+        assert sim.core.threads[0].arch.read_int(4) == 3
+
+    def test_relink_to_older_excepting_instruction(self, data_base):
+        """An *older* instruction missing the same page out of order
+        steals the handler (Section 4.5 re-linking)."""
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r4, 1
+                itof f1, r4
+                itof f2, r1
+                fdiv f3, f2, f1       ; slow identity chain ...
+                fdiv f3, f3, f1
+                fmul f3, f3, f1
+                ftoi r5, f3           ; ... r5 == r1, arriving late
+                and  r5, r5, -8
+                ld   r6, 0(r5)        ; OLDER miss, issues LATE
+                ld   r7, 64(r1)       ; YOUNGER miss, same page, issues first
+                halt
+            """,
+            mechanism="multithreaded",
+            segments=[DataSegment(base=data_base, words=[5] * 16)],
+        )
+        run_to_halt(sim)
+        assert sim.mechanism.stats.relinks >= 1
+        assert sim.core.threads[0].arch.read_int(7) == 5
+
+    def test_different_pages_use_multiple_threads(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)
+                ld   r3, 8192(r1)
+                ld   r4, 16384(r1)
+                halt
+            """,
+            mechanism="multithreaded",
+            idle_threads=3,
+            regions=[(data_base, 3 * 8192)],
+        )
+        run_to_halt(sim)
+        assert sim.mechanism.stats.spawns == 3
+        assert sim.mechanism.stats.reverted_no_thread == 0
+
+
+class TestReversion:
+    def test_reverts_to_traditional_when_no_idle_thread(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)
+                ld   r3, 8192(r1)
+                halt
+            """,
+            mechanism="multithreaded",
+            idle_threads=1,
+            regions=[(data_base, 2 * 8192)],
+        )
+        run_to_halt(sim)
+        stats = sim.mechanism.stats
+        assert stats.spawns >= 1
+        assert stats.reverted_no_thread >= 1
+        assert stats.committed_fills == 2
+
+    def test_hardexc_reversion_on_page_fault(self, data_base):
+        far = data_base + (1 << 30)  # unmapped
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {far}
+                li   r2, 9
+                st   r2, 0(r1)
+                ld   r3, 0(r1)
+                halt
+            """,
+            mechanism="multithreaded",
+        )
+        run_to_halt(sim)
+        stats = sim.mechanism.stats
+        assert stats.hard_exceptions >= 1
+        assert stats.traps >= 1  # the traditional re-execution
+        assert sim.core.threads[0].arch.read_int(3) == 9
+
+
+class TestSquashReclaim:
+    def test_wrong_path_exception_thread_reclaimed(self, data_base):
+        """A miss on a mispredicted path spawns a handler; the branch
+        resolution must reclaim the context and roll the fill back."""
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r5, 30
+                li   r7, 0
+            loop:
+                and  r3, r5, 1
+                mul  r3, r3, 5
+                mul  r3, r3, 7       ; slow condition: wrong path runs far
+                beq  r3, r0, skip
+                ld   r6, 0(r1)
+                add  r7, r7, r6
+            skip:
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            mechanism="multithreaded",
+            segments=[DataSegment(base=data_base, words=[4])],
+        )
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(7) == 4 * 15
+
+    def test_window_tail_squash_keeps_machine_live(self, data_base):
+        """With a tiny window full of post-exception instructions the
+        handler must still make progress (deadlock avoidance).
+
+        Handler fetch priority normally prevents this (the paper calls
+        the squash 'extremely rare'), so the test removes it to force the
+        deadlock condition.
+        """
+        filler = "\n".join(
+            f"    add  r{8 + (i % 8)}, r{8 + (i % 8)}, 1" for i in range(60)
+        )
+        # The load's address arrives through a slow FP chain, so the miss
+        # is detected only after the window is already full of younger,
+        # independent instructions -- the paper's deadlock case.
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r4, 1
+                itof f1, r4
+                itof f2, r1
+                fdiv f3, f2, f1
+                fdiv f3, f3, f1
+                fdiv f3, f3, f1
+                fdiv f3, f3, f1
+                ftoi r5, f3
+                ld   r2, 0(r5)
+{filler}
+                halt
+            """,
+            mechanism="multithreaded",
+            window_size=16,
+            handler_fetch_priority=False,
+            segments=[DataSegment(base=data_base, words=[3])],
+        )
+        # Warm the I-cache so fetch fills the window faster than the slow
+        # address chain resolves (cold instruction misses would otherwise
+        # keep the window from ever filling).
+        sim.hierarchy.l1i.prewarm(0, 4 * len(sim.programs[0].insts))
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(2) == 3
+        assert sim.core.window.tail_squashes >= 1
+
+
+class TestPageTableWriteCheck:
+    def test_pte_overwrite_respawns_handler(self, data_base):
+        """Unit-level: a committed store to a PTE being handled squashes
+        and re-raises the exception (Section 4.2 memory ordering)."""
+        sim = _single_load(data_base)
+        core = sim.core
+        mech = sim.mechanism
+        # Step until a handler is in flight.
+        for _ in range(100_000):
+            core.step()
+            if mech._by_vpn:
+                break
+        assert mech._by_vpn, "no exception in flight"
+        vpn = next(iter(mech._by_vpn))
+        reclaimed_before = mech.stats.reclaimed_threads
+        mech.on_store_retired(sim.page_table.pte_address(vpn), core.cycle)
+        assert mech.stats.reclaimed_threads == reclaimed_before + 1
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(2) == 41

@@ -1,0 +1,111 @@
+"""Tests for the quick-start mechanism."""
+
+import pytest
+
+from repro.isa.program import DataSegment
+from tests.conftest import make_sim, run_to_halt
+
+
+class TestQuickStart:
+    def test_first_exception_has_no_prefetched_image(self, data_base):
+        """Prefetch needs history: the very first miss runs un-assisted."""
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)
+                halt
+            """,
+            mechanism="quickstart",
+            segments=[DataSegment(base=data_base, words=[1])],
+        )
+        run_to_halt(sim)
+        stats = sim.mechanism.stats
+        assert stats.spawns == 1
+        assert sim.core.threads[0].arch.read_int(2) == 1
+
+    def test_later_exceptions_hit_the_prefetched_image(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r5, 6
+                li   r7, 0
+            loop:
+                ld   r6, 0(r1)
+                add  r7, r7, r6
+                li   r8, 8192
+                add  r1, r1, r8
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            mechanism="quickstart",
+            segments=[
+                DataSegment(base=data_base, words=[2]),
+                DataSegment(base=data_base + 8192, words=[2]),
+                DataSegment(base=data_base + 2 * 8192, words=[2]),
+                DataSegment(base=data_base + 3 * 8192, words=[2]),
+                DataSegment(base=data_base + 4 * 8192, words=[2]),
+                DataSegment(base=data_base + 5 * 8192, words=[2]),
+            ],
+        )
+        run_to_halt(sim)
+        stats = sim.mechanism.stats
+        assert stats.quickstart_hits + stats.quickstart_partial >= 1
+        assert sim.core.threads[0].arch.read_int(7) == 12
+
+    def test_quickstart_beats_plain_multithreaded(self, data_base):
+        """The prefetched handler image removes fetch latency: the same
+        page-missing loop must finish sooner than under plain
+        multithreading."""
+        src = f"""
+        main:
+            li   r1, {data_base}
+            li   r5, 12
+            li   r7, 0
+        loop:
+            ld   r6, 0(r1)
+            add  r7, r7, r6
+            li   r8, 8192
+            add  r1, r1, r8
+            sub  r5, r5, 1
+            bne  r5, r0, loop
+            halt
+        """
+        regions = [(data_base, 12 * 8192)]
+        quick = make_sim(src, mechanism="quickstart", regions=regions)
+        plain = make_sim(src, mechanism="multithreaded", regions=regions)
+        assert run_to_halt(quick) < run_to_halt(plain)
+
+    def test_type_predictor_trained(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)
+                ld   r3, 8192(r1)
+                halt
+            """,
+            mechanism="quickstart",
+            idle_threads=2,
+            regions=[(data_base, 2 * 8192)],
+        )
+        run_to_halt(sim)
+        assert sim.mechanism.type_predictor.predict() == "dtlb_miss"
+
+    def test_reversion_and_page_faults_still_work(self, data_base):
+        far = data_base + (1 << 30)
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {far}
+                li   r2, 8
+                st   r2, 0(r1)
+                ld   r3, 0(r1)
+                halt
+            """,
+            mechanism="quickstart",
+        )
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(3) == 8

@@ -1,0 +1,78 @@
+"""Quick-start behaviour with multiple exception types."""
+
+import pytest
+
+from repro.isa.program import DataSegment
+from tests.conftest import make_sim, run_to_halt
+
+
+class TestTypePrediction:
+    def test_wrong_type_image_discarded_safely(self, data_base):
+        """A run alternating dtlb misses and emulations makes the type
+        predictor wrong sometimes: wrong-type images must be discarded
+        (counted) and results stay exact."""
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r5, 10
+                li   r7, 0
+            loop:
+                ld   r6, 0(r1)        ; dtlb miss (new page each time)
+                emul r2, r6           ; emulation exception
+                add  r7, r7, r2
+                add  r7, r7, r6
+                li   r8, 8192
+                add  r1, r1, r8
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            mechanism="quickstart",
+            segments=[
+                DataSegment(base=data_base + i * 8192, words=[3])
+                for i in range(10)
+            ],
+        )
+        run_to_halt(sim)
+        stats = sim.mechanism.stats
+        # popcount(3) == 2 per iteration, plus the loaded 3s.
+        assert sim.core.threads[0].arch.read_int(7) == 10 * (2 + 3)
+        # Both exception types were handled.
+        assert stats.committed_fills == 10
+        assert stats.emulations == 10
+
+    def test_image_restarts_when_prediction_changes(self, data_base):
+        """A burst of dtlb misses followed by a burst of emulations: the
+        predictor flips and the prefetched image follows it."""
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r5, 6
+            tlb_loop:
+                ld   r6, 0(r1)
+                li   r8, 8192
+                add  r1, r1, r8
+                sub  r5, r5, 1
+                bne  r5, r0, tlb_loop
+                li   r5, 8
+                li   r7, 0
+            emul_loop:
+                emul r2, r5
+                add  r7, r7, r2
+                sub  r5, r5, 1
+                bne  r5, r0, emul_loop
+                halt
+            """,
+            mechanism="quickstart",
+            regions=[(data_base, 6 * 8192)],
+        )
+        run_to_halt(sim)
+        mech = sim.mechanism
+        assert mech.type_predictor.predict() == "emul"
+        # popcounts of 8..1: 1+3+2+2+1+2+1+1 = 13
+        assert sim.core.threads[0].arch.read_int(7) == 13
+        # At least one quick-start served each... the later emulation
+        # bursts should have hit prefetched emul-handler images.
+        assert mech.stats.quickstart_hits + mech.stats.quickstart_partial >= 1

@@ -1,0 +1,114 @@
+"""Integration tests for the Section 4.3 spawn predictor.
+
+With ``use_spawn_predictor`` on, exceptions that keep reverting to the
+traditional mechanism (clustered page faults) stop being handed to a
+handler thread -- the hardware learns the OS did not implement them with
+spawning in mind -- while well-behaved exceptions keep spawning.
+"""
+
+import pytest
+
+from repro.isa.program import DataSegment
+from tests.conftest import make_sim, run_to_halt
+
+
+def _fault_storm(data_base, use_predictor):
+    """Every load page-faults (unmapped pages): pure reversion traffic."""
+    far = data_base + (1 << 31)
+    return make_sim(
+        f"""
+        main:
+            li   r1, {far}
+            li   r5, 8
+            li   r7, 0
+        loop:
+            st   r5, 0(r1)
+            ld   r6, 0(r1)
+            add  r7, r7, r6
+            li   r8, 16384
+            add  r1, r1, r8
+            sub  r5, r5, 1
+            bne  r5, r0, loop
+            halt
+        """,
+        mechanism="multithreaded",
+        use_spawn_predictor=use_predictor,
+    )
+
+
+class TestSpawnPredictorIntegration:
+    def test_clustered_page_faults_suppress_spawning(self, data_base):
+        sim = _fault_storm(data_base, use_predictor=True)
+        run_to_halt(sim)
+        stats = sim.mechanism.stats
+        # After a few reversions the predictor stops spawning: far fewer
+        # spawns than exceptions.
+        assert stats.hard_exceptions >= 2
+        assert stats.spawns < stats.hard_exceptions + stats.traps
+        assert not sim.mechanism.spawn_predictor.should_spawn("dtlb_miss")
+        assert sim.core.threads[0].arch.read_int(7) == sum(range(1, 9))
+
+    def test_without_predictor_every_fault_spawns_first(self, data_base):
+        sim = _fault_storm(data_base, use_predictor=False)
+        run_to_halt(sim)
+        stats = sim.mechanism.stats
+        assert stats.hard_exceptions >= 8  # one reversion per fault
+
+    def test_healthy_misses_keep_spawning(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r5, 6
+                li   r7, 0
+            loop:
+                ld   r6, 0(r1)
+                add  r7, r7, r6
+                li   r8, 8192
+                add  r1, r1, r8
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            mechanism="multithreaded",
+            use_spawn_predictor=True,
+            regions=[(data_base, 6 * 8192)],
+        )
+        run_to_halt(sim)
+        assert sim.mechanism.stats.spawns >= 3
+        assert sim.mechanism.spawn_predictor.should_spawn("dtlb_miss")
+
+    def test_predictor_recovers_after_fault_cluster(self, data_base):
+        """Faults poison the predictor; subsequent clean misses restore it
+        (the paper: 'adapt to dynamic behavior, like clustering of page
+        faults')."""
+        far = data_base + (1 << 31)
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {far}
+                li   r5, 6
+            fault_loop:
+                st   r5, 0(r1)
+                li   r8, 16384
+                add  r1, r1, r8
+                sub  r5, r5, 1
+                bne  r5, r0, fault_loop
+                li   r1, {data_base}
+                li   r5, 12
+                li   r7, 0
+            clean_loop:
+                ld   r6, 0(r1)
+                add  r7, r7, r6
+                li   r8, 8192
+                add  r1, r1, r8
+                sub  r5, r5, 1
+                bne  r5, r0, clean_loop
+                halt
+            """,
+            mechanism="multithreaded",
+            use_spawn_predictor=True,
+            regions=[(data_base, 12 * 8192)],
+        )
+        run_to_halt(sim)
+        assert sim.mechanism.spawn_predictor.should_spawn("dtlb_miss")

@@ -1,0 +1,180 @@
+"""Tests for the traditional (squash + refetch) trap mechanism."""
+
+import pytest
+
+from repro.isa.program import DataSegment
+from repro.memory.address import vpn_of
+from tests.conftest import make_sim, run_to_halt
+
+
+def _single_load(data_base, mechanism="traditional", **kw):
+    return make_sim(
+        f"""
+        main:
+            li   r1, {data_base}
+            ld   r2, 0(r1)
+            add  r3, r2, 1
+            halt
+        """,
+        mechanism=mechanism,
+        segments=[DataSegment(base=data_base, words=[41])],
+        **kw,
+    )
+
+
+class TestSingleMiss:
+    def test_load_value_correct_after_trap(self, data_base):
+        sim = _single_load(data_base)
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(2) == 41
+        assert sim.core.threads[0].arch.read_int(3) == 42
+
+    def test_one_trap_one_committed_fill(self, data_base):
+        sim = _single_load(data_base)
+        run_to_halt(sim)
+        stats = sim.mechanism.stats
+        assert stats.traps == 1
+        assert stats.committed_fills == 1
+
+    def test_fill_becomes_architectural(self, data_base):
+        sim = _single_load(data_base)
+        run_to_halt(sim)
+        entry = sim.dtlb.probe(vpn_of(data_base))
+        assert entry is not None and not entry.speculative
+
+    def test_handler_instructions_retired_in_same_thread(self, data_base):
+        sim = _single_load(data_base)
+        run_to_halt(sim)
+        assert sim.core.threads[0].retired_handler >= 10
+
+    def test_user_registers_survive_the_handler(self, data_base):
+        """PAL shadow registers: the handler names r1-r6 but must not
+        clobber the application's r1-r6."""
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r2, 1002
+                li   r3, 1003
+                li   r4, 1004
+                li   r5, 1005
+                li   r6, 1006
+                ld   r7, 0(r1)
+                halt
+            """,
+            mechanism="traditional",
+            segments=[DataSegment(base=data_base, words=[7])],
+        )
+        run_to_halt(sim)
+        arch = sim.core.threads[0].arch
+        assert arch.read_int(1) == 0x1000_0000
+        assert [arch.read_int(r) for r in range(2, 7)] == [1002, 1003, 1004, 1005, 1006]
+        assert arch.read_int(7) == 7
+
+    def test_second_access_to_same_page_hits(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)
+                ld   r3, 8(r1)
+                ld   r4, 16(r1)
+                halt
+            """,
+            mechanism="traditional",
+            segments=[DataSegment(base=data_base, words=[1, 2, 3])],
+        )
+        run_to_halt(sim)
+        assert sim.mechanism.stats.committed_fills == 1
+        assert sim.core.threads[0].arch.read_int(4) == 3
+
+    def test_trap_costs_cycles(self, data_base):
+        trad = _single_load(data_base)
+        cycles_trad = run_to_halt(trad)
+        perfect = _single_load(data_base, mechanism="perfect")
+        cycles_perfect = run_to_halt(perfect)
+        assert cycles_trad > cycles_perfect + 10
+
+    def test_store_miss_also_traps(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r2, 31
+                st   r2, 0(r1)
+                halt
+            """,
+            mechanism="traditional",
+            regions=[(data_base, 8192)],
+        )
+        run_to_halt(sim)
+        assert sim.mechanism.stats.committed_fills == 1
+        assert sim.memory.read_word(data_base) == 31
+
+
+class TestPageFault:
+    def test_unmapped_page_takes_fixup_path(self, data_base):
+        far = data_base + (1 << 30)  # never mapped by the simulator
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {far}
+                li   r2, 5
+                st   r2, 0(r1)
+                ld   r3, 0(r1)
+                halt
+            """,
+            mechanism="traditional",
+        )
+        run_to_halt(sim)
+        # The fixup path "paged in" the page and the program completed.
+        assert sim.core.threads[0].arch.read_int(3) == 5
+        assert sim.page_table.read_pte(vpn_of(far)) & 1
+
+    def test_multiple_faults_all_recover(self, data_base):
+        far = data_base + (1 << 30)
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {far}
+                li   r4, 3
+            loop:
+                st   r4, 0(r1)
+                ld   r5, 0(r1)
+                li   r6, 16384
+                add  r1, r1, r6
+                sub  r4, r4, 1
+                bne  r4, r0, loop
+                halt
+            """,
+            mechanism="traditional",
+        )
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(5) == 1
+
+
+class TestWrongPath:
+    def test_wrong_path_trap_rolls_back(self, data_base):
+        """A miss behind a mispredicted branch must not corrupt state."""
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r5, 40
+                li   r7, 0
+            loop:
+                and  r3, r5, 1
+                mul  r3, r3, 3      ; slow the condition down
+                beq  r3, r0, skip
+                ld   r6, 0(r1)      ; executed half the time (and often
+                add  r7, r7, r6     ;  speculatively on the wrong path)
+            skip:
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            mechanism="traditional",
+            segments=[DataSegment(base=data_base, words=[2])],
+        )
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(7) == 2 * 20

@@ -1,0 +1,50 @@
+"""Tests for the experiments CLI and settings plumbing."""
+
+import os
+
+import pytest
+
+from repro.experiments.cli import ALL_ORDER, EXPERIMENTS, main
+from repro.experiments.common import Settings
+
+
+class TestSettings:
+    def test_defaults(self):
+        settings = Settings()
+        assert settings.user_insts == 12_000
+        assert len(settings.benchmarks) == 8
+
+    def test_from_env_scaling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2")
+        settings = Settings.from_env()
+        assert settings.user_insts == 24_000
+
+    def test_from_env_garbage_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        settings = Settings.from_env()
+        assert settings.user_insts == 12_000
+
+    def test_from_env_clamped_below(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.0001")
+        settings = Settings.from_env()
+        assert settings.user_insts >= 1_000
+
+
+class TestCLI:
+    def test_every_experiment_registered(self):
+        assert set(ALL_ORDER) == set(EXPERIMENTS)
+        assert len(ALL_ORDER) == 8
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_single_experiment_runs(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "0.1")
+        monkeypatch.setitem(
+            os.environ, "REPRO_SCALE", "0.1"
+        )
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "compress" in out

@@ -1,0 +1,126 @@
+"""Smoke + shape tests for the experiment harnesses.
+
+Each harness runs with a tiny Settings (two benchmarks, short runs) to
+verify plumbing; the fig5 shape test asserts the paper's headline
+ordering on the two most miss-heavy benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig2_pipeline,
+    fig3_width,
+    fig5_mechanisms,
+    fig6_quickstart,
+    table2_suite,
+    table3_limits,
+    table4_speedups,
+)
+from repro.experiments.common import ExperimentResult, Row, Settings
+
+TINY = Settings(
+    user_insts=2_500,
+    warmup_insts=800,
+    max_cycles=4_000_000,
+    benchmarks=("compress", "vortex"),
+)
+
+
+class TestFig2:
+    def test_penalty_grows_with_pipe_depth(self):
+        result = fig2_pipeline.run(TINY)
+        for bench in TINY.benchmarks:
+            shallow = result.cell(bench, "3 stages").penalty_per_miss
+            deep = result.cell(bench, "11 stages").penalty_per_miss
+            assert deep > shallow, bench
+
+    def test_rows_complete(self):
+        result = fig2_pipeline.run(TINY)
+        assert len(result.rows) == len(TINY.benchmarks) * 3
+
+
+class TestFig3:
+    def test_overhead_grows_with_width(self):
+        result = fig3_width.run(TINY)
+        for bench in TINY.benchmarks:
+            norm = fig3_width.normalized_overheads(result, bench)
+            assert norm["2-wide"] == pytest.approx(1.0)
+            assert norm["8-wide"] > 1.0, bench
+
+
+class TestFig5:
+    def test_paper_headline_ordering(self):
+        result = fig5_mechanisms.run(TINY)
+        for bench in TINY.benchmarks:
+            trad = result.cell(bench, "traditional").penalty_per_miss
+            mt1 = result.cell(bench, "multithreaded(1)").penalty_per_miss
+            mt3 = result.cell(bench, "multithreaded(3)").penalty_per_miss
+            hw = result.cell(bench, "hardware").penalty_per_miss
+            assert trad > mt1 > hw, bench
+            assert mt3 <= mt1 * 1.1, bench
+
+    def test_multithreading_roughly_halves_the_penalty(self):
+        result = fig5_mechanisms.run(TINY)
+        trad = result.average_penalty("traditional")
+        mt1 = result.average_penalty("multithreaded(1)")
+        assert 1.3 < trad / mt1 < 3.5
+
+
+class TestTable3:
+    def test_instant_fetch_is_the_big_knob(self):
+        result = table3_limits.run(TINY)
+        multi = result.average_penalty("Multithreaded")
+        instant = result.average_penalty("Multi w/ instant handler fetch/decode")
+        hardware = result.average_penalty("Hardware TLB miss handler")
+        assert instant < multi
+        assert hardware <= instant
+
+
+class TestFig6:
+    def test_quickstart_lands_between_multithreaded_and_hardware(self):
+        result = fig6_quickstart.run(TINY)
+        mt = result.average_penalty("multithreaded(1)")
+        qs = result.average_penalty("quick start(1)")
+        hw = result.average_penalty("hardware")
+        assert hw < qs < mt
+
+
+class TestTables:
+    def test_table2_reports_all_benchmarks(self):
+        rows = table2_suite.run(TINY)
+        assert [r.name for r in rows] == list(TINY.benchmarks)
+        assert all(r.tlb_misses > 0 for r in rows)
+
+    def test_table4_speedups_positive_for_miss_heavy_benchmarks(self):
+        rows = table4_speedups.run(TINY)
+        for row in rows:
+            assert row.speedups["Perfect"] > 0
+            assert row.speedups["Multi(1)"] > 0
+
+
+class TestResultHelpers:
+    def _tiny_result(self):
+        result = ExperimentResult(name="x")
+        result.rows = [
+            Row("a", "m1", 120, 100, 10, 10, 1.0),
+            Row("a", "m2", 140, 100, 10, 10, 1.0),
+            Row("b", "m1", 130, 100, 10, 10, 1.0),
+        ]
+        return result
+
+    def test_labels_ordered(self):
+        assert self._tiny_result().labels() == ["m1", "m2"]
+
+    def test_average_penalty(self):
+        result = self._tiny_result()
+        assert result.average_penalty("m1") == pytest.approx(2.5)
+
+    def test_format_table_contains_cells(self):
+        text = self._tiny_result().format_table()
+        assert "benchmark" in text and "average" in text
+        assert "2.00" in text and "4.00" in text
+
+    def test_cell_lookup(self):
+        result = self._tiny_result()
+        assert result.cell("a", "m2").cycles == 140
+        assert result.cell("zz", "m1") is None

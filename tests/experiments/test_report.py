@@ -1,0 +1,62 @@
+"""Tests for the figure-rendering helpers."""
+
+from repro.experiments.common import ExperimentResult, Row
+from repro.experiments.report import bar_chart, comparison_table, sparkline
+
+
+def _result():
+    result = ExperimentResult(name="demo")
+    result.rows = [
+        Row("compress", "traditional", 1500, 1000, 50, 50, 2.0),
+        Row("compress", "multithreaded", 1250, 1000, 50, 50, 2.0),
+        Row("vortex", "traditional", 1400, 1000, 40, 40, 3.0),
+        Row("vortex", "multithreaded", 1200, 1000, 40, 40, 3.0),
+    ]
+    return result
+
+
+class TestBarChart:
+    def test_contains_groups_and_bars(self):
+        chart = bar_chart(_result(), title="demo chart")
+        assert "demo chart" in chart
+        assert "compress" in chart and "vortex" in chart
+        assert "█" in chart and "▓" in chart
+        assert "average" in chart
+
+    def test_largest_value_gets_longest_bar(self):
+        chart = bar_chart(_result(), width=20)
+        lines = [l for l in chart.splitlines() if "traditional" in l]
+        mt_lines = [l for l in chart.splitlines() if "multithreaded" in l]
+        assert lines[0].count("█") >= mt_lines[0].count("▓")
+
+    def test_empty_result_safe(self):
+        chart = bar_chart(ExperimentResult(name="empty"))
+        assert "average" in chart
+
+    def test_values_rendered(self):
+        chart = bar_chart(_result())
+        assert "10.0" in chart  # compress traditional penalty (500/50)
+
+
+class TestComparisonTable:
+    def test_rows_and_missing_references(self):
+        text = comparison_table(
+            {"traditional": 26.1, "extension": 5.0},
+            {"traditional": 22.7},
+            "Figure 5",
+        )
+        assert "Figure 5" in text
+        assert "22.7" in text and "26.1" in text
+        assert "--" in text  # the paper has no 'extension' row
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([1.0, 2.0, 3.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([2.0, 2.0]) == "▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,188 @@
+"""Cross-mechanism architectural equivalence.
+
+The exception architecture changes *when* things happen, never *what*
+happens: for any program, every mechanism (and the perfect TLB) must
+produce identical final architectural state.  These tests run finite
+programs that halt -- including TLB-miss-heavy ones -- under all five
+configurations and compare registers and memory.
+"""
+
+import pytest
+
+from repro.isa.program import DataSegment
+from repro.isa.registers import SHADOW_BASE
+from tests.conftest import ALL_MECHANISMS, make_sim, run_to_halt
+
+MECHS = ("perfect",) + ALL_MECHANISMS
+
+
+def _final_state(source, mechanism, segments=None, regions=None, **kw):
+    sim = make_sim(source, mechanism=mechanism, segments=segments,
+                   regions=regions, **kw)
+    cycles = run_to_halt(sim)
+    arch = sim.core.threads[0].arch
+    regs = tuple(arch.ints[:SHADOW_BASE]) + tuple(arch.fps)
+    return regs, sim.memory.snapshot(), cycles
+
+
+def assert_all_equivalent(source, segments=None, regions=None, **kw):
+    reference = None
+    for mech in MECHS:
+        regs, mem, _ = _final_state(source, mech, segments, regions, **kw)
+        # Page-table words differ legitimately (fault fix-up); compare
+        # only non-page-table memory.
+        mem = {k: v for k, v in mem.items() if (k << 3) < (1 << 40)}
+        if reference is None:
+            reference = (regs, mem)
+        else:
+            assert regs == reference[0], f"{mech}: register state diverged"
+            assert mem == reference[1], f"{mech}: memory state diverged"
+
+
+BASE = 0x1000_0000
+
+
+class TestEquivalence:
+    def test_page_walking_loop(self):
+        assert_all_equivalent(
+            f"""
+            main:
+                li   r1, {BASE}
+                li   r5, 40
+                li   r7, 0
+            loop:
+                ld   r6, 0(r1)
+                add  r7, r7, r6
+                st   r7, 8(r1)
+                li   r8, 8192
+                add  r1, r1, r8
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            regions=[(BASE, 40 * 8192)],
+        )
+
+    def test_random_probing_with_branches(self):
+        assert_all_equivalent(
+            f"""
+            main:
+                li   r1, {BASE}
+                li   r10, 12345
+                li   r20, 6364136223846793005
+                li   r21, 1442695040888963407
+                li   r5, 120
+                li   r7, 0
+            loop:
+                mul  r10, r10, r20
+                add  r10, r10, r21
+                srl  r11, r10, 40
+                and  r11, r11, 1048568
+                add  r12, r1, r11
+                ld   r13, 0(r12)
+                and  r14, r13, 1
+                beq  r14, r0, even
+                add  r7, r7, 1
+                jmp  next
+            even:
+                add  r13, r13, 1
+                st   r13, 0(r12)
+            next:
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            regions=[(BASE, 128 * 8192)],
+        )
+
+    def test_pointer_chase_across_pages(self):
+        words = []
+        stride_words = 3000  # ~23 KB apart: every hop a new page
+        count = 30
+        for i in range(count):
+            target = ((i + 7) % count) * stride_words
+            words.extend([BASE + target * 8, i * 31])
+            words.extend([0] * (stride_words - 2))
+        segments = [DataSegment(base=BASE, words=words)]
+        assert_all_equivalent(
+            f"""
+            main:
+                li   r1, {BASE}
+                li   r5, 25
+                li   r7, 0
+            loop:
+                ld   r2, 0(r1)
+                ld   r3, 8(r1)
+                add  r7, r7, r3
+                or   r1, r2, r0
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            segments=segments,
+        )
+
+    def test_fp_kernel_with_misses(self):
+        assert_all_equivalent(
+            f"""
+            main:
+                li   r1, {BASE}
+                li   r5, 30
+            loop:
+                fld  f1, 0(r1)
+                fadd f2, f2, f1
+                fdiv f3, f2, f4
+                fst  f2, 8(r1)
+                li   r8, 8192
+                add  r1, r1, r8
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                ftoi r9, f2
+                halt
+            """,
+            regions=[(BASE, 30 * 8192)],
+        )
+
+    def test_page_faults_resolve_identically(self):
+        far = BASE + (1 << 31)
+        assert_all_equivalent(
+            f"""
+            main:
+                li   r1, {far}
+                li   r5, 4
+                li   r7, 0
+            loop:
+                st   r5, 0(r1)
+                ld   r6, 0(r1)
+                add  r7, r7, r6
+                li   r8, 16384
+                add  r1, r1, r8
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+        )
+
+    @pytest.mark.parametrize("idle", [1, 3])
+    def test_idle_thread_count_does_not_change_results(self, idle):
+        source = f"""
+        main:
+            li   r1, {BASE}
+            li   r5, 20
+            li   r7, 0
+        loop:
+            ld   r6, 0(r1)
+            ld   r9, 8192(r1)
+            add  r7, r7, r6
+            add  r7, r7, r9
+            li   r8, 16384
+            add  r1, r1, r8
+            sub  r5, r5, 1
+            bne  r5, r0, loop
+            halt
+        """
+        regions = [(BASE, 41 * 8192)]
+        a, _, _ = _final_state(source, "multithreaded", regions=regions,
+                               idle_threads=idle)
+        b, _, _ = _final_state(source, "perfect", regions=regions)
+        assert a == b

@@ -1,0 +1,81 @@
+"""SMT mixes must also be architecturally mechanism-independent."""
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.builder import SLICE_STRIDE, make_program
+
+BASE = 0x1000_0000
+
+
+def _worker(base, pages, iterations):
+    """A finite page-walking worker that halts with a checksum in r7."""
+    return make_program(
+        f"""
+        main:
+            li   r1, {base}
+            li   r5, {iterations}
+            li   r7, 0
+        loop:
+            ld   r6, 0(r1)
+            add  r7, r7, r6
+            st   r7, 8(r1)
+            li   r8, 8192
+            add  r1, r1, r8
+            sub  r5, r5, 1
+            bne  r5, r0, loop
+            halt
+        """,
+        regions=[(base, pages * 8192)],
+    )
+
+
+def _run_mix(mechanism, idle_threads=1):
+    programs = [
+        _worker(BASE, 30, 30),
+        _worker(BASE + SLICE_STRIDE, 25, 25),
+        _worker(BASE + 2 * SLICE_STRIDE, 20, 20),
+    ]
+    sim = Simulator(
+        programs, MachineConfig(mechanism=mechanism, idle_threads=idle_threads)
+    )
+    core = sim.core
+    while core.cycle < 400_000:
+        apps = [t for t in core.threads if t.program and not t.is_exception_thread]
+        if apps and all(t.halted for t in apps):
+            break
+        core.step()
+    else:
+        raise AssertionError("mix did not finish")
+    return [core.threads[i].arch.read_int(7) for i in range(3)]
+
+
+class TestMultiprogramEquivalence:
+    def test_all_mechanisms_agree(self):
+        reference = _run_mix("perfect")
+        for mechanism in ("traditional", "multithreaded", "hardware", "quickstart"):
+            assert _run_mix(mechanism) == reference, mechanism
+
+    def test_idle_thread_count_irrelevant_to_results(self):
+        assert _run_mix("multithreaded", 1) == _run_mix("multithreaded", 3)
+
+    def test_exception_threads_service_any_app_thread(self):
+        programs = [
+            _worker(BASE, 30, 30),
+            _worker(BASE + SLICE_STRIDE, 25, 25),
+        ]
+        sim = Simulator(
+            programs, MachineConfig(mechanism="multithreaded", idle_threads=1)
+        )
+        core = sim.core
+        served: set[int] = set()
+        while core.cycle < 400_000:
+            apps = [t for t in core.threads if t.program and not t.is_exception_thread]
+            if apps and all(t.halted for t in apps):
+                break
+            core.step()
+            handler = core.threads[2]
+            if handler.master_tid is not None:
+                served.add(handler.master_tid)
+        assert served == {0, 1}  # the single idle context served both apps

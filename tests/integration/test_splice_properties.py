@@ -1,0 +1,100 @@
+"""Property tests on the retirement splice (the paper's Figure 1c).
+
+For randomly placed TLB misses inside randomly sized instruction blocks,
+the global retirement order must satisfy:
+
+* each thread retires its own instructions in fetch order,
+* every handler retires contiguously,
+* a handler retires entirely *before* its excepting instruction and
+  after everything older in the master thread.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.builder import make_program
+
+BASE = 0x1000_0000
+
+
+def _program(block_sizes, n_pages):
+    """Straight-line blocks of ALU work separated by page-missing loads."""
+    lines = [f"    li   r1, {BASE}", "    li   r7, 0"]
+    page = 0
+    for i, block in enumerate(block_sizes):
+        for j in range(block):
+            reg = 8 + ((i + j) % 6)
+            lines.append(f"    add  r{reg}, r{reg}, {j + 1}")
+        lines.append(f"    ld   r6, {page * 8192}(r1)")
+        lines.append("    add  r7, r7, r6")
+        page = (page + 1) % n_pages
+    lines.append("    halt")
+    source = "main:\n" + "\n".join(lines)
+    return make_program(source, regions=[(BASE, n_pages * 8192)])
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    block_sizes=st.lists(st.integers(min_value=0, max_value=12),
+                         min_size=2, max_size=8),
+    idle_threads=st.integers(min_value=1, max_value=3),
+)
+def test_retirement_splice_invariants(block_sizes, idle_threads):
+    program = _program(block_sizes, n_pages=len(block_sizes))
+    sim = Simulator(
+        program,
+        MachineConfig(mechanism="multithreaded", idle_threads=idle_threads),
+    )
+    core = sim.core
+    log = []  # (tid, seq, is_handler, linked_handler_tid_or_None)
+    original = core._do_retire
+
+    def spy(thread, uop, now):
+        log.append((thread.tid, uop.seq, uop.is_handler))
+        return original(thread, uop, now)
+
+    core._do_retire = spy
+    while not core.threads[0].halted and core.cycle < 300_000:
+        core.step()
+    assert core.threads[0].halted, "program did not finish"
+
+    # 1. Per-thread retirement follows fetch order.
+    last_seq: dict[int, int] = {}
+    for tid, seq, _ in log:
+        assert seq > last_seq.get(tid, -1), "out-of-order retirement in a thread"
+        last_seq[tid] = seq
+
+    # 2. Each handler-thread episode retires contiguously in the global
+    #    stream (the splice): once a handler thread starts retiring, no
+    #    other thread retires until it finishes with its reti.
+    i = 0
+    while i < len(log):
+        tid, _, is_handler = log[i]
+        if is_handler and tid != 0:
+            j = i
+            while j < len(log) and log[j][0] == tid:
+                j += 1
+            episode = log[i:j]
+            # The episode ends because the handler completed; its length
+            # is the whole handler (10 instructions, common case).
+            assert len(episode) == 10, "handler interleaved with other work"
+            i = j
+        else:
+            i += 1
+
+    # 3. Architectural result is the perfect-TLB result.
+    reference = Simulator(
+        _program(block_sizes, n_pages=len(block_sizes)),
+        MachineConfig(mechanism="perfect"),
+    )
+    while not reference.core.threads[0].halted and reference.core.cycle < 300_000:
+        reference.core.step()
+    assert (
+        sim.core.threads[0].arch.ints[:32]
+        == reference.core.threads[0].arch.ints[:32]
+    )

@@ -1,0 +1,109 @@
+"""A deterministic kitchen-sink stress test.
+
+One program combining every stressor at once -- TLB misses across many
+pages, emulated instructions, unpredictable branches (wrong paths with
+speculative misses), calls/returns, FP work, stores with forwarding --
+run under every mechanism, multiple idle-thread counts, and a narrow
+machine.  The checksum must match the perfect-TLB machine exactly.
+"""
+
+import pytest
+
+from repro.isa.semantics import popcount
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.builder import make_program
+
+BASE = 0x1000_0000
+PAGES = 48
+
+SOURCE = f"""
+main:
+    li   r1, {BASE}
+    li   r5, 60
+    li   r7, 0
+    li   r10, 12345
+loop:
+    ; pseudo-random page probe
+    mul  r10, r10, 2862933555777941757
+    add  r10, r10, 3037000493
+    srl  r11, r10, 40
+    and  r11, r11, {(PAGES * 8192 - 8) & ~8191}
+    add  r12, r1, r11
+    ld   r13, 0(r12)          ; TLB pressure
+    add  r13, r13, 1
+    st   r13, 0(r12)          ; read-modify-write
+    ld   r14, 0(r12)          ; forwarded from the store
+    add  r7, r7, r14
+    ; emulated instruction in the hot path
+    emul r2, r10
+    add  r7, r7, r2
+    ; unpredictable branch with work on both sides
+    and  r3, r10, 1
+    mul  r3, r3, 31
+    beq  r3, r0, even
+    call twiddle
+    jmp  next
+even:
+    sub  r7, r7, 1
+next:
+    ; FP accumulation
+    itof f1, r2
+    fadd f2, f2, f1
+    sub  r5, r5, 1
+    bne  r5, r0, loop
+    ftoi r9, f2
+    halt
+twiddle:
+    xor  r7, r7, 3
+    ret
+"""
+
+
+def _checksums(mechanism: str, idle_threads: int = 1, **config_kw):
+    sim = Simulator(
+        make_program(SOURCE, regions=[(BASE, PAGES * 8192)]),
+        MachineConfig(mechanism=mechanism, idle_threads=idle_threads, **config_kw),
+    )
+    core = sim.core
+    while not core.threads[0].halted:
+        core.step()
+        if core.cycle > 2_000_000:
+            raise AssertionError("stress program hung")
+    arch = core.threads[0].arch
+    return arch.read_int(7), arch.read_int(9), arch.read_fp(2)
+
+
+class TestStress:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return _checksums("perfect")
+
+    @pytest.mark.parametrize("mechanism", ["traditional", "multithreaded",
+                                            "hardware", "quickstart"])
+    def test_every_mechanism_matches(self, reference, mechanism):
+        assert _checksums(mechanism) == reference
+
+    @pytest.mark.parametrize("idle", [2, 3])
+    def test_more_idle_threads_match(self, reference, idle):
+        assert _checksums("multithreaded", idle_threads=idle) == reference
+
+    def test_narrow_machine_matches(self, reference):
+        assert _checksums("multithreaded", width=2, window_size=32) == reference
+
+    def test_short_pipe_matches(self, reference):
+        config = MachineConfig(mechanism="multithreaded").with_pipe_depth(3)
+        sim = Simulator(
+            make_program(SOURCE, regions=[(BASE, PAGES * 8192)]), config
+        )
+        core = sim.core
+        while not core.threads[0].halted:
+            core.step()
+            assert core.cycle <= 2_000_000
+        arch = core.threads[0].arch
+        assert (arch.read_int(7), arch.read_int(9), arch.read_fp(2)) == reference
+
+    def test_spawn_predictor_matches(self, reference):
+        assert _checksums(
+            "multithreaded", use_spawn_predictor=True
+        ) == reference

@@ -1,0 +1,139 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import Opcode
+from repro.isa.registers import RA_REG, SP_REG
+
+
+class TestBasicAssembly:
+    def test_three_operand_alu(self):
+        insts, _ = assemble("add r1, r2, r3")
+        (inst,) = insts
+        assert inst.op is Opcode.ADD
+        assert (inst.rd, inst.ra, inst.rb) == (1, 2, 3)
+
+    def test_immediate_second_operand(self):
+        (inst,), _ = assemble("add r1, r2, 42")
+        assert inst.rb is None and inst.imm == 42
+
+    def test_negative_and_hex_immediates(self):
+        (a,), _ = assemble("add r1, r2, -8")
+        (b,), _ = assemble("li r1, 0xFF")
+        assert a.imm == -8 and b.imm == 255
+
+    def test_memory_operands(self):
+        (ld,), _ = assemble("ld r1, 16(r2)")
+        assert (ld.rd, ld.ra, ld.imm) == (1, 2, 16)
+        (st,), _ = assemble("st r3, -8(r4)")
+        assert (st.rb, st.ra, st.imm) == (3, 4, -8)
+
+    def test_fp_memory_operands(self):
+        (fld,), _ = assemble("fld f1, 0(r2)")
+        assert fld.rd == 1 and fld.ra == 2
+        (fst,), _ = assemble("fst f3, 8(r2)")
+        assert fst.rb == 3
+
+    def test_register_aliases(self):
+        (inst,), _ = assemble("add sp, sp, 8")
+        assert inst.rd == SP_REG
+        (inst,), _ = assemble("add r1, lr, zero")
+        assert inst.ra == RA_REG and inst.rb == 0
+
+    def test_call_writes_link_register(self):
+        insts, _ = assemble("target:\n  call target")
+        assert insts[0].rd == RA_REG
+
+    def test_comments_and_blank_lines_ignored(self):
+        insts, _ = assemble(
+            """
+            ; comment line
+            nop  # trailing comment
+            """
+        )
+        assert len(insts) == 1
+
+
+class TestLabels:
+    def test_forward_and_backward_references(self):
+        insts, labels = assemble(
+            """
+            start:
+                jmp end
+            mid:
+                jmp start
+            end:
+                jmp mid
+            """
+        )
+        assert labels == {"start": 0, "mid": 1, "end": 2}
+        assert [i.target for i in insts] == [2, 0, 1]
+
+    def test_conditional_branch_target(self):
+        insts, _ = assemble("loop:\n  bne r1, r0, loop")
+        assert insts[0].target == 0 and insts[0].label == "loop"
+
+    def test_extern_labels_resolve(self):
+        insts, _ = assemble("jmp helper", extern_labels={"helper": 99})
+        assert insts[0].target == 99
+
+    def test_local_labels_shadow_extern(self):
+        insts, _ = assemble(
+            "helper:\n  jmp helper", extern_labels={"helper": 99}
+        )
+        assert insts[0].target == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\na:\n  nop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined"):
+            assemble("jmp nowhere")
+
+
+class TestPrivileged:
+    def test_priv_ops_need_privileged_mode(self):
+        with pytest.raises(AssemblerError, match="privileged"):
+            assemble("reti")
+
+    def test_priv_unit_assembles(self):
+        insts, _ = assemble(
+            """
+            mfpr r1, VA
+            mtpr SCRATCH, r1
+            tlbwr r1, r2
+            reti
+            hardexc
+            """,
+            privileged=True,
+        )
+        assert all(i.privileged for i in insts)
+        assert insts[0].imm == 0  # PrivReg.VA
+
+    def test_unknown_priv_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("mfpr r1, BOGUS", privileged=True)
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r99, r2")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="memory operand"):
+            assemble("ld r1, r2")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbadop r1")

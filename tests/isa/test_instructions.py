@@ -1,0 +1,78 @@
+"""Unit tests for static instruction metadata."""
+
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    COND_BRANCH_OPS,
+    FUClass,
+    INDIRECT_OPS,
+    Instruction,
+    LOAD_OPS,
+    MEM_OPS,
+    OPCODE_FU,
+    Opcode,
+    PRIV_OPS,
+    STORE_OPS,
+)
+
+
+class TestOpcodeTables:
+    def test_every_opcode_has_a_fu_class(self):
+        for op in Opcode:
+            assert op in OPCODE_FU, f"{op} missing from OPCODE_FU"
+
+    def test_mem_ops_partition(self):
+        assert LOAD_OPS | STORE_OPS == MEM_OPS
+        assert not (LOAD_OPS & STORE_OPS)
+
+    def test_cond_branches_are_branches(self):
+        assert COND_BRANCH_OPS <= BRANCH_OPS
+        assert INDIRECT_OPS <= BRANCH_OPS
+
+    def test_reti_is_privileged_and_branch(self):
+        assert Opcode.RETI in PRIV_OPS
+        assert Opcode.RETI in BRANCH_OPS
+
+    def test_loads_use_load_ports(self):
+        for op in LOAD_OPS:
+            assert OPCODE_FU[op] is FUClass.LOAD
+        for op in STORE_OPS:
+            assert OPCODE_FU[op] is FUClass.STORE
+
+
+class TestInstructionProperties:
+    def test_branch_flags(self):
+        beq = Instruction(op=Opcode.BEQ, ra=1, rb=2, target=5)
+        assert beq.is_branch and beq.is_cond_branch and not beq.is_indirect
+
+    def test_indirect_flags(self):
+        ret = Instruction(op=Opcode.RET, ra=30)
+        assert ret.is_branch and ret.is_indirect and not ret.is_cond_branch
+
+    def test_memory_flags(self):
+        ld = Instruction(op=Opcode.LD, rd=1, ra=2, imm=8)
+        st = Instruction(op=Opcode.ST, rb=1, ra=2, imm=0)
+        assert ld.is_mem and ld.is_load and not ld.is_store
+        assert st.is_mem and st.is_store and not st.is_load
+
+    def test_priv_flag_follows_opcode(self):
+        tlbwr = Instruction(op=Opcode.TLBWR, ra=1, rb=2)
+        add = Instruction(op=Opcode.ADD, rd=1, ra=1, rb=2)
+        assert tlbwr.is_priv and not add.is_priv
+
+    def test_str_renders_operands(self):
+        inst = Instruction(op=Opcode.ADD, rd=1, ra=2, rb=3)
+        assert str(inst) == "add r1, r2, r3"
+
+    def test_str_renders_fp_registers(self):
+        inst = Instruction(op=Opcode.FADD, rd=1, ra=2, rb=3)
+        assert str(inst) == "fadd f1, f2, f3"
+
+    def test_str_renders_label(self):
+        inst = Instruction(op=Opcode.JMP, target=7, label="loop")
+        assert "loop" in str(inst)
+
+    def test_instructions_hashable_and_comparable(self):
+        a = Instruction(op=Opcode.NOP)
+        b = Instruction(op=Opcode.NOP)
+        assert a == b
+        assert hash(a) == hash(b)

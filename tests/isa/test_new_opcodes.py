@@ -1,0 +1,61 @@
+"""Tests for the generalized-mechanism opcodes (emul, mtdst)."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import FUClass, Instruction, Opcode
+from repro.isa.semantics import compute_int, popcount
+
+
+class TestAssembly:
+    def test_emul_is_user_mode(self):
+        (inst,), _ = assemble("emul r2, r1")
+        assert inst.op is Opcode.EMUL
+        assert (inst.rd, inst.ra) == (2, 1)
+        assert not inst.privileged
+
+    def test_mtdst_requires_privilege(self):
+        with pytest.raises(AssemblerError, match="privileged"):
+            assemble("mtdst r1")
+
+    def test_mtdst_assembles_in_pal(self):
+        (inst,), _ = assemble("mtdst r3", privileged=True)
+        assert inst.op is Opcode.MTDST
+        assert inst.ra == 3
+        assert inst.rd is None  # destination is dynamic
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "value,bits", [(0, 0), (7, 3), (1 << 63, 1), ((1 << 64) - 1, 64)]
+    )
+    def test_emul_computes_popcount(self, value, bits):
+        inst = Instruction(op=Opcode.EMUL, rd=1, ra=2)
+        assert compute_int(inst, value, 0) == bits
+        assert popcount(value) == bits
+
+    def test_fu_classes(self):
+        assert Instruction(op=Opcode.EMUL, rd=1, ra=2).fu_class is FUClass.INT_ALU
+        assert Instruction(op=Opcode.MTDST, ra=1).fu_class is FUClass.INT_ALU
+
+    def test_mtdst_is_priv(self):
+        assert Instruction(op=Opcode.MTDST, ra=1).is_priv
+        assert not Instruction(op=Opcode.EMUL, rd=1, ra=2).is_priv
+
+
+class TestHandlerPopcountAlgorithm:
+    """The PAL handler's branch-free popcount must agree with Python."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [0, 1, 0xFF, 0xDEADBEEF, (1 << 64) - 1, 0x5555555555555555,
+         0x0123456789ABCDEF],
+    )
+    def test_swar_popcount(self, value):
+        mask = (1 << 64) - 1
+        x = value & mask
+        x = (x - ((x >> 1) & 0x5555555555555555)) & mask
+        x = ((x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)) & mask
+        x = ((x + (x >> 4)) & 0x0F0F0F0F0F0F0F0F) & mask
+        x = (x * 0x0101010101010101) & mask
+        assert (x >> 56) == popcount(value)

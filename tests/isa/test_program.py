@@ -1,0 +1,85 @@
+"""Unit tests for the Program image."""
+
+import pytest
+
+from repro.exceptions.handler_code import install_dtlb_handler
+from repro.isa.assembler import assemble
+from repro.isa.program import DataSegment, Program
+
+
+def _program_with(src: str) -> Program:
+    program = Program()
+    insts, labels = assemble(src)
+    program.append_text(insts, labels)
+    return program
+
+
+class TestText:
+    def test_fetch_in_range(self):
+        program = _program_with("nop\nhalt")
+        assert program.fetch(0).op.value == "nop"
+        assert program.fetch(1).op.value == "halt"
+
+    def test_fetch_out_of_range_returns_none(self):
+        program = _program_with("nop")
+        assert program.fetch(5) is None
+        assert program.fetch(-1) is None
+
+    def test_append_text_rebases_targets_and_labels(self):
+        program = _program_with("nop\nnop")
+        insts, labels = assemble("loop:\n  jmp loop")
+        base = program.append_text(insts, labels)
+        assert base == 2
+        assert program.labels["loop"] == 2
+        assert program.insts[2].target == 2
+
+    def test_duplicate_label_between_units_rejected(self):
+        program = _program_with("nop")
+        insts, labels = assemble("x:\n  nop")
+        program.append_text(insts, labels)
+        with pytest.raises(ValueError, match="duplicate"):
+            program.append_text(*assemble("x:\n  nop"))
+
+    def test_append_pal_records_entry_and_rebases(self):
+        program = _program_with("nop")
+        entry = install_dtlb_handler(program)
+        assert entry == 1
+        assert program.pal_base == 1
+        assert program.pal_entries["dtlb_miss"] == 1
+        # The handler's beq target must point inside the handler.
+        branch = next(i for i in program.insts[entry:] if i.is_cond_branch)
+        assert branch.target > entry
+
+    def test_disassemble_mentions_labels(self):
+        program = _program_with("main:\n  nop")
+        assert "main:" in program.disassemble()
+
+
+class TestData:
+    def test_overlapping_segments_rejected(self):
+        program = Program()
+        program.add_data(DataSegment(base=0x1000, words=[1, 2, 3]))
+        with pytest.raises(ValueError, match="overlaps"):
+            program.add_data(DataSegment(base=0x1008, words=[4]))
+
+    def test_adjacent_segments_allowed(self):
+        program = Program()
+        program.add_data(DataSegment(base=0x1000, words=[1]))
+        program.add_data(DataSegment(base=0x1008, words=[2]))
+        assert len(program.data_segments) == 2
+
+    def test_unaligned_segment_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            DataSegment(base=0x1001, words=[1])
+
+    def test_unaligned_region_rejected(self):
+        program = Program()
+        with pytest.raises(ValueError, match="aligned"):
+            program.add_region(0x1004, 64)
+
+    def test_memory_image_word_indexed(self):
+        program = Program()
+        program.add_data(DataSegment(base=0x2000, words=[10, 20]))
+        image = program.build_memory_words()
+        assert image[0x2000 >> 3] == 10
+        assert image[(0x2000 >> 3) + 1] == 20

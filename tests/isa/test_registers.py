@@ -1,0 +1,96 @@
+"""Unit tests for the architectural register file and PAL shadow bank."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.registers import (
+    INT_REG_COUNT,
+    PrivReg,
+    RegisterFile,
+    SHADOW_BASE,
+    pal_reg,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestRegisterFile:
+    def test_starts_zeroed(self):
+        rf = RegisterFile()
+        assert all(v == 0 for v in rf.ints)
+        assert all(v == 0.0 for v in rf.fps)
+        assert all(v == 0 for v in rf.privs)
+
+    def test_int_write_read(self):
+        rf = RegisterFile()
+        rf.write_int(5, 1234)
+        assert rf.read_int(5) == 1234
+
+    def test_r0_hardwired_zero(self):
+        rf = RegisterFile()
+        rf.write_int(0, 999)
+        assert rf.read_int(0) == 0
+
+    def test_int_values_wrap_to_64_bits(self):
+        rf = RegisterFile()
+        rf.write_int(3, (1 << 64) + 7)
+        assert rf.read_int(3) == 7
+
+    def test_negative_values_stored_unsigned(self):
+        rf = RegisterFile()
+        rf.write_int(4, -1)
+        assert rf.read_int(4) == (1 << 64) - 1
+
+    def test_fp_write_read(self):
+        rf = RegisterFile()
+        rf.write_fp(2, 3.5)
+        assert rf.read_fp(2) == 3.5
+
+    def test_priv_write_read(self):
+        rf = RegisterFile()
+        rf.write_priv(PrivReg.VA, 0xDEAD000)
+        assert rf.read_priv(PrivReg.VA) == 0xDEAD000
+
+    def test_snapshot_is_independent(self):
+        rf = RegisterFile()
+        rf.write_int(7, 42)
+        snap = rf.snapshot()
+        rf.write_int(7, 43)
+        assert snap.read_int(7) == 42
+        assert rf.read_int(7) == 43
+
+    def test_shadow_registers_within_file(self):
+        rf = RegisterFile()
+        rf.write_int(SHADOW_BASE + 1, 77)
+        assert rf.read_int(SHADOW_BASE + 1) == 77
+        assert rf.read_int(1) == 0  # user r1 untouched
+
+
+class TestPalReg:
+    def test_handler_registers_shadowed(self):
+        for reg in range(1, 8):
+            assert pal_reg(reg) == reg + SHADOW_BASE
+
+    def test_r0_stays_zero_register(self):
+        assert pal_reg(0) == 0
+
+    def test_high_registers_pass_through(self):
+        assert pal_reg(8) == 8
+        assert pal_reg(30) == 30
+
+    def test_shadow_indices_fit_the_file(self):
+        assert max(pal_reg(r) for r in range(32)) < INT_REG_COUNT
+
+
+class TestSignedness:
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip_signed_unsigned(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip_unsigned_signed(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+    def test_sign_boundary(self):
+        assert to_signed((1 << 63)) == -(1 << 63)
+        assert to_signed((1 << 63) - 1) == (1 << 63) - 1

@@ -1,0 +1,110 @@
+"""Unit and property tests for the pure functional semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import semantics
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import to_signed
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def _inst(op, **kw):
+    return Instruction(op=op, **kw)
+
+
+class TestIntegerOps:
+    def test_add_wraps(self):
+        inst = _inst(Opcode.ADD)
+        assert semantics.compute_int(inst, (1 << 64) - 1, 2) == 1
+
+    def test_sub_wraps(self):
+        assert semantics.compute_int(_inst(Opcode.SUB), 0, 1) == (1 << 64) - 1
+
+    def test_logic_ops(self):
+        assert semantics.compute_int(_inst(Opcode.AND), 0b1100, 0b1010) == 0b1000
+        assert semantics.compute_int(_inst(Opcode.OR), 0b1100, 0b1010) == 0b1110
+        assert semantics.compute_int(_inst(Opcode.XOR), 0b1100, 0b1010) == 0b0110
+
+    def test_shifts_mask_amount(self):
+        assert semantics.compute_int(_inst(Opcode.SLL), 1, 64) == 1  # 64 & 63 == 0
+        assert semantics.compute_int(_inst(Opcode.SRL), 1 << 63, 63) == 1
+
+    def test_sra_sign_extends(self):
+        minus_two = (1 << 64) - 2
+        assert to_signed(semantics.compute_int(_inst(Opcode.SRA), minus_two, 1)) == -1
+
+    def test_compares(self):
+        minus_one = (1 << 64) - 1
+        assert semantics.compute_int(_inst(Opcode.CMPLT), minus_one, 1) == 1
+        assert semantics.compute_int(_inst(Opcode.CMPULT), minus_one, 1) == 0
+        assert semantics.compute_int(_inst(Opcode.CMPEQ), 5, 5) == 1
+
+    def test_div_truncates_toward_zero(self):
+        minus_seven = (1 << 64) - 7
+        assert to_signed(semantics.compute_int(_inst(Opcode.DIV), minus_seven, 2)) == -3
+
+    def test_div_by_zero_is_total(self):
+        assert semantics.compute_int(_inst(Opcode.DIV), 5, 0) == 0
+
+    def test_li_returns_immediate(self):
+        assert semantics.compute_int(_inst(Opcode.LI), 0, 42) == 42
+
+    @given(U64, U64)
+    def test_results_stay_in_64_bits(self, a, b):
+        for op in (Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.SLL, Opcode.SRA):
+            result = semantics.compute_int(_inst(op), a, b)
+            assert 0 <= result < (1 << 64)
+
+    def test_non_integer_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            semantics.compute_int(_inst(Opcode.FADD), 1, 2)
+
+
+class TestFloatOps:
+    def test_basic_arithmetic(self):
+        assert semantics.compute_fp(_inst(Opcode.FADD), 1.5, 2.5) == 4.0
+        assert semantics.compute_fp(_inst(Opcode.FMUL), 3.0, 2.0) == 6.0
+        assert semantics.compute_fp(_inst(Opcode.FSUB), 3.0, 2.0) == 1.0
+
+    def test_fdiv_by_zero_is_total(self):
+        assert semantics.compute_fp(_inst(Opcode.FDIV), 1.0, 0.0) == 0.0
+
+    def test_fsqrt_of_negative_is_total(self):
+        assert semantics.compute_fp(_inst(Opcode.FSQRT), -4.0, 0.0) == 0.0
+
+    def test_fsqrt(self):
+        assert semantics.compute_fp(_inst(Opcode.FSQRT), 9.0, 0.0) == 3.0
+
+
+class TestConversions:
+    def test_itof_signed(self):
+        assert semantics.convert(_inst(Opcode.ITOF), (1 << 64) - 1) == -1.0
+
+    def test_ftoi_truncates(self):
+        assert semantics.convert(_inst(Opcode.FTOI), 3.9) == 3
+
+    def test_ftoi_handles_nan_and_inf(self):
+        assert semantics.convert(_inst(Opcode.FTOI), float("nan")) == 0
+        assert semantics.convert(_inst(Opcode.FTOI), float("inf")) == 0
+
+
+class TestBranchesAndAddresses:
+    def test_effective_address(self):
+        inst = _inst(Opcode.LD, imm=16)
+        assert semantics.effective_address(inst, 100) == 116
+
+    def test_effective_address_wraps(self):
+        inst = _inst(Opcode.LD, imm=8)
+        assert semantics.effective_address(inst, (1 << 64) - 4) == 4
+
+    def test_branch_directions(self):
+        assert semantics.branch_taken(_inst(Opcode.BEQ), 5, 5)
+        assert semantics.branch_taken(_inst(Opcode.BNE), 5, 6)
+        assert semantics.branch_taken(_inst(Opcode.BLT), (1 << 64) - 1, 0)  # -1 < 0
+        assert semantics.branch_taken(_inst(Opcode.BGE), 0, 0)
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            semantics.branch_taken(_inst(Opcode.ADD), 1, 2)

@@ -1,0 +1,51 @@
+"""Unit tests for the inter-level bus model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.cache import Bus
+
+
+class TestBus:
+    def test_idle_bus_grants_immediately(self):
+        bus = Bus(occupancy=2)
+        assert bus.acquire(10) == 10
+        assert bus.next_free == 12
+
+    def test_back_to_back_transfers_queue(self):
+        bus = Bus(occupancy=2)
+        assert bus.acquire(0) == 0
+        assert bus.acquire(0) == 2
+        assert bus.acquire(1) == 4
+
+    def test_gap_resets_queueing(self):
+        bus = Bus(occupancy=2)
+        bus.acquire(0)
+        assert bus.acquire(100) == 100
+
+    def test_transfer_counter(self):
+        bus = Bus(occupancy=11)
+        for _ in range(5):
+            bus.acquire(0)
+        assert bus.transfers == 5
+
+    def test_reset(self):
+        bus = Bus(occupancy=2)
+        bus.acquire(50)
+        bus.reset()
+        assert bus.next_free == 0 and bus.transfers == 0
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=40))
+    def test_grants_never_overlap(self, request_cycles):
+        """Property: consecutive grants are separated by >= occupancy."""
+        bus = Bus(occupancy=3)
+        grants = [bus.acquire(cycle) for cycle in sorted(request_cycles)]
+        for earlier, later in zip(grants, grants[1:]):
+            assert later >= earlier + 3
+
+    @settings(max_examples=40)
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=40))
+    def test_grant_never_before_request(self, request_cycles):
+        bus = Bus(occupancy=2)
+        for cycle in sorted(request_cycles):
+            assert bus.acquire(cycle) >= cycle

@@ -1,0 +1,125 @@
+"""Unit tests for the cache timing model (Table 1 latencies)."""
+
+import pytest
+
+from repro.memory.cache import Bus, Cache, make_dram
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(HierarchyConfig())
+
+
+class TestTable1Latencies:
+    def test_l1_hit_load_use_is_3(self, hierarchy):
+        hierarchy.load(0x1000, 0)  # install (fill lands at cycle 104)
+        assert hierarchy.load(0x1000, 200) == 203
+
+    def test_hit_under_outstanding_miss_waits_for_fill(self, hierarchy):
+        fill = hierarchy.load(0x1000, 0)
+        assert hierarchy.load(0x1000, 50) == fill
+
+    def test_l2_hit_load_use_is_12(self, hierarchy):
+        hierarchy.l2.prewarm(0x1000, 64)
+        assert hierarchy.load(0x1000, 100) == 112
+
+    def test_memory_load_use_is_104(self, hierarchy):
+        assert hierarchy.load(0x1000, 100) == 204
+
+    def test_ifetch_same_path(self, hierarchy):
+        assert hierarchy.ifetch(0x0, 0) == 104
+        assert hierarchy.ifetch(0x0, 200) == 203
+
+
+class TestCacheBehaviour:
+    def test_hit_after_fill(self, hierarchy):
+        hierarchy.load(0x4000, 0)
+        assert hierarchy.l1d.probe(0x4000)
+
+    def test_line_granularity(self, hierarchy):
+        hierarchy.load(0x4000, 0)
+        assert hierarchy.l1d.probe(0x4000 + 16)  # same 32B line
+        assert not hierarchy.l1d.probe(0x4000 + 32)
+
+    def test_lru_eviction(self):
+        dram = make_dram(80)
+        bus = Bus(2)
+        cache = Cache("t", size_bytes=128, ways=2, line_size=32, latency=1,
+                      next_level=dram, bus_to_next=bus)
+        # Two sets; fill set 0's two ways then a third conflicting line.
+        cache.access(0, 0)
+        cache.access(128, 10)
+        cache.access(0, 20)  # touch line 0: line 128 becomes LRU
+        cache.access(256, 30)
+        assert cache.probe(0)
+        assert not cache.probe(128)
+        assert cache.stats.evictions == 1
+
+    def test_dirty_eviction_counts_writeback(self):
+        dram = make_dram(80)
+        bus = Bus(2)
+        cache = Cache("t", size_bytes=64, ways=1, line_size=32, latency=1,
+                      next_level=dram, bus_to_next=bus)
+        cache.access(0, 0, is_write=True)
+        cache.access(64, 200, is_write=False)  # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_mshr_merge_same_line(self, hierarchy):
+        first = hierarchy.load(0x8000, 0)
+        merged = hierarchy.load(0x8000 + 8, 1)
+        assert merged == first
+        assert hierarchy.l1d.stats.mshr_merges == 1
+
+    def test_bus_occupancy_serialises_misses(self, hierarchy):
+        # Two misses to different lines in the same cycle: the second's
+        # L1/L2 transfer queues behind the first's.
+        a = hierarchy.load(0x10000, 0)
+        b = hierarchy.load(0x20000, 0)
+        assert b > a
+
+    def test_mshr_capacity_stalls(self):
+        dram = make_dram(80)
+        bus = Bus(0)
+        cache = Cache("t", size_bytes=1 << 16, ways=4, line_size=32, latency=1,
+                      next_level=dram, bus_to_next=bus, mshr_count=2)
+        cache.access(0 << 5, 0)
+        cache.access(1 << 5, 0)
+        third = cache.access(2 << 5, 0)
+        assert cache.stats.mshr_stalls == 1
+        assert third > 81  # waited for an earlier fill
+
+    def test_prewarm_respects_capacity(self):
+        dram = make_dram(80)
+        cache = Cache("t", size_bytes=128, ways=2, line_size=32, latency=1,
+                      next_level=dram, bus_to_next=Bus(2))
+        cache.prewarm(0, 4 * 128)  # 4x capacity
+        present = sum(
+            1 for line in range(16) if cache.probe(line * 32)
+        )
+        assert present == 4  # exactly capacity survives
+
+    def test_reset_clears_contents_and_stats(self, hierarchy):
+        hierarchy.load(0x1000, 0)
+        hierarchy.reset()
+        assert not hierarchy.l1d.probe(0x1000)
+        assert hierarchy.l1d.stats.accesses == 0
+
+    def test_miss_rate_property(self, hierarchy):
+        hierarchy.load(0x1000, 0)
+        hierarchy.load(0x1000, 200)
+        assert hierarchy.l1d.stats.miss_rate == 0.5
+
+
+class TestValidation:
+    def test_bad_geometry_rejected(self):
+        dram = make_dram(80)
+        with pytest.raises(ValueError):
+            Cache("t", size_bytes=100, ways=3, line_size=32, latency=1,
+                  next_level=dram, bus_to_next=Bus(2))
+
+    def test_non_power_of_two_line_rejected(self):
+        dram = make_dram(80)
+        with pytest.raises(ValueError):
+            Cache("t", size_bytes=960, ways=2, line_size=30, latency=1,
+                  next_level=dram, bus_to_next=Bus(2))

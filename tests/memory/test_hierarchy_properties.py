@@ -1,0 +1,51 @@
+"""Property tests on the memory hierarchy's timing invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+
+ADDR = st.integers(min_value=0, max_value=(1 << 24) - 1).map(lambda a: a & ~7)
+
+
+class TestTimingInvariants:
+    @settings(max_examples=40)
+    @given(st.lists(ADDR, min_size=1, max_size=60))
+    def test_completion_never_precedes_request(self, addrs):
+        hierarchy = MemoryHierarchy(HierarchyConfig())
+        cycle = 0
+        for addr in addrs:
+            done = hierarchy.load(addr, cycle)
+            assert done >= cycle + hierarchy.config.l1_latency
+            cycle += 1
+
+    @settings(max_examples=40)
+    @given(st.lists(ADDR, min_size=1, max_size=60))
+    def test_latency_bounded_by_memory_path(self, addrs):
+        """No single access can exceed the serial worst case by more than
+        the queueing the earlier accesses could have caused."""
+        hierarchy = MemoryHierarchy(HierarchyConfig())
+        worst_single = 104
+        for i, addr in enumerate(addrs):
+            done = hierarchy.load(addr, 0)
+            # Bus queueing grows at most linearly in prior misses.
+            assert done <= worst_single + (i + 1) * 13
+
+    @settings(max_examples=30)
+    @given(ADDR)
+    def test_second_access_is_a_hit(self, addr):
+        hierarchy = MemoryHierarchy(HierarchyConfig())
+        first = hierarchy.load(addr, 0)
+        again = hierarchy.load(addr, first + 10)
+        assert again == first + 10 + hierarchy.config.l1_latency
+
+    @settings(max_examples=30)
+    @given(st.lists(ADDR, min_size=2, max_size=40))
+    def test_stats_accounting_consistent(self, addrs):
+        hierarchy = MemoryHierarchy(HierarchyConfig())
+        for i, addr in enumerate(addrs):
+            hierarchy.load(addr, i * 200)
+        l1 = hierarchy.l1d.stats
+        assert l1.hits + l1.misses == l1.accesses
+        assert l1.accesses == len(addrs)
+        # Every L1 miss produced exactly one L2 access.
+        assert hierarchy.l2.stats.accesses == l1.misses

@@ -1,0 +1,75 @@
+"""Unit tests for functional memory and address helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.memory.address import (
+    PAGE_SIZE,
+    align_word,
+    page_base,
+    page_offset,
+    vpn_of,
+    word_index,
+)
+from repro.memory.main_memory import MainMemory
+
+
+class TestMainMemory:
+    def test_unwritten_reads_zero(self):
+        assert MainMemory().read_word(0x1234_0000) == 0
+
+    def test_write_then_read(self):
+        mem = MainMemory()
+        mem.write_word(0x1000, 42)
+        assert mem.read_word(0x1000) == 42
+
+    def test_word_granularity(self):
+        mem = MainMemory()
+        mem.write_word(0x1000, 42)
+        assert mem.read_word(0x1004) == 42  # same aligned word
+
+    def test_floats_stored_natively(self):
+        mem = MainMemory()
+        mem.write_word(0x2000, 3.25)
+        assert mem.read_word(0x2000) == 3.25
+
+    def test_load_image(self):
+        mem = MainMemory()
+        mem.load_image({0x1000 >> 3: 7})
+        assert mem.read_word(0x1000) == 7
+
+    def test_snapshot_is_copy(self):
+        mem = MainMemory()
+        mem.write_word(0x1000, 1)
+        snap = mem.snapshot()
+        mem.write_word(0x1000, 2)
+        assert snap[0x1000 >> 3] == 1
+
+    def test_len_counts_words(self):
+        mem = MainMemory()
+        mem.write_word(0, 1)
+        mem.write_word(8, 2)
+        assert len(mem) == 2
+
+
+class TestAddressHelpers:
+    def test_vpn_and_offset(self):
+        va = 3 * PAGE_SIZE + 100
+        assert vpn_of(va) == 3
+        assert page_offset(va) == 100
+        assert page_base(va) == 3 * PAGE_SIZE
+
+    def test_word_index(self):
+        assert word_index(16) == 2
+        assert word_index(17) == 2
+
+    def test_align_word(self):
+        assert align_word(17) == 16
+        assert align_word(16) == 16
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_decomposition_roundtrip(self, va):
+        assert page_base(va) + page_offset(va) == va
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_align_is_idempotent(self, va):
+        assert align_word(align_word(va)) == align_word(va)

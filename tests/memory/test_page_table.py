@@ -1,0 +1,72 @@
+"""Unit tests for the in-memory page table."""
+
+import pytest
+
+from repro.memory.address import PAGE_SIZE
+from repro.memory.main_memory import MainMemory
+from repro.memory.page_table import (
+    PageTable,
+    make_pte,
+    pte_pfn,
+    pte_valid,
+)
+
+
+@pytest.fixture
+def pt():
+    return PageTable(MainMemory())
+
+
+class TestPTEEncoding:
+    def test_valid_roundtrip(self):
+        pte = make_pte(123)
+        assert pte_valid(pte)
+        assert pte_pfn(pte) == 123
+
+    def test_invalid_pte(self):
+        pte = make_pte(123, valid=False)
+        assert not pte_valid(pte)
+
+    def test_zero_word_is_invalid(self):
+        assert not pte_valid(0)
+
+
+class TestPageTable:
+    def test_map_writes_pte_into_memory(self, pt):
+        pt.map(10)
+        pte = pt.memory.read_word(pt.pte_address(10))
+        assert pte_valid(pte) and pte_pfn(pte) == 10
+
+    def test_unmapped_page_reads_invalid(self, pt):
+        assert not pte_valid(pt.read_pte(99))
+
+    def test_unmap(self, pt):
+        pt.map(5)
+        pt.unmap(5)
+        assert not pt.is_mapped(5)
+        assert not pte_valid(pt.read_pte(5))
+
+    def test_map_range_covers_partial_pages(self, pt):
+        count = pt.map_range(PAGE_SIZE - 8, 16)  # straddles a boundary
+        assert count == 2
+        assert pt.is_mapped(0) and pt.is_mapped(1)
+
+    def test_map_range_zero_size_maps_one_page(self, pt):
+        assert pt.map_range(0, 1) == 1
+
+    def test_pte_addresses_are_dense(self, pt):
+        assert pt.pte_address(1) - pt.pte_address(0) == 8
+
+    def test_explicit_pfn(self, pt):
+        pt.map(3, pfn=77)
+        assert pte_pfn(pt.read_pte(3)) == 77
+
+    def test_mapped_vpns(self, pt):
+        pt.map(1)
+        pt.map(2)
+        assert pt.mapped_vpns() == {1, 2}
+        assert pt.mapped_pages == 2
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            PageTable(MainMemory(), base=12345)

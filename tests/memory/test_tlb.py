@@ -1,0 +1,132 @@
+"""Unit and property tests for the TLB."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.tlb import PerfectTLB, TLB
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        tlb = TLB(4)
+        assert tlb.lookup(5) is None
+        tlb.fill(5, 5)
+        entry = tlb.lookup(5)
+        assert entry is not None and entry.pfn == 5
+
+    def test_capacity_lru_eviction(self):
+        tlb = TLB(2)
+        tlb.fill(1, 1)
+        tlb.fill(2, 2)
+        tlb.lookup(1)  # make vpn 2 the LRU
+        tlb.fill(3, 3)
+        assert 1 in tlb and 3 in tlb and 2 not in tlb
+
+    def test_probe_has_no_side_effects(self):
+        tlb = TLB(2)
+        tlb.fill(1, 1)
+        lookups = tlb.stats.lookups
+        tlb.probe(1)
+        tlb.probe(9)
+        assert tlb.stats.lookups == lookups
+
+    def test_refill_same_vpn_does_not_grow(self):
+        tlb = TLB(4)
+        tlb.fill(1, 1)
+        tlb.fill(1, 1)
+        assert len(tlb) == 1
+
+    def test_invalidate(self):
+        tlb = TLB(4)
+        tlb.fill(1, 1)
+        assert tlb.invalidate(1)
+        assert not tlb.invalidate(1)
+        assert tlb.lookup(1) is None
+
+    def test_flush(self):
+        tlb = TLB(4)
+        tlb.fill(1, 1)
+        tlb.fill(2, 2)
+        tlb.flush()
+        assert len(tlb) == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TLB(0)
+
+
+class TestSpeculativeFills:
+    def test_confirm_makes_entry_architectural(self):
+        tlb = TLB(4)
+        tlb.fill(1, 1, speculative=True, producer=7)
+        assert tlb.confirm(7) == 1
+        entry = tlb.probe(1)
+        assert not entry.speculative and entry.producer is None
+
+    def test_rollback_removes_producers_entries(self):
+        tlb = TLB(4)
+        tlb.fill(1, 1, speculative=True, producer=7)
+        tlb.fill(2, 2, speculative=True, producer=8)
+        assert tlb.rollback(7) == 1
+        assert 1 not in tlb and 2 in tlb
+
+    def test_rollback_ignores_confirmed(self):
+        tlb = TLB(4)
+        tlb.fill(1, 1, speculative=True, producer=7)
+        tlb.confirm(7)
+        assert tlb.rollback(7) == 0
+        assert 1 in tlb
+
+    def test_speculative_entry_usable_immediately(self):
+        tlb = TLB(4)
+        tlb.fill(3, 3, speculative=True, producer=1)
+        assert tlb.lookup(3) is not None
+
+
+class TestPerfectTLB:
+    def test_always_hits_identity(self):
+        tlb = PerfectTLB()
+        entry = tlb.lookup(1234)
+        assert entry.pfn == 1234
+        assert tlb.stats.misses == 0
+
+    def test_fill_confirm_rollback_are_noops(self):
+        tlb = PerfectTLB()
+        tlb.fill(1, 1)
+        assert tlb.confirm(1) == 0
+        assert tlb.rollback(1) == 0
+
+
+class TestProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, vpns):
+        tlb = TLB(8)
+        for vpn in vpns:
+            tlb.fill(vpn, vpn)
+            assert len(tlb) <= 8
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=100))
+    def test_most_recent_fill_always_present(self, vpns):
+        tlb = TLB(8)
+        for vpn in vpns:
+            tlb.fill(vpn, vpn)
+            assert vpn in tlb
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.booleans()),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_stats_are_consistent(self, ops):
+        tlb = TLB(8)
+        for vpn, do_fill in ops:
+            if do_fill:
+                tlb.fill(vpn, vpn)
+            else:
+                tlb.lookup(vpn)
+        assert tlb.stats.hits + tlb.stats.misses == tlb.stats.lookups

@@ -1,0 +1,299 @@
+"""End-to-end pipeline tests on small programs (perfect TLB)."""
+
+import pytest
+
+from repro.isa.program import DataSegment
+from tests.conftest import make_sim, run_to_halt
+
+
+def final_int(sim, reg):
+    return sim.core.threads[0].arch.read_int(reg)
+
+
+def final_fp(sim, reg):
+    return sim.core.threads[0].arch.read_fp(reg)
+
+
+class TestArithmetic:
+    def test_simple_sum(self):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 10
+                li   r2, 32
+                add  r3, r1, r2
+                halt
+            """
+        )
+        run_to_halt(sim)
+        assert final_int(sim, 3) == 42
+
+    def test_dependent_chain(self):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 1
+                add  r1, r1, r1
+                add  r1, r1, r1
+                add  r1, r1, r1
+                halt
+            """
+        )
+        run_to_halt(sim)
+        assert final_int(sim, 1) == 8
+
+    def test_mul_div(self):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 6
+                li   r2, 7
+                mul  r3, r1, r2
+                div  r4, r3, r2
+                halt
+            """
+        )
+        run_to_halt(sim)
+        assert final_int(sim, 3) == 42
+        assert final_int(sim, 4) == 6
+
+    def test_loop_counts_correctly(self):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 100
+                li   r2, 0
+            loop:
+                add  r2, r2, 3
+                sub  r1, r1, 1
+                bne  r1, r0, loop
+                halt
+            """
+        )
+        run_to_halt(sim)
+        assert final_int(sim, 2) == 300
+        assert final_int(sim, 1) == 0
+
+    def test_fp_pipeline(self):
+        sim = make_sim(
+            """
+            main:
+                li    r1, 9
+                itof  f1, r1
+                fsqrt f2, f1
+                li    r2, 4
+                itof  f3, r2
+                fadd  f4, f2, f3
+                fdiv  f5, f4, f3
+                ftoi  r3, f4
+                halt
+            """
+        )
+        run_to_halt(sim)
+        assert final_fp(sim, 4) == 7.0
+        assert final_fp(sim, 5) == 1.75
+        assert final_int(sim, 3) == 7
+
+
+class TestMemoryOps:
+    def test_load_from_segment(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)
+                ld   r3, 8(r1)
+                halt
+            """,
+            segments=[DataSegment(base=data_base, words=[111, 222])],
+        )
+        run_to_halt(sim)
+        assert final_int(sim, 2) == 111
+        assert final_int(sim, 3) == 222
+
+    def test_store_commits_to_memory(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r2, 77
+                st   r2, 16(r1)
+                halt
+            """,
+            regions=[(data_base, 8192)],
+        )
+        run_to_halt(sim)
+        assert sim.memory.read_word(data_base + 16) == 77
+
+    def test_store_to_load_forwarding(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r2, 55
+                st   r2, 0(r1)
+                ld   r3, 0(r1)
+                halt
+            """,
+            regions=[(data_base, 8192)],
+        )
+        run_to_halt(sim)
+        assert final_int(sim, 3) == 55
+        assert sim.core.stats.store_forwards >= 1
+
+    def test_load_bypasses_older_nonmatching_store(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r2, 9
+                st   r2, 0(r1)
+                ld   r3, 64(r1)
+                halt
+            """,
+            segments=[DataSegment(base=data_base, words=[0] * 8 + [31415])],
+        )
+        run_to_halt(sim)
+        assert final_int(sim, 3) == 31415
+
+    def test_fp_load_store(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                fld  f1, 0(r1)
+                fadd f2, f1, f1
+                fst  f2, 8(r1)
+                halt
+            """,
+            segments=[DataSegment(base=data_base, words=[2.5, 0.0])],
+        )
+        run_to_halt(sim)
+        assert sim.memory.read_word(data_base + 8) == 5.0
+
+
+class TestControlFlow:
+    def test_taken_and_not_taken_branches(self):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 5
+                beq  r1, r0, wrong
+                li   r2, 1
+                jmp  done
+            wrong:
+                li   r2, 2
+            done:
+                halt
+            """
+        )
+        run_to_halt(sim)
+        assert final_int(sim, 2) == 1
+
+    def test_call_and_ret(self):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 5
+                call double
+                call double
+                halt
+            double:
+                add  r1, r1, r1
+                ret
+            """
+        )
+        run_to_halt(sim)
+        assert final_int(sim, 1) == 20
+
+    def test_indirect_call_through_table(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li    r1, {data_base}
+                ld    r2, 0(r1)
+                calli r2
+                halt
+            target:
+                li    r3, 123
+                ret
+            """,
+        )
+        # The jump table needs the resolved label address.
+        program = sim.programs[0]
+        target_pc = program.labels["target"]
+        sim.memory.write_word(data_base, target_pc)
+        sim.page_table.map_range(data_base, 8)
+        run_to_halt(sim)
+        assert final_int(sim, 3) == 123
+
+    def test_mispredicted_branch_recovers_state(self):
+        """A data-dependent alternating branch forces mispredicts; the
+        architectural result must still be exact."""
+        sim = make_sim(
+            """
+            main:
+                li   r1, 50
+                li   r2, 0
+                li   r4, 0
+            loop:
+                and  r3, r1, 1
+                beq  r3, r0, even
+                add  r2, r2, 1
+                jmp  next
+            even:
+                add  r4, r4, 1
+            next:
+                sub  r1, r1, 1
+                bne  r1, r0, loop
+                halt
+            """
+        )
+        run_to_halt(sim)
+        assert final_int(sim, 2) == 25
+        assert final_int(sim, 4) == 25
+
+    def test_wrong_path_stores_never_commit(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r5, 20
+            loop:
+                and  r3, r5, 3
+                bne  r3, r0, skip
+                li   r6, 666
+                st   r6, 0(r1)
+            skip:
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            segments=[DataSegment(base=data_base, words=[0])],
+        )
+        run_to_halt(sim)
+        # Stores executed only when r5 % 4 == 0 -> value 666 present,
+        # but the memory word must never hold a value from a squashed path.
+        assert sim.memory.read_word(data_base) in (0, 666)
+
+
+class TestCounters:
+    def test_retired_matches_program(self):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 10
+            loop:
+                sub  r1, r1, 1
+                bne  r1, r0, loop
+                halt
+            """
+        )
+        run_to_halt(sim)
+        # li + 10*(sub+bne) + halt
+        assert sim.core.stats.retired_user == 1 + 20 + 1
+
+    def test_ipc_positive(self):
+        sim = make_sim("main:\n  li r1, 1\n  halt")
+        run_to_halt(sim)
+        assert sim.core.stats.cycles > 0

@@ -1,0 +1,41 @@
+"""Cross-table invariants that keep the core's dispatch tables honest."""
+
+from repro.isa.instructions import OPCODE_FU, Opcode
+from repro.pipeline.core import _SRC_SPACES
+from repro.sim.config import FU_GROUPS, FUPool
+
+
+class TestDispatchTables:
+    def test_every_opcode_has_source_spaces(self):
+        for op in Opcode:
+            assert op in _SRC_SPACES, f"{op} missing from rename table"
+
+    def test_source_spaces_are_valid(self):
+        for op, (a, b) in _SRC_SPACES.items():
+            assert a in (None, "int", "fp"), op
+            assert b in (None, "int", "fp"), op
+
+    def test_every_fu_class_has_a_pool_group(self):
+        pool = FUPool()
+        for fu in set(OPCODE_FU.values()):
+            if fu.value == "none":
+                continue
+            group, latency = FU_GROUPS[fu]
+            assert pool.capacity(group) >= 1
+            assert latency >= 1
+
+    def test_source_spaces_match_operand_fields(self):
+        """An opcode declaring an int/fp space for ra must be assembled
+        with an ra operand somewhere (spot checks on the tricky ones)."""
+        assert _SRC_SPACES[Opcode.LI] == (None, None)
+        assert _SRC_SPACES[Opcode.MFPR] == (None, None)
+        assert _SRC_SPACES[Opcode.ST] == ("int", "int")
+        assert _SRC_SPACES[Opcode.FST] == ("int", "fp")
+        assert _SRC_SPACES[Opcode.TLBWR] == ("int", "int")
+        assert _SRC_SPACES[Opcode.MTDST] == ("int", None)
+        assert _SRC_SPACES[Opcode.EMUL] == ("int", None)
+
+    def test_branches_issue_on_alu(self):
+        from repro.isa.instructions import FUClass
+
+        assert FU_GROUPS[FUClass.BRANCH][0] == "alu"

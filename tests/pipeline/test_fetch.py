@@ -1,0 +1,128 @@
+"""Tests for fetch-engine behaviours: stalls, privilege fences, buffers."""
+
+import pytest
+
+from repro.isa.program import DataSegment
+from repro.pipeline.thread import ThreadState
+from tests.conftest import make_sim, run_to_halt
+
+
+class TestFetchStalls:
+    def test_fetch_stops_at_halt(self):
+        sim = make_sim("main:\n  li r1, 1\n  halt")
+        run_to_halt(sim)
+        # Nothing past halt exists, and fetch never ran away.
+        assert sim.core.stats.fetched <= 4
+
+    def test_wrong_path_fetch_off_text_end_recovers(self, data_base):
+        """A mispredicted branch can send fetch past the last instruction;
+        the machine must stall (not crash) and recover at resolution."""
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, 3
+                mul  r2, r1, r1
+                mul  r2, r2, r2
+                beq  r2, r0, never
+                halt
+            never:
+                li   r3, 1
+            """,
+        )
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(2) == 81
+
+    def test_privilege_fence_blocks_user_fetch_of_pal(self):
+        """Wrong paths that land in PAL code must not execute it."""
+        sim = make_sim(
+            """
+            main:
+                li   r1, 5
+                mul  r2, r1, r1
+                jmpi r2              ; lands wherever r2 points (25 -> user)
+            filler0:
+                li   r3, 7
+                halt
+            """,
+        )
+        # pc 25 may be out of range or in user code; either way the run
+        # must never retire a privileged instruction in user mode.
+        core = sim.core
+        for _ in range(5_000):
+            core.step()
+            if core.threads[0].halted:
+                break
+        assert core.threads[0].retired_handler == 0
+
+    def test_icache_cold_start_delays_first_fetch(self):
+        sim = make_sim("main:\n  li r1, 1\n  halt")
+        cycles = run_to_halt(sim)
+        # A cold I-cache costs a memory-latency startup.
+        assert cycles > 100
+
+    def test_fetch_buffer_never_overflows(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)       ; long stall: buffer backs up
+            loop:
+                add  r3, r3, 1
+                jmp  loop
+            """,
+            mechanism="perfect",
+            segments=[DataSegment(base=data_base, words=[1])],
+            fetch_buffer_size=4,
+        )
+        core = sim.core
+        for _ in range(2_000):
+            core.step()
+            for thread in core.threads:
+                assert len(thread.fetch_buffer) <= 4
+
+
+class TestExceptionThreadFetch:
+    def test_handler_thread_stops_at_reti(self, data_base):
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)
+                halt
+            """,
+            mechanism="multithreaded",
+            segments=[DataSegment(base=data_base, words=[1])],
+        )
+        core = sim.core
+        max_handler_rob = 0
+        while not core.threads[0].halted and core.cycle < 50_000:
+            core.step()
+            if core.threads[1].state is ThreadState.EXCEPTION:
+                max_handler_rob = max(max_handler_rob, len(core.threads[1].rob))
+        # With perfect handler-length prediction the exception thread
+        # fetches exactly the common-case handler (10 instructions).
+        assert 0 < max_handler_rob <= 10
+
+    def test_handler_gets_fetch_priority(self, data_base):
+        """With fetch priority the handler completes promptly even while
+        the main thread has endless instructions to fetch."""
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                ld   r2, 0(r1)
+            loop:
+                add  r3, r3, 1
+                add  r4, r4, 1
+                add  r5, r5, 1
+                jmp  loop
+            """,
+            mechanism="multithreaded",
+            segments=[DataSegment(base=data_base, words=[1])],
+        )
+        core = sim.core
+        for _ in range(50_000):
+            core.step()
+            if sim.mechanism.stats.committed_fills:
+                break
+        assert sim.mechanism.stats.committed_fills == 1

@@ -1,0 +1,116 @@
+"""SMT tests: multiple application threads sharing the core."""
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.builder import SLICE_STRIDE, make_program
+from repro.workloads.suite import build_mix
+
+
+def _counting_program(base, iterations):
+    return make_program(
+        f"""
+        main:
+            li   r1, {iterations}
+            li   r2, 0
+        loop:
+            add  r2, r2, 1
+            sub  r1, r1, 1
+            bne  r1, r0, loop
+            halt
+        """,
+        regions=[(base, 8192)],
+    )
+
+
+def _run_to_all_halt(sim, max_cycles=100_000):
+    core = sim.core
+    while core.cycle < max_cycles:
+        apps = [t for t in core.threads if t.program and not t.is_exception_thread]
+        if apps and all(t.halted for t in apps):
+            return core.cycle
+        core.step()
+    raise AssertionError("threads did not halt")
+
+
+class TestMultipleThreads:
+    def test_two_threads_both_complete_correctly(self):
+        programs = [
+            _counting_program(0x1000_0000, 40),
+            _counting_program(0x1000_0000 + SLICE_STRIDE, 60),
+        ]
+        sim = Simulator(programs, MachineConfig(mechanism="perfect", idle_threads=0))
+        _run_to_all_halt(sim)
+        assert sim.core.threads[0].arch.read_int(2) == 40
+        assert sim.core.threads[1].arch.read_int(2) == 60
+
+    def test_threads_have_isolated_register_state(self):
+        programs = [_counting_program(0x1000_0000, 10)] * 1
+        programs.append(_counting_program(0x1000_0000 + SLICE_STRIDE, 99))
+        sim = Simulator(programs, MachineConfig(mechanism="perfect", idle_threads=0))
+        _run_to_all_halt(sim)
+        assert sim.core.threads[0].arch.read_int(2) == 10
+        assert sim.core.threads[1].arch.read_int(2) == 99
+
+    def test_smt_throughput_exceeds_single_thread(self):
+        """Two co-scheduled threads finish the same combined work in fewer
+        cycles than run back to back."""
+        single = Simulator(
+            [_counting_program(0x1000_0000, 300)],
+            MachineConfig(mechanism="perfect", idle_threads=0),
+        )
+        t_single = _run_to_all_halt(single)
+        both = Simulator(
+            [
+                _counting_program(0x1000_0000, 300),
+                _counting_program(0x1000_0000 + SLICE_STRIDE, 300),
+            ],
+            MachineConfig(mechanism="perfect", idle_threads=0),
+        )
+        t_both = _run_to_all_halt(both)
+        assert t_both < 2 * t_single
+
+    def test_fig7_mix_builds_disjoint_slices(self):
+        programs = build_mix(("adm", "gcc", "vor"))
+        spans = []
+        for program in programs:
+            bases = [s.base for s in program.data_segments]
+            bases += [b for b, _ in program.regions]
+            spans.append((min(bases), max(bases)))
+        for i in range(len(spans)):
+            for j in range(i + 1, len(spans)):
+                assert spans[i][1] < spans[j][0] or spans[j][1] < spans[i][0]
+
+    def test_mix_runs_under_multithreaded_mechanism(self):
+        programs = build_mix(("cmp", "vor", "mph"))
+        sim = Simulator(
+            programs, MachineConfig(mechanism="multithreaded", idle_threads=1)
+        )
+        result = sim.run(user_insts=400, warmup_insts=0, max_cycles=400_000)
+        assert all(n >= 400 for n in result.per_thread_user[:3])
+
+    def test_icount_chooser_balances_fetch(self):
+        programs = [
+            _counting_program(0x1000_0000, 500),
+            _counting_program(0x1000_0000 + SLICE_STRIDE, 500),
+        ]
+        sim = Simulator(programs, MachineConfig(mechanism="perfect", idle_threads=0))
+        for _ in range(300):
+            sim.core.step()
+        a = sim.core.threads[0].retired_user
+        b = sim.core.threads[1].retired_user
+        assert a > 0 and b > 0
+        assert abs(a - b) < max(a, b)  # neither thread starved
+
+    def test_round_robin_chooser_also_runs(self):
+        programs = [
+            _counting_program(0x1000_0000, 50),
+            _counting_program(0x1000_0000 + SLICE_STRIDE, 50),
+        ]
+        sim = Simulator(
+            programs,
+            MachineConfig(mechanism="perfect", idle_threads=0, chooser="round_robin"),
+        )
+        _run_to_all_halt(sim)
+        assert sim.core.threads[0].arch.read_int(2) == 50

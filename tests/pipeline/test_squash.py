@@ -1,0 +1,142 @@
+"""Squash-recovery correctness: rename rebuild, RAS repair, nesting."""
+
+import pytest
+
+from repro.isa.program import DataSegment
+from tests.conftest import make_sim, run_to_halt
+
+
+class TestRenameRecovery:
+    def test_values_correct_across_repeated_mispredicts(self):
+        """Alternating unpredictable branches stress the rename-map
+        rebuild; any stale mapping corrupts the accumulators."""
+        sim = make_sim(
+            """
+            main:
+                li   r1, 64
+                li   r2, 0
+                li   r3, 0
+            loop:
+                and  r4, r1, 1
+                mul  r4, r4, 3
+                beq  r4, r0, even
+                add  r2, r2, r1
+                jmp  next
+            even:
+                add  r3, r3, r1
+            next:
+                sub  r1, r1, 1
+                bne  r1, r0, loop
+                halt
+            """
+        )
+        run_to_halt(sim)
+        odd_sum = sum(i for i in range(1, 65) if i % 2 == 1)
+        even_sum = sum(i for i in range(1, 65) if i % 2 == 0)
+        assert sim.core.threads[0].arch.read_int(2) == odd_sum
+        assert sim.core.threads[0].arch.read_int(3) == even_sum
+        assert sim.core.stats.mispredicts > 5
+
+    def test_wrong_path_work_does_not_leak_into_registers(self):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 10
+                li   r7, 42
+            loop:
+                and  r4, r1, 1
+                mul  r4, r4, 7
+                bne  r4, r0, poison
+            back:
+                sub  r1, r1, 1
+                bne  r1, r0, loop
+                halt
+            poison:
+                li   r7, 666
+                li   r7, 42
+                jmp  back
+            """
+        )
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(7) == 42
+
+
+class TestRASRecovery:
+    def test_calls_across_mispredicted_branches(self):
+        """Wrong-path calls/returns must not corrupt the RAS."""
+        sim = make_sim(
+            """
+            main:
+                li   r1, 24
+                li   r2, 0
+            loop:
+                and  r4, r1, 1
+                mul  r4, r4, 5
+                beq  r4, r0, no_call
+                call bump
+            no_call:
+                sub  r1, r1, 1
+                bne  r1, r0, loop
+                halt
+            bump:
+                add  r2, r2, 1
+                ret
+            """
+        )
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(2) == 12
+
+    def test_nested_calls_return_correctly(self):
+        sim = make_sim(
+            """
+            main:
+                li   r1, 0
+                call outer
+                call outer
+                halt
+            outer:
+                add  r1, r1, 1
+                or   r9, lr, r0     ; preserve link
+                call inner
+                or   lr, r9, r0
+                ret
+            inner:
+                add  r1, r1, 10
+                ret
+            """
+        )
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(1) == 22
+
+
+class TestStoreQueueRecovery:
+    def test_squashed_stores_never_forward(self, data_base):
+        """A wrong-path store must not forward its value to a correct-path
+        load after the squash."""
+        sim = make_sim(
+            f"""
+            main:
+                li   r1, {data_base}
+                li   r2, 7
+                st   r2, 0(r1)
+                li   r5, 16
+                li   r7, 0
+            loop:
+                and  r4, r5, 1
+                mul  r4, r4, 9
+                beq  r4, r0, clean
+                li   r6, 999
+                st   r6, 0(r1)       ; odd iterations really store 999
+                li   r6, 7
+                st   r6, 0(r1)       ; ...then restore 7
+            clean:
+                ld   r8, 0(r1)
+                add  r7, r7, r8
+                sub  r5, r5, 1
+                bne  r5, r0, loop
+                halt
+            """,
+            regions=[(data_base, 8192)],
+        )
+        run_to_halt(sim)
+        assert sim.core.threads[0].arch.read_int(7) == 7 * 16

@@ -1,0 +1,109 @@
+"""Unit tests for the thread-context state machine."""
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.pipeline.thread import ThreadContext, ThreadState
+from repro.pipeline.uop import Uop
+
+
+def _program():
+    program = Program()
+    program.insts = [Instruction(op=Opcode.NOP), Instruction(op=Opcode.HALT)]
+    return program
+
+
+class TestLifecycle:
+    def test_starts_idle(self):
+        thread = ThreadContext(0)
+        assert thread.state is ThreadState.IDLE
+        assert not thread.can_fetch(0)
+
+    def test_activate_binds_program(self):
+        thread = ThreadContext(0)
+        thread.activate(_program())
+        assert thread.state is ThreadState.NORMAL
+        assert thread.can_fetch(0)
+
+    def test_fetch_gates(self):
+        thread = ThreadContext(0, fetch_buffer_size=2)
+        thread.activate(_program())
+        assert thread.can_fetch(0)
+        thread.fetch_stall_until = 10
+        assert not thread.can_fetch(5)
+        assert thread.can_fetch(10)
+        thread.halted = True
+        assert not thread.can_fetch(10)
+
+    def test_buffer_capacity_gates_fetch(self):
+        thread = ThreadContext(0, fetch_buffer_size=1)
+        thread.activate(_program())
+        uop = Uop(0, 0, 0, Instruction(op=Opcode.NOP))
+        thread.fetch_buffer.append(uop)
+        assert not thread.can_fetch(0)
+
+    def test_reset_to_idle_clears_everything(self):
+        thread = ThreadContext(0)
+        thread.activate(_program())
+        uop = Uop(0, 0, 0, Instruction(op=Opcode.NOP))
+        thread.rob.append(uop)
+        thread.fetch_buffer.append(uop)
+        thread.fetch_done = True
+        thread.master_tid = 3
+        thread.reset_to_idle()
+        assert thread.state is ThreadState.IDLE
+        assert not thread.rob and not thread.fetch_buffer
+        assert thread.master_tid is None
+        assert not thread.fetch_done
+
+    def test_counters_survive_reset(self):
+        thread = ThreadContext(0)
+        thread.retired_handler = 7
+        thread.reset_to_idle()
+        assert thread.retired_handler == 7  # lifetime counter
+
+
+class TestRenameRebuild:
+    def test_rebuild_maps_only_renamed_prefix(self):
+        thread = ThreadContext(0)
+        a = Uop(0, 0, 0, Instruction(op=Opcode.ADD, rd=1, ra=2, rb=3))
+        a.renamed = True
+        b = Uop(1, 0, 1, Instruction(op=Opcode.ADD, rd=2, ra=1, rb=1))
+        b.renamed = False  # still in the fetch buffer
+        thread.rob.extend([a, b])
+        thread.rebuild_rename_maps()
+        assert thread.int_map[1] is a
+        assert thread.int_map[2] is None
+
+    def test_rebuild_uses_latest_writer(self):
+        thread = ThreadContext(0)
+        first = Uop(0, 0, 0, Instruction(op=Opcode.ADD, rd=1, ra=2, rb=3))
+        second = Uop(1, 0, 1, Instruction(op=Opcode.SUB, rd=1, ra=2, rb=3))
+        first.renamed = second.renamed = True
+        thread.rob.extend([first, second])
+        thread.rebuild_rename_maps()
+        assert thread.int_map[1] is second
+
+    def test_rebuild_handles_fp_and_shadow(self):
+        thread = ThreadContext(0)
+        fp = Uop(0, 0, 0, Instruction(op=Opcode.FADD, rd=3, ra=1, rb=2))
+        pal = Uop(
+            1, 0, 1,
+            Instruction(op=Opcode.MFPR, rd=1, imm=0, privileged=True),
+        )
+        fp.renamed = pal.renamed = True
+        thread.rob.extend([fp, pal])
+        thread.rebuild_rename_maps()
+        assert thread.fp_map[3] is fp
+        assert thread.int_map[33] is pal  # r1 shadowed
+        assert thread.int_map[1] is None
+
+    def test_rebuild_handles_dynamic_dest(self):
+        thread = ThreadContext(0)
+        mtdst = Uop(
+            0, 0, 0, Instruction(op=Opcode.MTDST, ra=1, privileged=True)
+        )
+        mtdst.renamed = True
+        mtdst.dyn_dest = 9
+        thread.rob.append(mtdst)
+        thread.rebuild_rename_maps()
+        assert thread.int_map[9] is mtdst

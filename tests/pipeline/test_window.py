@@ -1,0 +1,95 @@
+"""Unit tests for the instruction window and reservations."""
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.pipeline.uop import Uop, UopState
+from repro.pipeline.window import InstructionWindow
+
+
+def _uop(seq, free_slot=False):
+    uop = Uop(seq, 0, 0, Instruction(op=Opcode.NOP))
+    uop.free_slot = free_slot
+    return uop
+
+
+class TestOccupancy:
+    def test_insert_remove(self):
+        window = InstructionWindow(4)
+        uop = _uop(1)
+        window.insert(uop)
+        assert window.occupancy == 1
+        window.remove(uop)
+        assert window.occupancy == 0
+
+    def test_capacity_gate_for_app_threads(self):
+        window = InstructionWindow(2)
+        window.insert(_uop(1))
+        assert window.can_insert_app()
+        window.insert(_uop(2))
+        assert not window.can_insert_app()
+
+    def test_free_slot_uops_not_counted(self):
+        window = InstructionWindow(2)
+        window.insert(_uop(1, free_slot=True))
+        assert window.occupancy == 0
+        assert window.can_insert_app()
+
+    def test_uops_kept_sorted_by_seq(self):
+        window = InstructionWindow(8)
+        for seq in (5, 1, 3):
+            window.insert(_uop(seq))
+        assert [u.seq for u in window.uops] == [1, 3, 5]
+
+    def test_remove_absent_uop_is_noop(self):
+        window = InstructionWindow(4)
+        window.remove(_uop(9))
+        assert window.occupancy == 0
+
+    def test_peak_occupancy_tracked(self):
+        window = InstructionWindow(4)
+        a, b = _uop(1), _uop(2)
+        window.insert(a)
+        window.insert(b)
+        window.remove(a)
+        assert window.peak_occupancy == 2
+
+
+class TestReservations:
+    def test_reservation_blocks_app_insertion(self):
+        window = InstructionWindow(4)
+        window.insert(_uop(1))
+        window.reserve(exc_id=9, slots=3)
+        assert not window.can_insert_app()
+
+    def test_handler_insert_consumes_reservation(self):
+        window = InstructionWindow(4)
+        window.reserve(exc_id=9, slots=2)
+        window.insert(_uop(1), exc_id=9)
+        assert window.reserved_total == 1
+        window.insert(_uop(2), exc_id=9)
+        assert window.reserved_total == 0
+
+    def test_release_frees_remaining_reservation(self):
+        window = InstructionWindow(4)
+        window.reserve(exc_id=9, slots=3)
+        window.insert(_uop(1), exc_id=9)
+        window.release(9)
+        assert window.reserved_total == 0
+        assert window.can_insert_app()
+
+    def test_release_unknown_id_is_noop(self):
+        window = InstructionWindow(4)
+        window.release(42)
+        assert window.reserved_total == 0
+
+    def test_multiple_concurrent_reservations(self):
+        window = InstructionWindow(10)
+        window.reserve(1, 3)
+        window.reserve(2, 4)
+        assert window.reserved_total == 7
+        window.release(1)
+        assert window.reserved_total == 4
+
+    def test_negative_reservation_clamped(self):
+        window = InstructionWindow(4)
+        window.reserve(1, -5)
+        assert window.reserved_total == 0

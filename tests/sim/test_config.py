@@ -1,0 +1,98 @@
+"""Tests for MachineConfig: Table 1 defaults and the paper's sweeps."""
+
+import pytest
+
+from repro.isa.instructions import FUClass
+from repro.sim.config import FUPool, MachineConfig
+
+
+class TestTable1Defaults:
+    def test_core_shape(self):
+        config = MachineConfig()
+        assert config.width == 8
+        assert config.window_size == 128
+        assert config.pipe_depth == 7  # 3 fetch + 1 decode + 1 sched + 2 rr
+
+    def test_fu_pool(self):
+        pool = MachineConfig().fu_pool
+        assert (pool.alu, pool.muldiv, pool.fp, pool.fpdiv, pool.mem) == (
+            8, 3, 3, 1, 3,
+        )
+
+    def test_fu_latencies(self):
+        config = MachineConfig()
+        assert config.fu_latency(FUClass.INT_ALU) == 1
+        assert config.fu_latency(FUClass.INT_MUL) == 3
+        assert config.fu_latency(FUClass.INT_DIV) == 12
+        assert config.fu_latency(FUClass.FP_ADD) == 2
+        assert config.fu_latency(FUClass.FP_MUL) == 4
+        assert config.fu_latency(FUClass.FP_DIV) == 12
+        assert config.fu_latency(FUClass.FP_SQRT) == 26
+        assert config.fu_latency(FUClass.STORE) == 2
+
+    def test_memory_system(self):
+        h = MachineConfig().hierarchy
+        assert h.l1d_size == 64 * 1024 and h.l1d_ways == 2 and h.l1d_line == 32
+        assert h.l2_size == 1024 * 1024 and h.l2_ways == 4 and h.l2_line == 64
+        assert h.memory_latency == 80
+        assert h.l1l2_bus_occupancy == 2
+        assert h.l2mem_bus_occupancy == 11
+
+    def test_dtlb_entries(self):
+        assert MachineConfig().dtlb_entries == 64
+
+
+class TestSweeps:
+    @pytest.mark.parametrize("depth", [3, 7, 11])
+    def test_pipe_depth_sweep(self, depth):
+        config = MachineConfig().with_pipe_depth(depth)
+        assert config.pipe_depth == depth
+        assert config.decode_latency == 1
+
+    def test_pipe_depth_minimum(self):
+        with pytest.raises(ValueError):
+            MachineConfig().with_pipe_depth(2)
+
+    @pytest.mark.parametrize("width,window", [(2, 32), (4, 64), (8, 128)])
+    def test_width_sweep(self, width, window):
+        config = MachineConfig().with_width(width)
+        assert config.width == width
+        assert config.window_size == window
+        assert config.fu_pool == FUPool.for_width(width)
+
+    def test_width_sweep_rejects_odd_width(self):
+        with pytest.raises(ValueError):
+            MachineConfig().with_width(6)
+
+    def test_with_mechanism(self):
+        config = MachineConfig().with_mechanism("hardware", idle_threads=3)
+        assert config.mechanism == "hardware"
+        assert config.idle_threads == 3
+
+    def test_sweeps_do_not_mutate_original(self):
+        base = MachineConfig()
+        base.with_pipe_depth(11)
+        assert base.pipe_depth == 7
+
+
+class TestValidation:
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError, match="mechanism"):
+            MachineConfig(mechanism="magic")
+
+    def test_unknown_chooser_rejected(self):
+        with pytest.raises(ValueError, match="chooser"):
+            MachineConfig(chooser="alphabetical")
+
+    def test_tiny_window_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(window_size=2)
+
+    def test_fu_pool_width_validation(self):
+        with pytest.raises(ValueError):
+            FUPool.for_width(3)
+
+    def test_pool_capacity_lookup(self):
+        assert FUPool().capacity("mem") == 3
+        assert MachineConfig.fu_group(FUClass.LOAD) == "mem"
+        assert MachineConfig.fu_group(FUClass.BRANCH) == "alu"

@@ -1,0 +1,51 @@
+"""Tests for the penalty-per-miss metric plumbing."""
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.metrics import PenaltyResult, penalty_per_miss, run_pair
+from repro.workloads.suite import build_benchmark
+
+
+class TestPenaltyResult:
+    def test_penalty_arithmetic(self):
+        result = PenaltyResult(
+            mechanism="traditional",
+            cycles=1500,
+            perfect_cycles=1000,
+            fills=50,
+            retired_user=5000,
+        )
+        assert result.penalty_cycles == 500
+        assert result.penalty_per_miss == 10.0
+        assert result.relative_overhead == pytest.approx(1 / 3)
+
+    def test_zero_fills_is_total(self):
+        result = PenaltyResult("x", 100, 100, 0, 1000)
+        assert result.penalty_per_miss == 0.0
+
+    def test_speedup_over(self):
+        fast = PenaltyResult("a", 1000, 900, 10, 100)
+        slow = PenaltyResult("b", 2000, 900, 10, 100)
+        assert fast.speedup_over(slow) == 2.0
+
+
+class TestRunPair:
+    def test_pair_produces_positive_penalty(self):
+        config = MachineConfig(mechanism="traditional")
+        mech, perfect, penalty = run_pair(
+            lambda: build_benchmark("compress"), config, user_insts=1000
+        )
+        assert mech.mechanism == "traditional"
+        assert perfect.mechanism == "perfect"
+        assert penalty.fills > 0
+        assert penalty.penalty_per_miss > 0
+
+    def test_penalty_per_miss_from_results(self):
+        config = MachineConfig(mechanism="hardware")
+        mech, perfect, _ = run_pair(
+            lambda: build_benchmark("vortex"), config, user_insts=800
+        )
+        packaged = penalty_per_miss(mech, perfect)
+        assert packaged.cycles == mech.cycles
+        assert packaged.fills == mech.committed_fills

@@ -1,0 +1,63 @@
+"""Edge-case tests for SimResult and run control."""
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import SimResult, Simulator
+from repro.sim.stats import SimStats
+from repro.workloads.suite import build_benchmark
+
+
+class TestSimResultEdges:
+    def _result(self, **kw):
+        defaults = dict(
+            cycles=100,
+            mechanism="perfect",
+            stats=SimStats(),
+            tlb=None,
+            branch=None,
+            mech=None,
+            l1d=None,
+            l2=None,
+        )
+        defaults.update(kw)
+        return SimResult(**defaults)
+
+    def test_zero_cycles_ipc(self):
+        assert self._result(cycles=0).ipc == 0.0
+
+    def test_zero_user_miss_rate(self):
+        assert self._result(retired_user=0).miss_rate_per_kilo_inst == 0.0
+
+    def test_miss_rate_units(self):
+        result = self._result(committed_fills=5, retired_user=1000)
+        assert result.miss_rate_per_kilo_inst == 5.0
+
+
+class TestRunControl:
+    def test_zero_warmup_skips_warmup_phase(self):
+        sim = Simulator(build_benchmark("murphi"), MachineConfig(mechanism="perfect"))
+        result = sim.run(user_insts=300, warmup_insts=0, max_cycles=200_000)
+        assert result.retired_user == result.stats.retired_user
+
+    def test_repeated_run_calls_measure_incrementally(self):
+        sim = Simulator(build_benchmark("murphi"), MachineConfig(mechanism="perfect"))
+        first = sim.run(user_insts=300, warmup_insts=0, max_cycles=400_000)
+        second = sim.run(user_insts=300, warmup_insts=0, max_cycles=800_000)
+        assert second.retired_user >= 300
+        assert sim.core.stats.retired_user >= first.retired_user + 300
+
+    def test_stats_as_dict_round_trip(self):
+        sim = Simulator(build_benchmark("murphi"), MachineConfig(mechanism="perfect"))
+        sim.run(user_insts=200, warmup_insts=0, max_cycles=200_000)
+        d = sim.core.stats.as_dict()
+        assert d["retired_user"] >= 200
+        assert d["cycles"] > 0
+        assert "ipc" in d
+
+    def test_fetch_waste_fraction_bounded(self):
+        sim = Simulator(
+            build_benchmark("gcc"), MachineConfig(mechanism="perfect")
+        )
+        sim.run(user_insts=500, warmup_insts=100, max_cycles=400_000)
+        assert 0.0 <= sim.core.stats.fetch_waste_fraction <= 1.0

@@ -1,0 +1,75 @@
+"""Tests for the pipeline tracer."""
+
+import pytest
+
+from repro.isa.program import DataSegment
+from repro.sim.trace import PipelineTracer
+from tests.conftest import make_sim, run_to_halt
+
+
+def _miss_sim(data_base, mechanism="multithreaded"):
+    return make_sim(
+        f"""
+        main:
+            li   r1, {data_base}
+            ld   r2, 0(r1)
+            add  r3, r2, 1
+            halt
+        """,
+        mechanism=mechanism,
+        segments=[DataSegment(base=data_base, words=[41])],
+    )
+
+
+class TestTracer:
+    def test_retirement_order_captured(self, data_base):
+        sim = _miss_sim(data_base)
+        with PipelineTracer(sim.core) as tracer:
+            run_to_halt(sim)
+        order = tracer.retirement_order()
+        assert order, "no retirements recorded"
+        ops = [e.op for e in order]
+        assert "halt" in ops and "reti" in ops
+
+    def test_handler_episode_detected(self, data_base):
+        sim = _miss_sim(data_base)
+        with PipelineTracer(sim.core) as tracer:
+            run_to_halt(sim)
+        episodes = tracer.handler_episodes()
+        assert len(episodes) == 1
+        assert episodes[0].handler_instructions == 10  # common-case handler
+        assert episodes[0].latency >= 0
+
+    def test_issue_and_squash_kinds(self, data_base):
+        sim = _miss_sim(data_base, mechanism="traditional")
+        with PipelineTracer(sim.core, kinds=("issue", "squash")) as tracer:
+            run_to_halt(sim)
+        assert tracer.of_kind("issue")
+        assert tracer.of_kind("squash")  # the trap squashed something
+        assert not tracer.of_kind("retire")
+
+    def test_detach_restores_core(self, data_base):
+        sim = _miss_sim(data_base)
+        original = sim.core._do_retire
+        tracer = PipelineTracer(sim.core)
+        assert sim.core._do_retire != original
+        tracer.detach()
+        assert sim.core._do_retire == original
+        run_to_halt(sim)
+        assert not tracer.events  # recorded nothing after detach
+
+    def test_format_is_readable(self, data_base):
+        sim = _miss_sim(data_base)
+        with PipelineTracer(sim.core) as tracer:
+            run_to_halt(sim)
+        text = tracer.format(limit=5)
+        assert "retire" in text
+        assert "more events" in text
+
+    def test_trace_does_not_change_timing(self, data_base):
+        plain = _miss_sim(data_base)
+        cycles_plain = run_to_halt(plain)
+        traced = _miss_sim(data_base)
+        with PipelineTracer(traced.core, kinds=("retire", "issue", "squash")):
+            cycles_traced = run_to_halt(traced)
+        assert cycles_plain == cycles_traced

@@ -1,0 +1,95 @@
+"""Tests for the workload-construction helpers."""
+
+import pytest
+
+from repro.isa.program import DataSegment
+from repro.workloads.builder import (
+    DEFAULT_BASE,
+    SLICE_STRIDE,
+    jump_table,
+    lcg_next,
+    lcg_stream,
+    make_program,
+    pointer_ring,
+)
+
+
+class TestMakeProgram:
+    def test_pal_handlers_installed_first(self):
+        program = make_program("main:\n  halt")
+        assert program.pal_entries["dtlb_miss"] == 0
+        assert "emul" in program.pal_entries
+        assert program.entry == program.labels["main"]
+
+    def test_segments_marked_warm(self):
+        segment = DataSegment(base=0x2000_0000, words=[1, 2])
+        program = make_program("main:\n  halt", segments=[segment])
+        assert (segment.base, segment.size_bytes) in program.warm_ranges
+
+    def test_regions_marked_warm(self):
+        program = make_program("main:\n  halt", regions=[(0x2000_0000, 8192)])
+        assert (0x2000_0000, 8192) in program.warm_ranges
+        assert (0x2000_0000, 8192) in program.regions
+
+    def test_cold_regions_mapped_but_not_warm(self):
+        program = make_program(
+            "main:\n  halt", cold_regions=[(0x3000_0000, 8192)]
+        )
+        assert (0x3000_0000, 8192) in program.regions
+        assert (0x3000_0000, 8192) not in program.warm_ranges
+
+    def test_custom_entry_label(self):
+        program = make_program(
+            "helper:\n  nop\nstart:\n  halt", entry_label="start"
+        )
+        assert program.entry == program.labels["start"]
+
+
+class TestLCG:
+    def test_stream_matches_single_steps(self):
+        state = 5
+        expected = []
+        for _ in range(4):
+            state = lcg_next(state)
+            expected.append(state)
+        assert lcg_stream(5, 4) == expected
+
+    def test_values_stay_64_bit(self):
+        for value in lcg_stream(123, 50):
+            assert 0 <= value < (1 << 64)
+
+
+class TestPointerRing:
+    def test_payload_words_present(self):
+        segment = pointer_ring(0x4000_0000, node_count=16, node_words=4)
+        # Word 1 of each node is a payload.
+        payloads = segment.words[1::4]
+        assert any(p != 0 for p in payloads)
+
+    def test_single_word_nodes_have_no_payload(self):
+        segment = pointer_ring(0x4000_0000, node_count=8, node_words=1)
+        assert len(segment.words) == 8
+
+    def test_deterministic(self):
+        a = pointer_ring(0x4000_0000, 32, 2)
+        b = pointer_ring(0x4000_0000, 32, 2)
+        assert a.words == b.words
+
+    def test_different_seeds_differ(self):
+        a = pointer_ring(0x4000_0000, 32, 2, seed=1)
+        b = pointer_ring(0x4000_0000, 32, 2, seed=2)
+        assert a.words != b.words
+
+
+class TestJumpTable:
+    def test_holds_targets(self):
+        segment = jump_table(0x5000_0000, [10, 20, 30])
+        assert segment.words == [10, 20, 30]
+        assert segment.base == 0x5000_0000
+
+
+class TestSlices:
+    def test_slice_stride_dwarfs_footprints(self):
+        # Largest workload footprint is a few MB; slices must never touch.
+        assert SLICE_STRIDE > 1 << 30
+        assert DEFAULT_BASE % 8192 == 0

@@ -1,0 +1,109 @@
+"""Tests for the benchmark suite: construction and character."""
+
+import pytest
+
+from repro.memory.address import vpn_of
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.builder import (
+    DEFAULT_BASE,
+    SLICE_STRIDE,
+    lcg_stream,
+    pointer_ring,
+)
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    BENCHMARKS,
+    FIG7_MIXES,
+    build_benchmark,
+    build_mix,
+)
+
+
+class TestRegistry:
+    def test_eight_benchmarks(self):
+        assert len(BENCHMARKS) == 8
+        assert set(BENCHMARK_NAMES) == {
+            "alphadoom", "applu", "compress", "deltablue",
+            "gcc", "hydro2d", "murphi", "vortex",
+        }
+
+    def test_lookup_by_abbreviation(self):
+        assert build_benchmark("cmp").entry == build_benchmark("compress").entry
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_benchmark("doom3")
+
+    def test_fig7_mixes_use_known_benchmarks(self):
+        abbrevs = {spec.abbrev for spec in BENCHMARKS.values()}
+        for mix in FIG7_MIXES:
+            assert len(mix) == 3
+            assert set(mix) <= abbrevs
+
+    def test_mix_slices_are_spaced(self):
+        programs = build_mix(("adm", "apl", "cmp"))
+        bases = [min(s.base for s in (p.data_segments or [])) if p.data_segments
+                 else min(b for b, _ in p.regions) for p in programs]
+        assert bases[1] - bases[0] >= SLICE_STRIDE - (1 << 30)
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+class TestEachBenchmark:
+    def test_builds_with_pal_at_zero(self, name):
+        program = build_benchmark(name)
+        assert program.pal_entries["dtlb_miss"] == 0
+        assert program.entry > 0
+
+    def test_runs_and_misses_the_tlb(self, name):
+        sim = Simulator(build_benchmark(name), MachineConfig(mechanism="hardware"))
+        result = sim.run(user_insts=2500, warmup_insts=800, max_cycles=2_000_000)
+        assert result.committed_fills > 0, f"{name} produced no TLB misses"
+        assert 0.3 < result.miss_rate_per_kilo_inst < 60
+
+    def test_relocatable_to_another_slice(self, name):
+        program = build_benchmark(name, base=DEFAULT_BASE + SLICE_STRIDE)
+        sim = Simulator(program, MachineConfig(mechanism="perfect"))
+        result = sim.run(user_insts=400, warmup_insts=0, max_cycles=400_000)
+        assert result.retired_user >= 400
+
+    def test_footprint_exceeds_tlb_reach(self, name):
+        program = build_benchmark(name)
+        pages = set()
+        for segment in program.data_segments:
+            pages.update(
+                range(vpn_of(segment.base), vpn_of(segment.end - 1) + 1)
+            )
+        for base, size in program.regions:
+            pages.update(range(vpn_of(base), vpn_of(base + size - 1) + 1))
+        assert len(pages) > 64, f"{name} fits entirely in the TLB"
+
+
+class TestSuiteCharacter:
+    def test_compress_and_vortex_are_miss_heavy(self):
+        rates = {}
+        for name in ("compress", "vortex", "alphadoom"):
+            sim = Simulator(build_benchmark(name), MachineConfig(mechanism="hardware"))
+            result = sim.run(user_insts=4000, warmup_insts=1500, max_cycles=2_000_000)
+            rates[name] = result.miss_rate_per_kilo_inst
+        assert rates["compress"] > rates["alphadoom"]
+        assert rates["vortex"] > rates["alphadoom"]
+
+
+class TestBuilders:
+    def test_lcg_stream_deterministic(self):
+        assert lcg_stream(42, 5) == lcg_stream(42, 5)
+        assert lcg_stream(42, 5) != lcg_stream(43, 5)
+
+    def test_pointer_ring_is_single_cycle(self):
+        base = 0x2000_0000
+        segment = pointer_ring(base, node_count=64, node_words=4)
+        words = {base + 8 * i: v for i, v in enumerate(segment.words)}
+        seen = set()
+        addr = base
+        for _ in range(64):
+            assert addr not in seen
+            seen.add(addr)
+            addr = words[addr]
+        assert addr == base  # closes after exactly node_count hops
+        assert len(seen) == 64
