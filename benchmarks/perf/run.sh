@@ -1,0 +1,5 @@
+#!/bin/sh
+# Regenerate BENCH_engine.json from the repo root.
+set -e
+cd "$(dirname "$0")/../.."
+PYTHONPATH=src python -m repro.sim.perfbench "$@"

@@ -137,3 +137,17 @@ class ExceptionMechanism:
     def fetch_idle(self, now: int, budget: int) -> int:
         """Offer leftover fetch bandwidth (quick-start); returns used."""
         return 0
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle after ``now`` at which this mechanism may act
+        *spontaneously* (via ``tick``/``service_mem_ports``/``fetch_idle``
+        rather than in reaction to a core event).
+
+        Used by the core's idle-cycle fast-forward: after a quiet cycle
+        the clock may jump to the next wakeup, and this bound keeps the
+        jump from skipping autonomous mechanism work.  Purely reactive
+        mechanisms return a far-future sentinel; the conservative default
+        returns ``now``, which disables fast-forward entirely for
+        mechanisms that do not implement the hook.
+        """
+        return now

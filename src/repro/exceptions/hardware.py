@@ -146,6 +146,7 @@ class HardwareWalkerMechanism(ExceptionMechanism):
             self.traditional.trap(thread, oldest, instance.va, now)
             for uop in survivors:
                 uop.waiting_fill = None
+                core.wake_uop(uop)
             return
         core.dtlb.fill(instance.vpn, pte_pfn(pte), speculative=False)
         self.stats.committed_fills += 1
@@ -153,6 +154,7 @@ class HardwareWalkerMechanism(ExceptionMechanism):
         instance.fill_cycle = now
         for uop in survivors:
             uop.waiting_fill = None
+            core.wake_uop(uop)
 
     def _drain_overflow(self, now: int) -> None:
         still_waiting: list[Uop] = []
@@ -170,6 +172,24 @@ class HardwareWalkerMechanism(ExceptionMechanism):
                 va = uop.eff_addr if uop.eff_addr is not None else 0
                 self._start_walk(uop, va, vpn, now)
         self._overflow = still_waiting
+
+    def next_event_cycle(self, now: int) -> int:
+        """Next autonomous walker action: a port grant (imminent -- block
+        fast-forward) or the earliest in-flight walk completion.
+
+        Overflow with a free walker slot also blocks fast-forward; with
+        all slots busy it drains at some walk's completion, which the
+        minimum below already covers.
+        """
+        nxt = 1 << 60
+        for walk in self._walks.values():
+            if not walk.port_granted:
+                return now
+            if walk.completion < nxt:
+                nxt = walk.completion
+        if self._overflow and len(self._walks) < self._walker_entries:
+            return now
+        return nxt
 
     # ------------------------------------------------------------------
     def on_emulation(self, uop: Uop, src_value: int, now: int) -> None:

@@ -224,6 +224,7 @@ class MultithreadedMechanism(ExceptionMechanism):
             uop.insert_cycle = now
             uop.min_sched_cycle = now + 1
             uop.state = UopState.WINDOW
+            core._schedule_uop(uop)
             if inst.op is Opcode.RETI:
                 break
             pc += 1
@@ -252,9 +253,11 @@ class MultithreadedMechanism(ExceptionMechanism):
             del self._by_vpn[instance.vpn]
 
     def _wake_waiters(self, instance: ExceptionInstance) -> None:
+        core = self.core
         for waiter in [instance.master_uop, *instance.waiters]:
             if waiter is not None and waiter.state != UopState.SQUASHED:
                 waiter.waiting_fill = None
+                core.wake_uop(waiter)
 
     def on_mtdst(self, uop: Uop, value: int, now: int) -> None:
         """Section 6: write straight into the excepting instruction's
@@ -273,6 +276,7 @@ class MultithreadedMechanism(ExceptionMechanism):
         master.issue_cycle = now
         master.finish_cycle = now + 1
         master.waiting_fill = None
+        self.core.producer_issued(master)
         instance.filled = True
         instance.fill_cycle = now
 
@@ -325,6 +329,17 @@ class MultithreadedMechanism(ExceptionMechanism):
     def _thread_freed(self, thread: ThreadContext, now: int) -> None:
         """Hook for quick-start: a context is about to go idle."""
 
+    def next_event_cycle(self, now: int) -> int:
+        """Purely reactive: spawns, fills, and reclaims all happen in
+        response to core events (handler instructions execute through the
+        ordinary pipeline, whose wakeups the core enumerates itself).
+
+        Quick-start inherits this: its prefetch runs whenever idle fetch
+        bandwidth exists, so on any quiet cycle it already ran (and found
+        nothing to do), and nothing changes that until some other event.
+        """
+        return 1 << 60
+
     # ------------------------------------------------------------------
     def on_uop_squashed(self, uop: Uop, now: int) -> None:
         """Reclaim handler threads/fills linked to squashed uops."""
@@ -362,6 +377,7 @@ class MultithreadedMechanism(ExceptionMechanism):
                 instance.master_uop.exc_instance = None
             for waiter in instance.alive_waiters():
                 waiter.waiting_fill = None  # re-raise on next issue attempt
+                core.wake_uop(waiter)
             if self._by_vpn.get(instance.vpn) is instance:
                 del self._by_vpn[instance.vpn]
             core.dtlb.rollback(instance.id)

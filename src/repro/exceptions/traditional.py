@@ -133,6 +133,11 @@ class TraditionalMechanism(ExceptionMechanism):
             if self._active.get(thread.tid) is instance:
                 del self._active[thread.tid]
 
+    def next_event_cycle(self, now: int) -> int:
+        """Purely reactive: traps, fills, and redirects all happen in
+        response to core events, never on a timer."""
+        return 1 << 60
+
     # ------------------------------------------------------------------
     def on_uop_squashed(self, uop: Uop, now: int) -> None:
         # A squashed tlbwr's speculative fill is rolled back.  The trap

@@ -52,7 +52,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also render figure results as ASCII bar charts",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per experiment grid (default: REPRO_JOBS "
+        "or the CPU count); 1 forces the serial path",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        import os
+
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     names = ALL_ORDER if args.experiment == "all" else (args.experiment,)
     for name in names:

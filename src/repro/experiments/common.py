@@ -16,20 +16,31 @@ measurement runs.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.isa.program import Program
 from repro.sim.config import MachineConfig
+from repro.sim.parallel import CellSpec, run_cells
 from repro.sim.simulator import SimResult, Simulator
 from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
 
 
 def _scale() -> float:
+    raw = os.environ.get("REPRO_SCALE", "1")
     try:
-        return max(0.1, float(os.environ.get("REPRO_SCALE", "1")))
+        value = float(raw)
     except ValueError:
         return 1.0
+    if value < 0.1:
+        warnings.warn(
+            f"REPRO_SCALE={raw!r} is below the minimum; clamping to 0.1",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 0.1
+    return value
 
 
 @dataclass
@@ -158,6 +169,7 @@ def penalty_table(
     base_config: MachineConfig | None = None,
     reference_label: str | None = None,
     factory: Callable[[], Program | list[Program]] | None = None,
+    workload: str | tuple[str, ...] | None = None,
 ) -> list[Row]:
     """Measure one benchmark under several configurations.
 
@@ -166,17 +178,37 @@ def penalty_table(
     (default: the first config) is run automatically.  The reference
     miss count comes from ``reference_label``'s run (default: the first
     config's run).
-    """
-    if factory is None:
-        factory = lambda: build_benchmark(name)  # noqa: E731
-    base = base_config or next(iter(configs.values()))
-    perfect = run_benchmark(factory, base.with_mechanism("perfect"), settings)
 
-    results = {
-        label: run_benchmark(factory, config, settings)
-        for label, config in configs.items()
-    }
-    ref_label = reference_label or next(iter(configs))
+    ``workload`` names the benchmark (or mix tuple) to build; it
+    defaults to ``name`` and is what lets the cells run through
+    :func:`repro.sim.parallel.run_cells` (fan-out + result cache).  A
+    ``factory`` callable forces the serial in-process path, for callers
+    with programs the worker processes cannot rebuild by name.
+    """
+    base = base_config or next(iter(configs.values()))
+    labels = list(configs)
+
+    if factory is not None:
+        perfect = run_benchmark(factory, base.with_mechanism("perfect"), settings)
+        results = {
+            label: run_benchmark(factory, config, settings)
+            for label, config in configs.items()
+        }
+    else:
+        cell = lambda config: CellSpec(  # noqa: E731
+            workload=workload if workload is not None else name,
+            config=config,
+            user_insts=settings.user_insts,
+            warmup_insts=settings.warmup_insts,
+            max_cycles=settings.max_cycles,
+        )
+        specs = [cell(base.with_mechanism("perfect"))]
+        specs += [cell(config) for config in configs.values()]
+        outcomes = run_cells(specs)
+        perfect = outcomes[0]
+        results = dict(zip(labels, outcomes[1:]))
+
+    ref_label = reference_label or labels[0]
     reference = max(1, results[ref_label].committed_fills)
     return [
         Row(

@@ -37,7 +37,7 @@ def run(settings: Settings | None = None) -> ExperimentResult:
                 configs(),
                 settings,
                 reference_label="hardware",
-                factory=lambda mix=mix: build_mix(mix),
+                workload=mix,
             )
         )
     return result

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import Settings, run_benchmark
+from repro.experiments.common import Settings
 from repro.sim.config import MachineConfig
-from repro.workloads.suite import build_benchmark
+from repro.sim.parallel import CellSpec, run_cells
 
 COLUMNS = ("Perfect", "H/W", "Multi(1)", "Multi(3)", "Quick(1)", "Quick(3)")
 
@@ -42,15 +42,34 @@ class SpeedupRow:
 def run(settings: Settings | None = None) -> list[SpeedupRow]:
     """Measure every row of Table 4; returns the rows."""
     settings = settings or Settings.from_env()
-    rows = []
-    for name in settings.benchmarks:
-        factory = lambda: build_benchmark(name)  # noqa: E731
-        traditional = run_benchmark(
-            factory, MachineConfig(mechanism="traditional"), settings
+    grid = dict(configs())
+    labels = ["traditional", *grid]
+    grid["traditional"] = MachineConfig(mechanism="traditional")
+
+    # One flat batch over (benchmark x column): a single run_cells call
+    # maximizes fan-out and lets the result cache share cells with the
+    # other experiments.
+    specs = [
+        CellSpec(
+            workload=name,
+            config=grid[label],
+            user_insts=settings.user_insts,
+            warmup_insts=settings.warmup_insts,
+            max_cycles=settings.max_cycles,
         )
+        for name in settings.benchmarks
+        for label in labels
+    ]
+    outcomes = run_cells(specs)
+
+    rows = []
+    for bench_idx, name in enumerate(settings.benchmarks):
+        cells = dict(
+            zip(labels, outcomes[bench_idx * len(labels) : (bench_idx + 1) * len(labels)])
+        )
+        traditional = cells.pop("traditional")
         row = SpeedupRow(benchmark=name, base_ipc=0.0, tlb_misses=0)
-        for label, config in configs().items():
-            result = run_benchmark(factory, config, settings)
+        for label, result in cells.items():
             row.speedups[label] = 100.0 * (
                 traditional.cycles / result.cycles - 1.0
             )

@@ -23,6 +23,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.isa.registers import pal_reg
+
 
 class FUClass(enum.Enum):
     """Functional-unit class an opcode executes on (Table 1 of the paper)."""
@@ -211,6 +213,136 @@ FP_SRC_A_OPS = frozenset(
 FP_SRC_B_OPS = frozenset({Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FST})
 
 
+# ---------------------------------------------------------------------------
+# Precomputed per-instruction metadata (the engine fast path).
+#
+# The pipeline resolves everything it can about an opcode *once*, when the
+# static :class:`Instruction` is constructed, instead of consulting opcode
+# dicts/frozensets on every fetch.  The tables below are the single source
+# of truth; ``Instruction.__post_init__`` bakes them into plain attributes.
+# ---------------------------------------------------------------------------
+
+#: Source-operand kinds (``src_a_kind`` / ``src_b_kind`` / ``dest_kind``).
+SRC_NONE = 0
+SRC_INT = 1
+SRC_FP = 2
+SRC_IMM = 3
+
+#: Source operand register spaces per opcode: (space_a, space_b) where a
+#: space is "int", "fp", or None.  Immediates are bound when rb is absent.
+SRC_SPACES: dict[Opcode, tuple[str | None, str | None]] = {
+    Opcode.ADD: ("int", "int"),
+    Opcode.SUB: ("int", "int"),
+    Opcode.AND: ("int", "int"),
+    Opcode.OR: ("int", "int"),
+    Opcode.XOR: ("int", "int"),
+    Opcode.SLL: ("int", "int"),
+    Opcode.SRL: ("int", "int"),
+    Opcode.SRA: ("int", "int"),
+    Opcode.CMPLT: ("int", "int"),
+    Opcode.CMPULT: ("int", "int"),
+    Opcode.CMPEQ: ("int", "int"),
+    Opcode.MUL: ("int", "int"),
+    Opcode.DIV: ("int", "int"),
+    Opcode.LI: (None, None),
+    Opcode.LD: ("int", None),
+    Opcode.FLD: ("int", None),
+    Opcode.ST: ("int", "int"),
+    Opcode.FST: ("int", "fp"),
+    Opcode.BEQ: ("int", "int"),
+    Opcode.BNE: ("int", "int"),
+    Opcode.BLT: ("int", "int"),
+    Opcode.BGE: ("int", "int"),
+    Opcode.JMP: (None, None),
+    Opcode.CALL: (None, None),
+    Opcode.CALLI: ("int", None),
+    Opcode.JMPI: ("int", None),
+    Opcode.RET: ("int", None),
+    Opcode.FADD: ("fp", "fp"),
+    Opcode.FSUB: ("fp", "fp"),
+    Opcode.FMUL: ("fp", "fp"),
+    Opcode.FDIV: ("fp", "fp"),
+    Opcode.FSQRT: ("fp", None),
+    Opcode.ITOF: ("int", None),
+    Opcode.FTOI: ("fp", None),
+    Opcode.MFPR: (None, None),
+    Opcode.MTPR: ("int", None),
+    Opcode.TLBWR: ("int", "int"),
+    Opcode.RETI: (None, None),
+    Opcode.HARDEXC: (None, None),
+    Opcode.MTDST: ("int", None),
+    Opcode.EMUL: ("int", None),
+    Opcode.NOP: (None, None),
+    Opcode.HALT: (None, None),
+}
+
+#: FU class -> (pool group, execution latency).  Load latency comes from
+#: the memory hierarchy; store latency from the machine config; the
+#: values here are unused for memory operations.
+FU_GROUPS: dict[FUClass, tuple[str, int]] = {
+    FUClass.INT_ALU: ("alu", 1),
+    FUClass.BRANCH: ("alu", 1),
+    FUClass.INT_MUL: ("muldiv", 3),
+    FUClass.INT_DIV: ("muldiv", 12),
+    FUClass.FP_ADD: ("fp", 2),
+    FUClass.FP_MUL: ("fp", 4),
+    FUClass.FP_DIV: ("fpdiv", 12),
+    FUClass.FP_SQRT: ("fpdiv", 26),
+    FUClass.LOAD: ("mem", 3),
+    FUClass.STORE: ("mem", 2),
+}
+
+#: Execute-stage dispatch kinds (``Instruction.exec_kind``).  The issue
+#: logic switches on these ints instead of walking an ``op is ...`` chain.
+EK_INT_ALU = 0
+EK_FP_ALU = 1
+EK_CONVERT = 2
+EK_MFPR = 3
+EK_MTPR = 4
+EK_TLBWR = 5
+EK_EMUL = 6
+EK_MTDST = 7
+EK_HARDEXC = 8
+EK_NOP = 9
+EK_BRANCH = 10
+EK_MEM = 11
+
+INT_ALU_OPS = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.CMPLT, Opcode.CMPULT,
+        Opcode.CMPEQ, Opcode.MUL, Opcode.DIV, Opcode.LI,
+    }
+)
+FP_ALU_OPS = frozenset(
+    {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FSQRT}
+)
+
+
+def _exec_kind(op: Opcode) -> int:
+    if op in MEM_OPS:
+        return EK_MEM
+    if op in INT_ALU_OPS:
+        return EK_INT_ALU
+    if op in FP_ALU_OPS:
+        return EK_FP_ALU
+    if op in (Opcode.ITOF, Opcode.FTOI):
+        return EK_CONVERT
+    if op in BRANCH_OPS:
+        return EK_BRANCH
+    return {
+        Opcode.MFPR: EK_MFPR,
+        Opcode.MTPR: EK_MTPR,
+        Opcode.TLBWR: EK_TLBWR,
+        Opcode.EMUL: EK_EMUL,
+        Opcode.MTDST: EK_MTDST,
+        Opcode.HARDEXC: EK_HARDEXC,
+    }.get(op, EK_NOP)
+
+
+_EK_BY_OP: dict[Opcode, int] = {op: _exec_kind(op) for op in Opcode}
+
+
 @dataclass(frozen=True)
 class Instruction:
     """A static instruction as assembled into the text segment.
@@ -230,38 +362,69 @@ class Instruction:
     #: True for PAL/handler code; checked against the thread's privilege.
     privileged: bool = field(default=False, compare=False)
 
-    @property
-    def fu_class(self) -> FUClass:
-        """Functional-unit class this instruction executes on."""
-        return OPCODE_FU[self.op]
+    # __post_init__ precomputes hot-path metadata as plain instance
+    # attributes (NOT dataclass fields, so eq/hash/repr are untouched):
+    # fu_class, fu_group, fu_latency0, exec_kind, is_branch,
+    # is_cond_branch, is_indirect, is_mem, is_load, is_store, is_priv,
+    # src_a_kind/idx, src_b_kind/idx, imm0, dest_kind/idx.
+    def __post_init__(self) -> None:
+        op = self.op
+        priv = self.privileged
+        _set = object.__setattr__
+        fu = OPCODE_FU[op]
+        group, latency = FU_GROUPS[fu]
+        _set(self, "fu_class", fu)
+        _set(self, "fu_group", group)
+        _set(self, "fu_latency0", latency)
+        _set(self, "exec_kind", _EK_BY_OP[op])
+        _set(self, "is_branch", op in BRANCH_OPS)
+        _set(self, "is_cond_branch", op in COND_BRANCH_OPS)
+        _set(self, "is_indirect", op in INDIRECT_OPS)
+        _set(self, "is_mem", op in MEM_OPS)
+        _set(self, "is_load", op in LOAD_OPS)
+        _set(self, "is_store", op in STORE_OPS)
+        _set(self, "is_priv", op in PRIV_OPS)
+        _set(self, "imm0", self.imm if self.imm is not None else 0)
 
-    @property
-    def is_branch(self) -> bool:
-        return self.op in BRANCH_OPS
+        # Rename-time operand metadata: register space plus the physical
+        # index (PAL shadow bank already resolved for privileged code).
+        space_a, space_b = SRC_SPACES[op]
+        if space_a == "int" and self.ra is not None:
+            _set(self, "src_a_kind", SRC_INT)
+            _set(self, "src_a_idx", pal_reg(self.ra) if priv else self.ra)
+        elif space_a == "fp" and self.ra is not None:
+            _set(self, "src_a_kind", SRC_FP)
+            _set(self, "src_a_idx", self.ra)
+        else:
+            _set(self, "src_a_kind", SRC_NONE)
+            _set(self, "src_a_idx", 0)
+        if space_b == "int":
+            if self.rb is not None:
+                _set(self, "src_b_kind", SRC_INT)
+                _set(self, "src_b_idx", pal_reg(self.rb) if priv else self.rb)
+            else:
+                _set(self, "src_b_kind", SRC_IMM)
+                _set(self, "src_b_idx", 0)
+        elif space_b == "fp" and self.rb is not None:
+            _set(self, "src_b_kind", SRC_FP)
+            _set(self, "src_b_idx", self.rb)
+        elif op is Opcode.LI:
+            _set(self, "src_b_kind", SRC_IMM)
+            _set(self, "src_b_idx", 0)
+        else:
+            _set(self, "src_b_kind", SRC_NONE)
+            _set(self, "src_b_idx", 0)
 
-    @property
-    def is_cond_branch(self) -> bool:
-        return self.op in COND_BRANCH_OPS
-
-    @property
-    def is_indirect(self) -> bool:
-        return self.op in INDIRECT_OPS
-
-    @property
-    def is_mem(self) -> bool:
-        return self.op in MEM_OPS
-
-    @property
-    def is_load(self) -> bool:
-        return self.op in LOAD_OPS
-
-    @property
-    def is_store(self) -> bool:
-        return self.op in STORE_OPS
-
-    @property
-    def is_priv(self) -> bool:
-        return self.op in PRIV_OPS
+        if self.rd is not None:
+            if op in FP_DEST_OPS:
+                _set(self, "dest_kind", SRC_FP)
+                _set(self, "dest_idx", self.rd)
+            else:
+                _set(self, "dest_kind", SRC_INT)
+                _set(self, "dest_idx", pal_reg(self.rd) if priv else self.rd)
+        else:
+            _set(self, "dest_kind", SRC_NONE)
+            _set(self, "dest_idx", 0)
 
     def __str__(self) -> str:
         parts = [self.op.value]

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class Bus:
     """A shared inter-level transfer link with fixed per-block occupancy."""
 
@@ -43,7 +43,7 @@ class Bus:
         self.transfers = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Per-cache event counters."""
 
@@ -60,7 +60,7 @@ class CacheStats:
         return self.misses / self.accesses if self.accesses else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Line:
     tag: int
     last_use: int
@@ -125,15 +125,15 @@ class Cache:
     # ------------------------------------------------------------------
     def access(self, addr: int, cycle: int, is_write: bool = False) -> int:
         """Access ``addr`` starting at ``cycle``; return data-ready cycle."""
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         self._use_clock += 1
         line_addr = addr >> self.line_shift
-        set_idx = line_addr & self.set_mask
-        tag = line_addr >> 0  # full line address doubles as the tag key
-        lines = self._sets[set_idx]
-        line = lines.get(tag)
+        # The full line address doubles as the tag key.
+        lines = self._sets[line_addr & self.set_mask]
+        line = lines.get(line_addr)
         if line is not None:
-            self.stats.hits += 1
+            stats.hits += 1
             line.last_use = self._use_clock
             if is_write:
                 line.dirty = True
@@ -141,13 +141,15 @@ class Cache:
             # The line may still be in flight (tags are installed when the
             # fill is requested): a hit under an outstanding miss merges
             # with the fill rather than completing early.
-            pending = self._mshrs.get(line_addr)
-            if pending is not None and pending > ready:
-                self.stats.mshr_merges += 1
-                return pending
+            if self._mshrs:
+                pending = self._mshrs.get(line_addr)
+                if pending is not None and pending > ready:
+                    stats.mshr_merges += 1
+                    return pending
             return ready
 
-        self.stats.misses += 1
+        set_idx = line_addr & self.set_mask
+        stats.misses += 1
         self._reap_mshrs(cycle)
 
         # Merge with an in-flight fill of the same line.
@@ -168,7 +170,7 @@ class Cache:
             line_addr << self.line_shift, bus_start + self.bus.occupancy, is_write
         )
         fill_cycle = below_ready + self.fill_latency
-        self._install(set_idx, tag, fill_cycle, is_write)
+        self._install(set_idx, line_addr, fill_cycle, is_write)
         self._mshrs[line_addr] = fill_cycle
         return fill_cycle
 

@@ -23,20 +23,31 @@ Wrong-path execution is real: it touches the caches and the TLB.
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING
 
 from repro.branch.unit import BranchPredictionUnit
 from repro.isa import semantics
 from repro.isa.instructions import (
-    FP_DEST_OPS,
-    FP_SRC_A_OPS,
-    FP_SRC_B_OPS,
+    EK_BRANCH,
+    EK_CONVERT,
+    EK_EMUL,
+    EK_FP_ALU,
+    EK_HARDEXC,
+    EK_INT_ALU,
+    EK_MFPR,
+    EK_MTDST,
+    EK_MTPR,
+    EK_TLBWR,
+    SRC_FP,
+    SRC_IMM,
+    SRC_INT,
     Instruction,
     Opcode,
 )
 from repro.isa.program import Program
-from repro.isa.registers import PrivReg, pal_reg
-from repro.memory.address import align_word, vpn_of
+from repro.isa.registers import PrivReg
+from repro.memory.address import vpn_of
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.main_memory import MainMemory
 from repro.memory.page_table import PageTable
@@ -52,64 +63,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 _FAR_FUTURE = 1 << 60
 
-# Source operand register spaces per opcode: (space_a, space_b) where a
-# space is "int", "fp", or None.  Immediates are bound when rb is absent.
-_SRC_SPACES: dict[Opcode, tuple[str | None, str | None]] = {
-    Opcode.ADD: ("int", "int"),
-    Opcode.SUB: ("int", "int"),
-    Opcode.AND: ("int", "int"),
-    Opcode.OR: ("int", "int"),
-    Opcode.XOR: ("int", "int"),
-    Opcode.SLL: ("int", "int"),
-    Opcode.SRL: ("int", "int"),
-    Opcode.SRA: ("int", "int"),
-    Opcode.CMPLT: ("int", "int"),
-    Opcode.CMPULT: ("int", "int"),
-    Opcode.CMPEQ: ("int", "int"),
-    Opcode.MUL: ("int", "int"),
-    Opcode.DIV: ("int", "int"),
-    Opcode.LI: (None, None),
-    Opcode.LD: ("int", None),
-    Opcode.FLD: ("int", None),
-    Opcode.ST: ("int", "int"),
-    Opcode.FST: ("int", "fp"),
-    Opcode.BEQ: ("int", "int"),
-    Opcode.BNE: ("int", "int"),
-    Opcode.BLT: ("int", "int"),
-    Opcode.BGE: ("int", "int"),
-    Opcode.JMP: (None, None),
-    Opcode.CALL: (None, None),
-    Opcode.CALLI: ("int", None),
-    Opcode.JMPI: ("int", None),
-    Opcode.RET: ("int", None),
-    Opcode.FADD: ("fp", "fp"),
-    Opcode.FSUB: ("fp", "fp"),
-    Opcode.FMUL: ("fp", "fp"),
-    Opcode.FDIV: ("fp", "fp"),
-    Opcode.FSQRT: ("fp", None),
-    Opcode.ITOF: ("int", None),
-    Opcode.FTOI: ("fp", None),
-    Opcode.MFPR: (None, None),
-    Opcode.MTPR: ("int", None),
-    Opcode.TLBWR: ("int", "int"),
-    Opcode.RETI: (None, None),
-    Opcode.HARDEXC: (None, None),
-    Opcode.MTDST: ("int", None),
-    Opcode.EMUL: ("int", None),
-    Opcode.NOP: (None, None),
-    Opcode.HALT: (None, None),
-}
-
-_INT_ALU_OPS = frozenset(
-    {
-        Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
-        Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.CMPLT, Opcode.CMPULT,
-        Opcode.CMPEQ, Opcode.MUL, Opcode.DIV, Opcode.LI,
-    }
-)
-_FP_ALU_OPS = frozenset(
-    {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FSQRT}
-)
+#: ``align_word(semantics.effective_address(...))`` folded into one mask
+#: (both the 64-bit value mask and the 8-byte alignment clamp).
+_EA_ALIGN_MASK = ((1 << 64) - 1) & ~7
 
 
 class SMTCore:
@@ -139,13 +95,57 @@ class SMTCore:
         ]
         self.cycle = 0
         self._next_seq = 0
+        # Hot-loop constants (invariant after construction).
+        self._l1_latency = hierarchy.config.l1_latency
+        self._fetch_latency = config.fetch_latency
+        self._icount_chooser = config.chooser == "icount"
+        self._pt_base = page_table.base
+        # Direct L1-I access (the per-fetch probe is the hottest call in
+        # the simulator; skip the hierarchy delegation frame).
+        self._ifetch = hierarchy.l1i.access
+        # Event-driven scheduler state (see _execute).  A window uop lives
+        # in exactly one of: a wake bucket (its sources become ready at a
+        # known cycle), the retry list (ready but blocked on something
+        # re-checked each cycle: memory ordering, reti serialization, FU
+        # contention), parked on unissued producers (woken by
+        # producer_issued), or parked on ``waiting_fill`` (woken by the
+        # mechanism via wake_uop).
+        #: cycle -> uops whose sources become ready that cycle.
+        self._wake_buckets: dict[int, list[Uop]] = {}
+        #: Ready-but-blocked uops, re-examined every executed cycle.
+        self._retry: list[Uop] = []
+        #: The uop heap (ordered by seq) being drained by an in-progress
+        #: _execute; mid-cycle wakes ahead of the scan join it directly.
+        self._exec_heap: list | None = None
+        self._exec_seq = -1
+        #: Did anything observable happen during the current cycle?  Set by
+        #: fetch/decode/issue/retire/squash and mechanism port/fetch grants;
+        #: a cycle that ends with this still False cannot affect any later
+        #: cycle except through the passage of time, which is what lets
+        #: :meth:`run` fast-forward the clock (see docs/PERFORMANCE.md).
+        self._activity = True
         self.stats = SimStats()
         #: PAL entries by handler name, set when programs load; lengths
         #: (per handler) drive window reservations and fetch stop.
         self.pal_entries: dict[str, int] = {}
         self.handler_lengths: dict[str, int] = {}
+        # Per-cycle mechanism hooks, cached as bound methods only when the
+        # mechanism actually overrides them (skips three no-op calls per
+        # cycle for the purely reactive mechanisms).
+        self._mech_tick = None
+        self._mech_ports = None
+        self._mech_fetch_idle = None
         if mechanism is not None:
             mechanism.attach(self)
+            from repro.exceptions.base import ExceptionMechanism as _Base
+
+            cls = type(mechanism)
+            if cls.tick is not _Base.tick:
+                self._mech_tick = mechanism.tick
+            if cls.service_mem_ports is not _Base.service_mem_ports:
+                self._mech_ports = mechanism.service_mem_ports
+            if cls.fetch_idle is not _Base.fetch_idle:
+                self._mech_fetch_idle = mechanism.fetch_idle
 
     # ------------------------------------------------------------------
     # Setup helpers.
@@ -196,8 +196,9 @@ class SMTCore:
     def step(self) -> None:
         """Advance the machine by one cycle."""
         now = self.cycle
-        if self.mechanism is not None:
-            self.mechanism.tick(now)
+        self._activity = False
+        if self._mech_tick is not None:
+            self._mech_tick(now)
         self._retire(now)
         self._execute(now)
         self._decode(now)
@@ -209,27 +210,87 @@ class SMTCore:
         """Run until every application thread retires ``user_insts``
         *additional* user-mode instructions (or halts), or ``max_cycles``
         total elapse."""
-        targets = {
-            thread.tid: thread.retired_user + user_insts
+        watch = [
+            (thread, thread.retired_user + user_insts)
             for thread in self.threads
             if thread.state is ThreadState.NORMAL
-        }
+        ]
+        fast_forward = self.config.fast_forward
+        step = self.step
         while self.cycle < max_cycles:
-            done = True
-            for thread in self.threads:
-                target = targets.get(thread.tid)
-                if target is None or thread.halted:
-                    continue
-                if thread.state is ThreadState.NORMAL and thread.retired_user < target:
-                    done = False
+            for thread, target in watch:
+                if (
+                    not thread.halted
+                    and thread.retired_user < target
+                    and thread.state is ThreadState.NORMAL
+                ):
                     break
-            if done:
+            else:
                 return
-            self.step()
+            step()
+            if fast_forward and not self._activity:
+                # Quiet cycle: no machine state changed, so nothing can
+                # happen until the earliest time-gated wakeup.  Jump the
+                # clock there; every skipped cycle would have been quiet
+                # too, so all stats remain bit-identical to the slow path.
+                nxt = self._next_event(self.cycle - 1)
+                if nxt > self.cycle:
+                    self.cycle = min(nxt, max_cycles)
+                    self.stats.cycles = self.cycle
         raise RuntimeError(
             f"simulation exceeded {max_cycles} cycles "
             f"(retired: {[t.retired_user for t in self.threads]})"
         )
+
+    def _next_event(self, prev: int) -> int:
+        """Earliest cycle after ``prev`` at which anything can happen.
+
+        Called only after a *quiet* cycle ``prev`` (no fetch, decode,
+        issue, retire, squash, or mechanism grant).  Quiet means every
+        in-flight item is blocked, and each block is either time-gated
+        (enumerated below) or released by another blocked item's wakeup:
+
+        * fetch -- stalled until ``fetch_stall_until`` (icache miss,
+          redirect) or blocked on buffer space / halt / ``fetch_done`` /
+          ``fetch_wait_uop``, all of which clear only via other events;
+        * decode -- the buffer head's ``avail_cycle`` (fetch pipe), or
+          window-full, which clears at another uop's retirement/squash;
+        * schedule -- the wake-bucket cycles (each holds uops whose
+          sources become ready exactly then); uops parked on unissued
+          producers or TLB fills are covered by their producer's /
+          mechanism's own wakeup, and retry-list uops (ready but blocked
+          on memory ordering, reti serialization, or FU contention) are
+          covered by their blockers: contention implies an issue happened
+          (not a quiet cycle), and ordering/serialization blockers are
+          themselves bucketed, parked, or retrying;
+        * retire -- the per-thread ROB head's ``finish_cycle``; splice
+          gating is covered by the handler thread's own entries;
+        * mechanism -- :meth:`ExceptionMechanism.next_event_cycle`
+          (hardware-walker completions; reactive mechanisms report "far").
+        """
+        nxt = _FAR_FUTURE
+        for thread in self.threads:
+            if thread.state is ThreadState.IDLE or thread.halted:
+                continue
+            stall = thread.fetch_stall_until
+            if prev < stall < nxt:
+                nxt = stall
+            if thread.fetch_buffer:
+                avail = thread.fetch_buffer[0].avail_cycle
+                if prev < avail < nxt:
+                    nxt = avail
+            if thread.rob:
+                head = thread.rob[0]
+                if head.issued and prev < head.finish_cycle < nxt:
+                    nxt = head.finish_cycle
+        for cyc in self._wake_buckets:
+            if prev < cyc < nxt:
+                nxt = cyc
+        if self.mechanism is not None:
+            mech = self.mechanism.next_event_cycle(prev)
+            if mech < nxt:
+                nxt = mech
+        return nxt
 
     # ------------------------------------------------------------------
     # Fetch.
@@ -237,13 +298,22 @@ class SMTCore:
     def _fetch_priority(self) -> list[ThreadContext]:
         """Thread order for fetch/decode: handler threads first, then the
         configured chooser among application threads."""
-        handlers = [t for t in self.threads if t.state is ThreadState.EXCEPTION]
-        apps = [t for t in self.threads if t.state is ThreadState.NORMAL]
-        if self.config.chooser == "icount":
-            apps.sort(key=lambda t: (t.in_flight, t.tid))
+        handlers = []
+        apps = []
+        for t in self.threads:
+            state = t.state
+            if state is ThreadState.NORMAL:
+                apps.append(t)
+            elif state is ThreadState.EXCEPTION:
+                handlers.append(t)
+        if self._icount_chooser:
+            if len(apps) > 1:
+                apps.sort(key=lambda t: (len(t.rob), t.tid))
         else:
             offset = self.cycle % max(1, len(apps)) if apps else 0
             apps = apps[offset:] + apps[:offset]
+        if not handlers:
+            return apps
         if not self.config.handler_fetch_priority:
             return apps + handlers
         return handlers + apps
@@ -256,52 +326,65 @@ class SMTCore:
             handler_free = free_handler_fetch and thread.is_exception_thread
             if budget <= 0 and not handler_free:
                 continue
+            if not thread.can_fetch(now):
+                continue
+            # Inside the loop only buffer space can newly block: every
+            # other can_fetch condition flips only via a _fetch_one that
+            # already returned False (stall, redirect wait, halt, done).
+            buf = thread.fetch_buffer
+            cap = thread.fetch_buffer_size
             per_thread = config.width
-            while per_thread > 0 and (budget > 0 or handler_free):
-                if not thread.can_fetch(now):
-                    break
+            while per_thread > 0 and (budget > 0 or handler_free) and len(buf) < cap:
                 if not self._fetch_one(thread, now):
                     break
                 per_thread -= 1
                 if not handler_free:
                     budget -= 1
-        if budget > 0 and self.mechanism is not None:
-            budget -= self.mechanism.fetch_idle(now, budget)
+        if budget > 0 and self._mech_fetch_idle is not None:
+            used = self._mech_fetch_idle(now, budget)
+            if used:
+                budget -= used
+                self._activity = True
 
     def _fetch_one(self, thread: ThreadContext, now: int) -> bool:
         """Fetch a single instruction for ``thread``; False to stop."""
-        inst = thread.program.fetch(thread.pc)
-        if inst is None:
+        pc = thread.pc
+        insts = thread.program.insts
+        if not 0 <= pc < len(insts):
             # Wrong-path fetch ran off the text segment: wait for a squash.
             thread.fetch_stall_until = _FAR_FUTURE
             return False
+        inst = insts[pc]
         if inst.privileged and not thread.fetch_priv:
             # Wrong-path fetch fell into PAL code: privilege fence.
             thread.fetch_stall_until = _FAR_FUTURE
             return False
 
-        # Instruction cache: one probe per line transition.
-        ready = self.hierarchy.ifetch(thread.pc * 4, now)
-        if ready > now + self.hierarchy.config.l1_latency:
+        # Instruction cache probe (wrong-path fetch pollutes it too).
+        ready = self._ifetch(pc * 4, now)
+        if ready > now + self._l1_latency:
             thread.fetch_stall_until = ready
             return False
 
-        uop = Uop(self.alloc_seq(), thread.tid, thread.pc, inst)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        uop = Uop(seq, thread.tid, pc, inst)
         uop.fetch_cycle = now
-        uop.avail_cycle = now + self.config.fetch_latency
+        uop.avail_cycle = now + self._fetch_latency
         uop.is_handler = inst.privileged
         if thread.overfetch_after_reti:
             uop.discard = True
         thread.rob.append(uop)
         thread.fetch_buffer.append(uop)
         self.stats.fetched += 1
+        self._activity = True
 
         op = inst.op
         if op is Opcode.HALT:
             thread.fetch_wait_uop = uop
             return False
         if inst.is_branch:
-            pred = self.bpu.predict(thread.pc, inst)
+            pred = self.bpu.predict(pc, inst)
             uop.checkpoint = pred.checkpoint
             uop.pred_taken = pred.taken
             uop.pred_target = pred.target
@@ -313,55 +396,79 @@ class SMTCore:
                     # No length prediction: keep fetching (and wasting
                     # bandwidth) past the handler until reti is decoded.
                     thread.overfetch_after_reti = True
-                    thread.pc += 1
+                    thread.pc = pc + 1
                     return True
                 thread.fetch_wait_uop = uop
                 return False
-            thread.pc = pred.target if pred.taken else thread.pc + 1
+            thread.pc = pred.target if pred.taken else pc + 1
             return True
-        thread.pc += 1
+        thread.pc = pc + 1
         return True
 
     # ------------------------------------------------------------------
     # Decode / rename / window insertion.
     # ------------------------------------------------------------------
     def _decode(self, now: int) -> None:
+        for thread in self.threads:
+            if thread.fetch_buffer:
+                break
+        else:
+            return
         config = self.config
         budget = config.width
-        free_handler_decode = config.limits.no_fetch_bandwidth
+        limits = config.limits
+        free_handler_decode = limits.no_fetch_bandwidth
+        no_window_overhead = limits.no_window_overhead
+        sched_delay = config.decode_latency + config.post_insert_delay
+        window = self.window
+        stats = self.stats
         for thread in self._fetch_priority():
-            handler_free = free_handler_decode and thread.is_exception_thread
-            while thread.fetch_buffer and (budget > 0 or handler_free):
-                uop = thread.fetch_buffer[0]
+            buf = thread.fetch_buffer
+            # Per-thread invariants: decoding this thread cannot change its
+            # own exception linkage (admission squashes hit the *master*
+            # thread's tail, which never reaches the excepting uop).
+            is_exc = thread.is_exception_thread
+            handler_free = free_handler_decode and is_exc
+            exc_id = None
+            if is_exc and thread.exc_instance is not None:
+                exc_id = thread.exc_instance.id
+            while buf and (budget > 0 or handler_free):
+                uop = buf[0]
                 if uop.avail_cycle > now:
                     break
                 if uop.discard:
-                    thread.fetch_buffer.popleft()
+                    buf.popleft()
                     thread.rob.remove(uop)
                     uop.state = UopState.SQUASHED
-                    self.stats.overfetch_discarded += 1
+                    stats.overfetch_discarded += 1
+                    self._activity = True
                     if not handler_free:
                         budget -= 1
                     continue
-                if not self._admit(thread, uop, now):
+                if not uop.is_handler:
+                    # Common case inlined from _admit: an application uop
+                    # may not claim a reserved slot.
+                    if (
+                        window._occupancy + window._reserved_total
+                        >= window.capacity
+                    ):
+                        break
+                elif not self._admit(thread, uop, now):
                     break
-                thread.fetch_buffer.popleft()
-                if uop.inst.op is Opcode.RETI and thread.is_exception_thread:
+                buf.popleft()
+                if uop.inst.op is Opcode.RETI and is_exc:
                     # Reti decoded: stop any overfetch past the handler.
                     thread.fetch_done = True
                     thread.overfetch_after_reti = False
                 self._rename(thread, uop)
-                exc_id = None
-                if thread.is_exception_thread and thread.exc_instance is not None:
-                    exc_id = thread.exc_instance.id
-                if config.limits.no_window_overhead and uop.is_handler:
+                if no_window_overhead and uop.is_handler:
                     uop.free_slot = True
-                self.window.insert(uop, exc_id)
+                window.insert(uop, exc_id)
                 uop.insert_cycle = now
-                uop.min_sched_cycle = (
-                    now + config.decode_latency + config.post_insert_delay
-                )
+                uop.min_sched_cycle = now + sched_delay
                 uop.state = UopState.WINDOW
+                self._schedule_uop(uop)
+                self._activity = True
                 if not handler_free:
                     budget -= 1
             if budget <= 0 and not free_handler_decode:
@@ -369,17 +476,18 @@ class SMTCore:
 
     def _admit(self, thread: ThreadContext, uop: Uop, now: int) -> bool:
         """Window admission check, including deadlock avoidance."""
+        window = self.window
         if uop.is_handler and thread.is_exception_thread:
             if self.config.limits.no_window_overhead:
                 return True
-            if self.window.occupancy < self.window.capacity:
+            if window._occupancy < window.capacity:
                 return True
             return self._make_room_for_handler(thread, now)
         if uop.is_handler:
             # Traditional handler uops run in the application thread and
             # are admitted like ordinary instructions (no reservations).
-            return self.window.occupancy < self.window.capacity
-        return self.window.can_insert_app()
+            return window._occupancy < window.capacity
+        return window._occupancy + window._reserved_total < window.capacity
 
     def _make_room_for_handler(self, exc_thread: ThreadContext, now: int) -> bool:
         """Squash the master thread's tail so the handler can advance.
@@ -409,48 +517,50 @@ class SMTCore:
         return self.window.occupancy < self.window.capacity
 
     def _rename(self, thread: ThreadContext, uop: Uop) -> None:
-        """Record dataflow sources and claim the destination mapping."""
+        """Record dataflow sources and claim the destination mapping.
+
+        Operand spaces and PAL-resolved register indices were precomputed
+        at :class:`Instruction` construction (``src_*_kind``/``src_*_idx``).
+        """
         inst = uop.inst
-        space_a, space_b = _SRC_SPACES[inst.op]
-        priv = inst.privileged
-        if space_a == "int":
-            reg = pal_reg(inst.ra) if priv else inst.ra
+        kind = inst.src_a_kind
+        if kind == SRC_INT:
+            reg = inst.src_a_idx
             producer = thread.int_map[reg]
             if producer is not None:
                 uop.src_a_uop = producer
             else:
                 uop.src_a_value = thread.arch.read_int(reg)
-        elif space_a == "fp":
-            producer = thread.fp_map[inst.ra]
+        elif kind == SRC_FP:
+            reg = inst.src_a_idx
+            producer = thread.fp_map[reg]
             if producer is not None:
                 uop.src_a_uop = producer
             else:
-                uop.src_a_value = thread.arch.read_fp(inst.ra)
-        if space_b == "int":
-            if inst.rb is not None:
-                reg = pal_reg(inst.rb) if priv else inst.rb
-                producer = thread.int_map[reg]
-                if producer is not None:
-                    uop.src_b_uop = producer
-                else:
-                    uop.src_b_value = thread.arch.read_int(reg)
-            else:
-                uop.src_b_value = inst.imm or 0
-        elif space_b == "fp":
-            producer = thread.fp_map[inst.rb]
+                uop.src_a_value = thread.arch.read_fp(reg)
+        kind = inst.src_b_kind
+        if kind == SRC_INT:
+            reg = inst.src_b_idx
+            producer = thread.int_map[reg]
             if producer is not None:
                 uop.src_b_uop = producer
             else:
-                uop.src_b_value = thread.arch.read_fp(inst.rb)
-        elif inst.op is Opcode.LI:
-            uop.src_b_value = inst.imm or 0
-
-        if inst.rd is not None:
-            if inst.op in FP_DEST_OPS:
-                thread.fp_map[inst.rd] = uop
+                uop.src_b_value = thread.arch.read_int(reg)
+        elif kind == SRC_IMM:
+            uop.src_b_value = inst.imm0
+        elif kind == SRC_FP:
+            reg = inst.src_b_idx
+            producer = thread.fp_map[reg]
+            if producer is not None:
+                uop.src_b_uop = producer
             else:
-                reg = pal_reg(inst.rd) if priv else inst.rd
-                thread.int_map[reg] = uop
+                uop.src_b_value = thread.arch.read_fp(reg)
+
+        kind = inst.dest_kind
+        if kind == SRC_FP:
+            thread.fp_map[inst.dest_idx] = uop
+        elif kind == SRC_INT:
+            thread.int_map[inst.dest_idx] = uop
         elif inst.op is Opcode.MTDST and not thread.is_exception_thread:
             # Traditional emulation: mtdst writes the excepting
             # instruction's (user) destination register; the hardware
@@ -466,41 +576,167 @@ class SMTCore:
     # ------------------------------------------------------------------
     # Schedule / execute.
     # ------------------------------------------------------------------
+    def _schedule_uop(self, uop: Uop) -> None:
+        """Register a freshly inserted window uop with the scheduler.
+
+        If every producer has issued, the uop goes into the wake bucket
+        of the cycle its last source (or the post-insert delay) lands;
+        otherwise it parks on its unissued producers, which wake it from
+        :meth:`producer_issued`.
+        """
+        wake = uop.min_sched_cycle
+        wait = 0
+        p = uop.src_a_uop
+        if p is not None:
+            if p.issued:
+                if p.finish_cycle > wake:
+                    wake = p.finish_cycle
+            else:
+                if p.consumers is None:
+                    p.consumers = [uop]
+                else:
+                    p.consumers.append(uop)
+                wait += 1
+        p = uop.src_b_uop
+        if p is not None:
+            if p.issued:
+                if p.finish_cycle > wake:
+                    wake = p.finish_cycle
+            else:
+                if p.consumers is None:
+                    p.consumers = [uop]
+                else:
+                    p.consumers.append(uop)
+                wait += 1
+        uop.wait_count = wait
+        uop.src_wake = wake
+        if wait == 0:
+            uop.scheduled = True
+            buckets = self._wake_buckets
+            if wake in buckets:
+                buckets[wake].append(uop)
+            else:
+                buckets[wake] = [uop]
+
+    def producer_issued(self, producer: Uop) -> None:
+        """Wake the consumers parked on ``producer`` (which just issued).
+
+        Called by the core at every issue, and by the multithreaded
+        mechanism when ``mtdst`` completes an emulated instruction on the
+        excepting uop's behalf.
+        """
+        consumers = producer.consumers
+        if consumers is None:
+            return
+        producer.consumers = None
+        fin = producer.finish_cycle
+        buckets = self._wake_buckets
+        for c in consumers:
+            if fin > c.src_wake:
+                c.src_wake = fin
+            c.wait_count -= 1
+            if c.wait_count == 0 and not c.scheduled and c.state == UopState.WINDOW:
+                c.scheduled = True
+                wake = c.src_wake
+                if wake in buckets:
+                    buckets[wake].append(c)
+                else:
+                    buckets[wake] = [c]
+
+    def wake_uop(self, uop: Uop) -> None:
+        """Re-enter ``uop`` into scheduling after an asynchronous unblock
+        (its TLB fill arrived, a reclaimed instance re-raises it, ...).
+
+        A wake during ``_execute`` whose seq is still ahead of the scan
+        position joins the current cycle's examine heap -- exactly the
+        uops the old full linear scan would still have visited this
+        cycle; everything else is examined next executed cycle.
+        """
+        if uop.scheduled or uop.issued or uop.state != UopState.WINDOW:
+            return
+        heap = self._exec_heap
+        if heap is not None and uop.seq > self._exec_seq:
+            heappush(heap, uop)
+        else:
+            self._retry.append(uop)
+        uop.scheduled = True
+
     def _execute(self, now: int) -> None:
+        entries = self._wake_buckets.pop(now, None)
+        retry = self._retry
+        if retry:
+            if entries is None:
+                entries = []
+            entries.extend(retry)
+            retry.clear()
+        ports = self._mech_ports
+        pool = self.config.fu_pool
+        if not entries:
+            if ports is not None and pool.mem > 0:
+                if ports(now, pool.mem):
+                    self._activity = True
+            return
         config = self.config
-        pool = config.fu_pool
         budget = config.width
         fu_used = {"alu": 0, "muldiv": 0, "fp": 0, "fpdiv": 0, "mem": 0}
         free_handler_exec = config.limits.no_execute_bandwidth
-        for uop in list(self.window.uops):
+        # The examine heap holds uops directly (Uop orders by seq).
+        heap = entries
+        heapify(heap)
+        self._exec_heap = heap
+        retry_append = retry.append
+        while heap:
+            uop = heappop(heap)
             if budget <= 0 and not free_handler_exec:
+                # Out of issue bandwidth: everything still queued re-arms
+                # for next cycle (the old scan's early `break`).
+                retry_append(uop)
+                while heap:
+                    retry_append(heappop(heap))
                 break
+            self._exec_seq = uop.seq
+            uop.scheduled = False
             if uop.state != UopState.WINDOW or uop.issued:
-                continue
-            if uop.min_sched_cycle > now or uop.waiting_fill is not None:
-                continue
-            if not uop.src_ready(now):
+                continue  # squashed or completed by a mid-loop event
+            if uop.waiting_fill is not None:
+                continue  # parked: the mechanism wakes it via wake_uop
+            if uop.min_sched_cycle > now or not uop.src_ready(now):
+                # An asynchronous re-raise re-entered it early: re-time.
+                self._schedule_uop(uop)
                 continue
             inst = uop.inst
             if inst.is_load and not self._load_ordering_ok(uop, now):
+                retry_append(uop)
+                uop.scheduled = True
                 continue
             if inst.op is Opcode.RETI and not self._older_all_issued(uop):
                 # Return-from-exception serializes: it must not redirect
                 # fetch before the handler's tlbwr has installed the fill.
+                retry_append(uop)
+                uop.scheduled = True
                 continue
             handler_free = free_handler_exec and uop.is_handler
-            group = config.fu_group(inst.fu_class)
-            if not handler_free:
-                if budget <= 0 or fu_used[group] >= pool.capacity(group):
-                    continue
-            issued = self._issue(uop, now)
-            if issued and not handler_free:
+            group = inst.fu_group
+            if not handler_free and (
+                budget <= 0 or fu_used[group] >= pool.capacity(group)
+            ):
+                retry_append(uop)
+                uop.scheduled = True
+                continue
+            # An issue attempt always changes machine state: either the
+            # uop issues, or it raises an exception event (TLB miss /
+            # emulation) through the mechanism.
+            self._activity = True
+            if self._issue(uop, now) and not handler_free:
                 fu_used[group] += 1
                 budget -= 1
-        if self.mechanism is not None:
+        self._exec_heap = None
+        self._exec_seq = -1
+        if ports is not None:
             free_mem = pool.mem - fu_used["mem"]
             if free_mem > 0:
-                self.mechanism.service_mem_ports(now, free_mem)
+                if ports(now, free_mem):
+                    self._activity = True
 
     def _older_all_issued(self, uop: Uop) -> bool:
         """True when every older same-thread uop has issued."""
@@ -522,14 +758,14 @@ class SMTCore:
         if store.issued:
             return store.eff_addr
         base_producer = store.src_a_uop
-        if base_producer is not None and not (
-            base_producer.issued and base_producer.finish_cycle <= now
-        ):
-            return None
-        base = (
-            base_producer.value if base_producer is not None else store.src_a_value
-        )
-        return align_word(semantics.effective_address(store.inst, int(base)))
+        if base_producer is not None:
+            if not (base_producer.issued and base_producer.finish_cycle <= now):
+                return None
+            base = base_producer.value
+        else:
+            base = store.src_a_value
+        # align_word(effective_address(...)) with the masks folded together.
+        return (int(base) + store.inst.imm0) & _EA_ALIGN_MASK
 
     def _load_ordering_ok(self, uop: Uop, now: int) -> bool:
         """Memory disambiguation for a load about to issue.
@@ -545,9 +781,9 @@ class SMTCore:
         thread = self.threads[uop.thread_id]
         if not thread.store_queue:
             return True
-        addr = align_word(
-            semantics.effective_address(uop.inst, int(uop.src_values()[0]))
-        )
+        producer = uop.src_a_uop
+        base = producer.value if producer is not None else uop.src_a_value
+        addr = (int(base or 0) + uop.inst.imm0) & _EA_ALIGN_MASK
         for store in thread.store_queue:
             if store.seq >= uop.seq:
                 break
@@ -565,29 +801,31 @@ class SMTCore:
         TLB miss and is now waiting or was squashed by a trap).
         """
         inst = uop.inst
-        op = inst.op
         thread = self.threads[uop.thread_id]
         a, b = uop.src_values()
 
         if inst.is_mem:
             return self._issue_mem(uop, thread, inst, a, b, now)
 
-        latency = self.config.fu_latency(inst.fu_class)
-        if op in _INT_ALU_OPS:
+        latency = inst.fu_latency0
+        kind = inst.exec_kind
+        if kind == EK_INT_ALU:
             uop.value = semantics.compute_int(inst, int(a), int(b))
-        elif op in _FP_ALU_OPS:
+        elif kind == EK_BRANCH:
+            return self._issue_branch(uop, thread, inst, a, b, now)
+        elif kind == EK_FP_ALU:
             uop.value = semantics.compute_fp(inst, float(a), float(b))
-        elif op in (Opcode.ITOF, Opcode.FTOI):
+        elif kind == EK_CONVERT:
             uop.value = semantics.convert(inst, a)
-        elif op is Opcode.MFPR:
+        elif kind == EK_MFPR:
             uop.value = thread.priv_regs[inst.imm]
-        elif op is Opcode.MTPR:
+        elif kind == EK_MTPR:
             thread.priv_regs[inst.imm] = int(a)
             uop.value = None
-        elif op is Opcode.TLBWR:
+        elif kind == EK_TLBWR:
             if self.mechanism is not None:
                 self.mechanism.on_tlbwr(uop, int(a), int(b), now)
-        elif op is Opcode.EMUL:
+        elif kind == EK_EMUL:
             if self.mechanism is None:
                 # The perfect machine implements the operation natively.
                 uop.value = semantics.compute_int(inst, int(a), 0)
@@ -595,22 +833,22 @@ class SMTCore:
                 self.stats.emulation_events += 1
                 self.mechanism.on_emulation(uop, int(a), now)
                 return False  # waits for the handler's mtdst
-        elif op is Opcode.MTDST:
+        elif kind == EK_MTDST:
             uop.value = int(a) & ((1 << 64) - 1)
             if self.mechanism is not None:
                 self.mechanism.on_mtdst(uop, int(a), now)
-        elif op is Opcode.HARDEXC:
+        elif kind == EK_HARDEXC:
             # Takes effect at retirement: a speculatively fetched hardexc
             # (e.g. behind a mispredicted handler branch) must not revert.
             uop.value = None
-        elif op in (Opcode.NOP, Opcode.HALT):
+        else:  # EK_NOP: nop / halt
             uop.value = None
-        elif inst.is_branch:
-            return self._issue_branch(uop, thread, inst, a, b, now)
 
         uop.issued = True
         uop.issue_cycle = now
         uop.finish_cycle = now + latency
+        if uop.consumers is not None:
+            self.producer_issued(uop)
         return True
 
     def _issue_mem(
@@ -622,7 +860,7 @@ class SMTCore:
         b,
         now: int,
     ) -> bool:
-        addr = align_word(semantics.effective_address(inst, int(a)))
+        addr = (int(a) + inst.imm0) & _EA_ALIGN_MASK
         uop.eff_addr = addr
         if not inst.privileged:
             entry = self.dtlb.lookup(vpn_of(addr))
@@ -656,6 +894,8 @@ class SMTCore:
             uop.finish_cycle = now + self.config.store_latency
         uop.issued = True
         uop.issue_cycle = now
+        if uop.consumers is not None:
+            self.producer_issued(uop)
         return True
 
     def _issue_branch(
@@ -688,6 +928,8 @@ class SMTCore:
         uop.issued = True
         uop.issue_cycle = now
         uop.finish_cycle = now + 1
+        if uop.consumers is not None:
+            self.producer_issued(uop)
 
         if op is Opcode.RETI:
             if self.mechanism is not None:
@@ -730,6 +972,7 @@ class SMTCore:
         if squashed:
             thread.rebuild_rename_maps()
             self.stats.squashed += squashed
+            self._activity = True
         if thread.fetch_wait_uop is not None and (
             thread.fetch_wait_uop.state == UopState.SQUASHED
         ):
@@ -737,13 +980,29 @@ class SMTCore:
         return squashed
 
     def _squash_uop(self, thread: ThreadContext, victim: Uop, now: int) -> None:
-        if victim.state == UopState.WINDOW:
+        state = victim.state
+        if state == UopState.WINDOW:
             self.window.remove(victim)
+        elif state == UopState.FETCH_BUF:
+            # Squashes walk the ROB tail youngest-first, so the victim is
+            # almost always the buffer's newest entry.
+            buf = thread.fetch_buffer
+            if buf:
+                if buf[-1] is victim:
+                    buf.pop()
+                else:
+                    try:
+                        buf.remove(victim)
+                    except ValueError:
+                        pass
         victim.state = UopState.SQUASHED
-        if victim in thread.fetch_buffer:
-            thread.fetch_buffer.remove(victim)
-        if victim.inst.is_store and victim in thread.store_queue:
-            thread.store_queue.remove(victim)
+        if victim.inst.is_store:
+            queue = thread.store_queue
+            if queue:
+                if queue[-1] is victim:
+                    queue.pop()
+                elif victim in queue:
+                    queue.remove(victim)
         if self.mechanism is not None:
             self.mechanism.on_uop_squashed(victim, now)
 
@@ -775,45 +1034,52 @@ class SMTCore:
     # Retire.
     # ------------------------------------------------------------------
     def _retire(self, now: int) -> None:
+        threads = self.threads
+        do_retire = self._do_retire
         progress = True
         while progress:
             progress = False
-            for thread in self.threads:
-                if thread.state is ThreadState.IDLE or not thread.rob:
+            for thread in threads:
+                if thread.state is ThreadState.IDLE:
                     continue
-                head = thread.rob[0]
-                if not (head.issued and head.finish_cycle <= now):
+                rob = thread.rob
+                if not rob:
+                    continue
+                head = rob[0]
+                if not head.issued or head.finish_cycle > now:
                     continue
                 if head.state != UopState.WINDOW:
                     continue
                 if thread.is_exception_thread:
-                    master = self.threads[thread.master_tid]
+                    master = threads[thread.master_tid]
                     if not master.rob or master.rob[0] is not thread.master_uop:
                         continue
                 elif head.linked_handler is not None:
                     continue  # splice: the handler thread retires first
-                self._do_retire(thread, head, now)
+                do_retire(thread, head, now)
                 progress = True
 
     def _do_retire(self, thread: ThreadContext, uop: Uop, now: int) -> None:
         thread.rob.popleft()
         self.window.remove(uop)
         uop.state = UopState.RETIRED
+        self._activity = True
         inst = uop.inst
         op = inst.op
 
-        if inst.rd is not None:
-            if op in FP_DEST_OPS:
-                if uop.value is not None:
-                    thread.arch.write_fp(inst.rd, uop.value)
-                if thread.fp_map[inst.rd] is uop:
-                    thread.fp_map[inst.rd] = None
-            else:
-                reg = pal_reg(inst.rd) if inst.privileged else inst.rd
-                if uop.value is not None:
-                    thread.arch.write_int(reg, int(uop.value))
-                if thread.int_map[reg] is uop:
-                    thread.int_map[reg] = None
+        kind = inst.dest_kind
+        if kind == SRC_FP:
+            reg = inst.dest_idx
+            if uop.value is not None:
+                thread.arch.write_fp(reg, uop.value)
+            if thread.fp_map[reg] is uop:
+                thread.fp_map[reg] = None
+        elif kind == SRC_INT:
+            reg = inst.dest_idx
+            if uop.value is not None:
+                thread.arch.write_int(reg, int(uop.value))
+            if thread.int_map[reg] is uop:
+                thread.int_map[reg] = None
         elif uop.dyn_dest is not None:
             thread.arch.write_int(uop.dyn_dest, int(uop.value))
             if thread.int_map[uop.dyn_dest] is uop:
@@ -821,12 +1087,14 @@ class SMTCore:
 
         if inst.is_store:
             self.memory.write_word(uop.eff_addr, uop.value)
-            if uop in thread.store_queue:
-                thread.store_queue.remove(uop)
-            if (
-                self.mechanism is not None
-                and uop.eff_addr >= self.page_table.base
-            ):
+            queue = thread.store_queue
+            if queue:
+                # Retirement is oldest-first: the head is the usual hit.
+                if queue[0] is uop:
+                    del queue[0]
+                elif uop in queue:
+                    queue.remove(uop)
+            if self.mechanism is not None and uop.eff_addr >= self._pt_base:
                 self.mechanism.on_store_retired(uop.eff_addr, now)
         elif inst.is_branch and op is not Opcode.RETI:
             self.bpu.train(

@@ -31,6 +31,32 @@ class ThreadState(enum.Enum):
 class ThreadContext:
     """One hardware thread context."""
 
+    __slots__ = (
+        "tid",
+        "state",
+        "program",
+        "arch",
+        "int_map",
+        "fp_map",
+        "rob",
+        "fetch_buffer",
+        "fetch_buffer_size",
+        "store_queue",
+        "pc",
+        "fetch_priv",
+        "fetch_stall_until",
+        "fetch_wait_uop",
+        "fetch_done",
+        "overfetch_after_reti",
+        "halted",
+        "priv_regs",
+        "master_tid",
+        "master_uop",
+        "exc_instance",
+        "retired_user",
+        "retired_handler",
+    )
+
     def __init__(self, tid: int, fetch_buffer_size: int = 16) -> None:
         self.tid = tid
         self.state = ThreadState.IDLE
@@ -105,19 +131,17 @@ class ThreadContext:
         """Recompute rename maps from surviving renamed uops (post-squash)."""
         self.int_map = [None] * INT_REG_COUNT
         self.fp_map = [None] * FP_REG_COUNT
-        from repro.isa.instructions import FP_DEST_OPS  # local: avoid cycle
-        from repro.isa.registers import pal_reg
+        from repro.isa.instructions import SRC_FP, SRC_INT  # local: avoid cycle
 
         for uop in self.rob:
             if not uop.renamed:
                 break  # rename happens in order; the rest are un-decoded
             inst = uop.inst
-            if inst.rd is not None:
-                if inst.op in FP_DEST_OPS:
-                    self.fp_map[inst.rd] = uop
-                else:
-                    reg = pal_reg(inst.rd) if inst.privileged else inst.rd
-                    self.int_map[reg] = uop
+            kind = inst.dest_kind
+            if kind == SRC_FP:
+                self.fp_map[inst.dest_idx] = uop
+            elif kind == SRC_INT:
+                self.int_map[inst.dest_idx] = uop
             elif uop.dyn_dest is not None:
                 self.int_map[uop.dyn_dest] = uop
 

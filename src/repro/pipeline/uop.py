@@ -68,6 +68,10 @@ class Uop:
         "quickstarted",
         "discard",
         "dyn_dest",
+        "wait_count",
+        "src_wake",
+        "consumers",
+        "scheduled",
     )
 
     def __init__(self, seq: int, thread_id: int, pc: int, inst: Instruction) -> None:
@@ -124,7 +128,22 @@ class Uop:
         #: mechanism writes the excepting instruction's register).
         self.dyn_dest: int | None = None
 
+        # Event-driven scheduling (see SMTCore._execute).
+        #: Unissued producers still outstanding at window insertion.
+        self.wait_count = 0
+        #: Earliest cycle both sources and the schedule delay allow issue.
+        self.src_wake = -1
+        #: Consumers to notify when this uop issues (None until first use).
+        self.consumers: list["Uop"] | None = None
+        #: True while sitting in a wake bucket, the retry list, or the
+        #: in-flight examine heap (guards against double-scheduling).
+        self.scheduled = False
+
     # ------------------------------------------------------------------
+    def __lt__(self, other: "Uop") -> bool:
+        """Order by global fetch sequence (heap entries in _execute)."""
+        return self.seq < other.seq
+
     def value_ready(self, now: int) -> bool:
         """True when this uop's result is readable at cycle ``now``."""
         return self.issued and self.finish_cycle <= now

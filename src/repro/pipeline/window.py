@@ -17,7 +17,6 @@ never counted.
 
 from __future__ import annotations
 
-from bisect import insort
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -27,10 +26,21 @@ if TYPE_CHECKING:  # pragma: no cover
 class InstructionWindow:
     """Centralized instruction window plus reservation accounting."""
 
+    __slots__ = (
+        "capacity",
+        "_uops",
+        "_occupancy",
+        "_reservations",
+        "_reserved_total",
+        "peak_occupancy",
+        "tail_squashes",
+    )
+
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
-        #: Occupying uops ordered by fetch sequence (oldest first).
-        self.uops: list["Uop"] = []
+        #: Occupying uops (unordered; scheduling order lives in the
+        #: core's event queue, so membership is all that matters here).
+        self._uops: set["Uop"] = set()
         self._occupancy = 0
         #: exception-instance id -> window slots still reserved for it.
         self._reservations: dict[int, int] = {}
@@ -39,6 +49,11 @@ class InstructionWindow:
         self.tail_squashes = 0
 
     # ------------------------------------------------------------------
+    @property
+    def uops(self) -> list["Uop"]:
+        """Occupying uops in fetch order (oldest first); for inspection."""
+        return sorted(self._uops, key=lambda u: u.seq)
+
     @property
     def occupancy(self) -> int:
         return self._occupancy
@@ -63,20 +78,22 @@ class InstructionWindow:
         A handler uop consumes one unit of its instance's reservation, if
         any remains.
         """
-        insort(self.uops, uop, key=lambda u: u.seq)
+        self._uops.add(uop)
         if not uop.free_slot:
-            self._occupancy += 1
-            self.peak_occupancy = max(self.peak_occupancy, self._occupancy)
+            occ = self._occupancy + 1
+            self._occupancy = occ
+            if occ > self.peak_occupancy:
+                self.peak_occupancy = occ
         if exc_id is not None and self._reservations.get(exc_id, 0) > 0:
             self._reservations[exc_id] -= 1
             self._reserved_total -= 1
 
     def remove(self, uop: "Uop") -> None:
         """Remove a uop (retirement or squash)."""
-        try:
-            self.uops.remove(uop)
-        except ValueError:
+        uops = self._uops
+        if uop not in uops:
             return
+        uops.remove(uop)
         if not uop.free_slot:
             self._occupancy -= 1
 
@@ -93,4 +110,4 @@ class InstructionWindow:
         self._reserved_total -= remaining
 
     def __len__(self) -> int:
-        return len(self.uops)
+        return len(self._uops)

@@ -17,8 +17,10 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from repro.exceptions.limits import LimitKnobs
-from repro.isa.instructions import FUClass
+from repro.isa.instructions import FU_GROUPS, FUClass
 from repro.memory.hierarchy import HierarchyConfig
+
+__all__ = ["FU_GROUPS", "FUPool", "MachineConfig", "MECHANISMS"]
 
 #: The exception-handling mechanisms a machine can be configured with.
 MECHANISMS = ("perfect", "traditional", "multithreaded", "hardware", "quickstart")
@@ -53,22 +55,6 @@ class FUPool:
 
     def capacity(self, group: str) -> int:
         return getattr(self, group)
-
-
-#: FU class -> (pool group, execution latency).  Load latency comes from
-#: the memory hierarchy; the value here is unused for loads.
-FU_GROUPS: dict[FUClass, tuple[str, int]] = {
-    FUClass.INT_ALU: ("alu", 1),
-    FUClass.BRANCH: ("alu", 1),
-    FUClass.INT_MUL: ("muldiv", 3),
-    FUClass.INT_DIV: ("muldiv", 12),
-    FUClass.FP_ADD: ("fp", 2),
-    FUClass.FP_MUL: ("fp", 4),
-    FUClass.FP_DIV: ("fpdiv", 12),
-    FUClass.FP_SQRT: ("fpdiv", 26),
-    FUClass.LOAD: ("mem", 3),
-    FUClass.STORE: ("mem", 2),
-}
 
 
 @dataclass
@@ -120,6 +106,10 @@ class MachineConfig:
     predict_handler_length: bool = True
     #: Table 3 limit-study switches.
     limits: LimitKnobs = field(default_factory=LimitKnobs)
+    #: Skip idle cycles by jumping the clock to the next wakeup event.
+    #: Cycle accounting is bit-identical either way (see
+    #: ``docs/PERFORMANCE.md``); disable only to cross-check that claim.
+    fast_forward: bool = True
 
     def __post_init__(self) -> None:
         if self.fu_pool is None:

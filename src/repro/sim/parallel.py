@@ -1,0 +1,213 @@
+"""Parallel experiment runner with an on-disk result cache.
+
+Experiment grids (Figures 2-7, Tables 2-4) are embarrassingly parallel:
+every cell is an independent ``Simulator`` run.  This module fans cells
+out across processes and memoises finished cells on disk so that
+re-running a figure -- or running a different figure that shares cells --
+costs nothing.
+
+A cell is described by a :class:`CellSpec`, which is picklable by
+construction: the workload is a benchmark *name* (or a tuple of names
+for a co-scheduled mix), never a ``Program`` object or factory closure.
+Workers rebuild the programs from the name, which is cheap next to the
+simulation itself.
+
+Environment knobs:
+
+``REPRO_JOBS``
+    Worker process count for :func:`run_cells`.  ``1`` (or unset on a
+    single-CPU machine) runs serially in-process.  Results are returned
+    in spec order either way, and are bit-identical between the serial
+    and parallel paths (each simulation is deterministic and fully
+    isolated in its own process).
+``REPRO_CACHE``
+    Set to ``0`` to disable the on-disk result cache.
+``REPRO_CACHE_DIR``
+    Cache location (default ``~/.cache/repro-sim``).
+
+Cache keys cover the machine configuration, the workload, the run
+lengths, *and* a fingerprint of the installed ``repro`` sources, so a
+code change can never serve stale results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import SimResult, Simulator
+from repro.workloads.suite import build_benchmark, build_mix
+
+
+@dataclass
+class CellSpec:
+    """One independent simulation: a workload under a configuration.
+
+    ``workload`` is a benchmark name (``"compress"``) or a tuple of
+    names for a multiprogrammed mix.  The whole spec must stay picklable
+    and deterministic -- it is both the unit of work shipped to worker
+    processes and the cache key.
+    """
+
+    workload: str | tuple[str, ...]
+    config: MachineConfig
+    user_insts: int
+    warmup_insts: int
+    max_cycles: int
+
+    def build_programs(self):
+        """Construct the program(s) this cell simulates."""
+        if isinstance(self.workload, str):
+            return build_benchmark(self.workload)
+        return build_mix(tuple(self.workload))
+
+    def cache_token(self) -> str:
+        """A deterministic serialization of everything that defines
+        this cell's result (the engine fingerprint is added on top by
+        :class:`ResultCache`)."""
+        return repr(
+            (
+                self.workload,
+                dataclasses.asdict(self.config),
+                self.user_insts,
+                self.warmup_insts,
+                self.max_cycles,
+            )
+        )
+
+
+def run_cell(spec: CellSpec) -> SimResult:
+    """Run one cell to completion (in the current process)."""
+    sim = Simulator(spec.build_programs(), spec.config)
+    return sim.run(
+        user_insts=spec.user_insts,
+        warmup_insts=spec.warmup_insts,
+        max_cycles=spec.max_cycles,
+    )
+
+
+@lru_cache(maxsize=1)
+def engine_fingerprint() -> str:
+    """Hash of the installed ``repro`` sources.
+
+    Part of every cache key: any source change invalidates all cached
+    results, which keeps the cache trustworthy across engine work.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """Pickle-per-cell result store keyed by (spec, engine) hashes."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        if directory is None:
+            directory = os.environ.get("REPRO_CACHE_DIR") or (
+                Path.home() / ".cache" / "repro-sim"
+            )
+        self.directory = Path(directory)
+
+    @staticmethod
+    def enabled() -> bool:
+        return os.environ.get("REPRO_CACHE", "1") != "0"
+
+    def _path(self, spec: CellSpec) -> Path:
+        token = f"{engine_fingerprint()}|{spec.cache_token()}"
+        name = hashlib.sha256(token.encode()).hexdigest()[:40]
+        return self.directory / f"{name}.pkl"
+
+    def get(self, spec: CellSpec) -> SimResult | None:
+        path = self._path(spec)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def put(self, spec: CellSpec, result: SimResult) -> None:
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._path(spec)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("wb") as fh:
+                pickle.dump(result, fh)
+            tmp.replace(path)  # atomic: concurrent writers race benignly
+        except OSError:
+            pass  # a read-only cache dir degrades to "no cache"
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else the CPU count."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        jobs = 0
+    if jobs > 0:
+        return jobs
+    return os.cpu_count() or 1
+
+
+def run_cells(
+    specs: list[CellSpec],
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[SimResult]:
+    """Run every cell, in parallel when it pays, returning results in
+    spec order.
+
+    Cached results are returned without running anything; the rest fan
+    out over ``jobs`` worker processes (serially for ``jobs <= 1`` or a
+    single missing cell).  Any failure to parallelise -- exec-based
+    platforms that cannot pickle, a crashed worker pool -- falls back to
+    the serial path rather than failing the experiment.
+    """
+    if jobs is None:
+        # Cells are pure CPU: more workers than cores is pure overhead,
+        # so an ambitious REPRO_JOBS degrades gracefully on small
+        # machines.  An explicit ``jobs`` argument is taken literally.
+        jobs = min(default_jobs(), os.cpu_count() or 1)
+    use_cache = cache is not None or ResultCache.enabled()
+    if cache is None and use_cache:
+        cache = ResultCache()
+
+    results: list[SimResult | None] = [None] * len(specs)
+    missing: list[int] = []
+    for idx, spec in enumerate(specs):
+        hit = cache.get(spec) if use_cache else None
+        if hit is not None:
+            results[idx] = hit
+        else:
+            missing.append(idx)
+
+    if missing:
+        todo = [specs[idx] for idx in missing]
+        fresh: list[SimResult] | None = None
+        workers = min(jobs, len(todo))
+        if workers > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    fresh = list(pool.map(run_cell, todo))
+            except Exception:
+                fresh = None  # fall back to the serial path below
+        if fresh is None:
+            fresh = [run_cell(spec) for spec in todo]
+        for idx, spec, result in zip(missing, todo, fresh):
+            results[idx] = result
+            if use_cache:
+                cache.put(spec, result)
+
+    return results  # type: ignore[return-value]

@@ -26,8 +26,23 @@ class TestSettings:
 
     def test_from_env_clamped_below(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "0.0001")
-        settings = Settings.from_env()
+        with pytest.warns(RuntimeWarning, match="0.0001"):
+            settings = Settings.from_env()
         assert settings.user_insts >= 1_000
+
+    @pytest.mark.parametrize("raw", ["0", "-2"])
+    def test_non_positive_scale_warns_with_value(self, monkeypatch, raw):
+        """A zero/negative REPRO_SCALE clamps to 0.1 and says which
+        value it rejected."""
+        monkeypatch.setenv("REPRO_SCALE", raw)
+        with pytest.warns(RuntimeWarning, match=raw):
+            settings = Settings.from_env()
+        assert settings.user_insts == 1_200
+
+    def test_valid_scale_does_not_warn(self, monkeypatch, recwarn):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        Settings.from_env()
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
 
 
 class TestCLI:

@@ -1,7 +1,6 @@
 """Cross-table invariants that keep the core's dispatch tables honest."""
 
-from repro.isa.instructions import OPCODE_FU, Opcode
-from repro.pipeline.core import _SRC_SPACES
+from repro.isa.instructions import OPCODE_FU, SRC_SPACES as _SRC_SPACES, Opcode
 from repro.sim.config import FU_GROUPS, FUPool
 
 
