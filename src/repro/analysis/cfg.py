@@ -1,0 +1,135 @@
+"""Control-flow graph over assembled instruction sequences.
+
+PCs in this ISA are instruction indices (one instruction per PC), so a
+"basic block" is a half-open index range ``[start, end)``.  Leaders are
+the analysis roots (program entry, PAL handler entries), every direct
+branch target, and every fall-through point after a control-flow
+instruction.
+
+Indirect control flow (``jmpi``/``calli``/``ret``/``reti``) has no
+static successors.  For *reachability* the builder is conservative: when
+a unit contains any indirect jump or call, every label is treated as an
+additional root (jump tables are built from labels, so their targets are
+always labelled).  Without that rule, every jump-table case block would
+be reported unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.isa.instructions import Instruction, Opcode
+
+#: Opcodes that transfer control somewhere unknowable statically.
+_INDIRECT_FLOW = frozenset({Opcode.JMPI, Opcode.CALLI, Opcode.RET, Opcode.RETI})
+
+
+def falls_through(inst: Instruction) -> bool:
+    """True when control can continue to ``pc + 1`` after ``inst``.
+
+    Conditional branches fall through on not-taken; calls are assumed to
+    return to the next instruction.
+    """
+    if inst.op is Opcode.HALT:
+        return False
+    if not inst.is_branch:
+        return True
+    return inst.is_cond_branch or inst.op in (Opcode.CALL, Opcode.CALLI)
+
+
+def _successors(inst: Instruction, pc: int, size: int) -> tuple[list[int], bool]:
+    """Static successor PCs of ``inst`` at ``pc``, plus indirect-exit flag."""
+    succs: list[int] = []
+    if inst.target is not None and 0 <= inst.target < size:
+        succs.append(inst.target)
+    if falls_through(inst) and pc + 1 < size:
+        succs.append(pc + 1)
+    return sorted(set(succs)), inst.op in _INDIRECT_FLOW
+
+
+@dataclass
+class BasicBlock:
+    """Instructions ``[start, end)`` with successor block start PCs."""
+
+    start: int
+    end: int
+    succs: list[int] = field(default_factory=list)
+    #: True when the block's last instruction can leave the unit through
+    #: an unknowable target (indirect jump / return).
+    has_indirect_exit: bool = False
+
+
+@dataclass
+class ControlFlowGraph:
+    """Blocks keyed by start PC, plus the reachable subset."""
+
+    blocks: dict[int, BasicBlock]
+    roots: list[int]
+    reachable: set[int]
+
+    def reachable_pcs(self) -> set[int]:
+        """Every instruction index inside a reachable block."""
+        pcs: set[int] = set()
+        for start in self.reachable:
+            block = self.blocks[start]
+            pcs.update(range(block.start, block.end))
+        return pcs
+
+
+def build_cfg(
+    insts: Sequence[Instruction],
+    roots: Iterable[int],
+    labels: dict[str, int] | None = None,
+) -> ControlFlowGraph:
+    """Build the CFG of ``insts`` and compute reachability from ``roots``.
+
+    ``labels`` enables the conservative labels-as-roots rule for units
+    with indirect control flow (see the module docstring).
+    """
+    size = len(insts)
+    root_list = sorted({pc for pc in roots if 0 <= pc < size})
+
+    has_indirect = any(
+        inst.op in _INDIRECT_FLOW or inst.op is Opcode.CALLI for inst in insts
+    )
+    extra_roots: list[int] = []
+    if has_indirect and labels:
+        extra_roots = [pc for pc in labels.values() if 0 <= pc < size]
+
+    # Leaders: roots, branch targets, instruction after any control flow.
+    leaders: set[int] = set(root_list) | set(extra_roots)
+    for pc, inst in enumerate(insts):
+        if inst.target is not None and 0 <= inst.target < size:
+            leaders.add(inst.target)
+        if (inst.is_branch or inst.op is Opcode.HALT) and pc + 1 < size:
+            leaders.add(pc + 1)
+    if size:
+        leaders.add(0)
+
+    ordered = sorted(leaders)
+    blocks: dict[int, BasicBlock] = {}
+    for idx, start in enumerate(ordered):
+        end = ordered[idx + 1] if idx + 1 < len(ordered) else size
+        block = BasicBlock(start=start, end=end)
+        if end > start:
+            # Mid-block instructions fall through by construction; only
+            # the last instruction's successors shape the graph.
+            block.succs, block.has_indirect_exit = _successors(
+                insts[end - 1], end - 1, size
+            )
+        blocks[start] = block
+
+    # Reachability over blocks.
+    reachable: set[int] = set()
+    work = [pc for pc in (root_list + extra_roots) if pc in blocks]
+    while work:
+        start = work.pop()
+        if start in reachable:
+            continue
+        reachable.add(start)
+        for succ in blocks[start].succs:
+            if succ in blocks and succ not in reachable:
+                work.append(succ)
+
+    return ControlFlowGraph(blocks=blocks, roots=root_list, reachable=reachable)

@@ -1,0 +1,274 @@
+"""``repro-lint`` / ``python -m repro.analysis`` — the analysis driver.
+
+With no subcommand it lints the shipped tree: every suite benchmark
+program, both PAL handler images, every assembly source embedded in
+``examples/``, and the architecture rules over ``src/repro``.  Exit
+status is non-zero iff any error-severity finding is reported (or any
+finding at all under ``--strict``).
+
+Subcommands narrow the run::
+
+    repro-lint guest                 # shipped guest programs only
+    repro-lint guest loop.s --priv   # lint an assembly file
+    repro-lint guest compress        # lint one suite benchmark
+    repro-lint arch                  # architecture lint only
+    repro-lint --format json         # machine-readable findings
+
+Example modules may declare ``LINT_OK = ("code", ...)`` to suppress
+specific diagnostics for every program they build; assembly sources use
+``; lint: ok(code)`` comments (see docs/ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import Iterable
+
+import repro
+from repro.analysis.archlint import check_tree
+from repro.analysis.diagnostics import Diagnostic, summarize
+from repro.analysis.guest import analyze_program, analyze_source
+from repro.isa.program import Program
+from repro.workloads import BENCHMARKS, build_benchmark
+
+
+def _repo_root() -> Path:
+    # src/repro/__init__.py -> src/repro -> src -> repo root
+    return Path(repro.__file__).resolve().parents[2]
+
+
+def _package_root() -> Path:
+    return Path(repro.__file__).resolve().parent
+
+
+# ----------------------------------------------------------------------
+# Guest-program collection.
+# ----------------------------------------------------------------------
+def _lint_handlers() -> list[Diagnostic]:
+    from repro.exceptions import handler_code
+
+    diagnostics: list[Diagnostic] = []
+    for name in dir(handler_code):
+        if not name.endswith("_SOURCE"):
+            continue
+        source = getattr(handler_code, name)
+        if not isinstance(source, str):
+            continue
+        unit = f"handler:{name.removesuffix('_SOURCE').lower()}"
+        diagnostics.extend(
+            analyze_source(
+                source,
+                privileged=True,
+                unit=unit,
+                file="src/repro/exceptions/handler_code.py",
+                suppress=getattr(handler_code, "LINT_OK", ()),
+            )
+        )
+    return diagnostics
+
+
+def _lint_benchmark(name: str) -> list[Diagnostic]:
+    module = sys.modules.get(BENCHMARKS[name].build.__module__)
+    suppress = getattr(module, "LINT_OK", ()) if module else ()
+    return analyze_program(
+        build_benchmark(name), unit=f"benchmark:{name}", suppress=suppress
+    )
+
+
+def _import_example(path: Path):
+    spec = importlib.util.spec_from_file_location(
+        f"_repro_lint_example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _lint_example(path: Path) -> list[Diagnostic]:
+    """Lint the guest code an example ships: embedded assembly sources,
+    module-level :class:`Program` objects, and zero-arg ``build_*``
+    program builders (all example builders default every parameter)."""
+    module = _import_example(path)
+    suppress = tuple(getattr(module, "LINT_OK", ()))
+    rel = path.name
+    diagnostics: list[Diagnostic] = []
+    for name in dir(module):
+        if name.startswith("_"):
+            continue
+        value = getattr(module, name)
+        unit = f"example:{path.stem}:{name}"
+        if isinstance(value, str) and "SOURCE" in name:
+            diagnostics.extend(
+                analyze_source(
+                    value,
+                    unit=unit,
+                    file=f"examples/{rel}",
+                    suppress=suppress,
+                )
+            )
+        elif isinstance(value, Program):
+            diagnostics.extend(
+                analyze_program(
+                    value, unit=unit, file=f"examples/{rel}", suppress=suppress
+                )
+            )
+        elif name.startswith("build_") and callable(value):
+            try:
+                program = value()
+            except TypeError:
+                continue  # requires arguments; not a default-buildable unit
+            if isinstance(program, Program):
+                diagnostics.extend(
+                    analyze_program(
+                        program,
+                        unit=unit,
+                        file=f"examples/{rel}",
+                        suppress=suppress,
+                    )
+                )
+    return diagnostics
+
+
+def _lint_shipped_guests() -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for name in sorted(BENCHMARKS):
+        diagnostics.extend(_lint_benchmark(name))
+    diagnostics.extend(_lint_handlers())
+    examples = _repo_root() / "examples"
+    if examples.is_dir():
+        for path in sorted(examples.glob("*.py")):
+            diagnostics.extend(_lint_example(path))
+    return diagnostics
+
+
+def _lint_guest_targets(
+    targets: Iterable[str], privileged: bool
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for target in targets:
+        path = Path(target)
+        if target in BENCHMARKS:
+            diagnostics.extend(_lint_benchmark(target))
+        elif path.suffix == ".s":
+            diagnostics.extend(
+                analyze_source(
+                    path.read_text(),
+                    privileged=privileged,
+                    unit=f"file:{path.stem}",
+                    file=str(path),
+                )
+            )
+        elif path.suffix == ".py":
+            diagnostics.extend(_lint_example(path))
+        else:
+            raise SystemExit(
+                f"repro-lint: unknown guest target {target!r} (expected a "
+                f"benchmark name {sorted(BENCHMARKS)}, a .s file, or an "
+                "example .py file)"
+            )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# Reporting.
+# ----------------------------------------------------------------------
+def _report(
+    diagnostics: list[Diagnostic], fmt: str, strict: bool, out=None
+) -> int:
+    out = out or sys.stdout
+    errors = sum(1 for d in diagnostics if d.is_error)
+    if fmt == "json":
+        payload = {
+            "diagnostics": [d.to_dict() for d in diagnostics],
+            "errors": errors,
+            "warnings": len(diagnostics) - errors,
+        }
+        print(json.dumps(payload, indent=2), file=out)
+    else:
+        for diag in diagnostics:
+            print(diag.render(), file=out)
+        print(f"repro-lint: {summarize(diagnostics)}", file=out)
+    if errors:
+        return 1
+    if strict and diagnostics:
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    # SUPPRESS keeps a subparser's (unset) defaults from clobbering
+    # values already parsed by the main parser, so the flags work both
+    # before and after the subcommand.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default=argparse.SUPPRESS,
+        help="output format (default: text)",
+    )
+    common.add_argument(
+        "--strict",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="exit non-zero on warnings too, not just errors",
+    )
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        parents=[common],
+        description="Static analysis for the simulator: guest-program "
+        "lint and architecture lint (see docs/ANALYSIS.md).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    guest = sub.add_parser(
+        "guest",
+        parents=[common],
+        help="lint guest programs (default: all shipped)",
+    )
+    guest.add_argument(
+        "targets",
+        nargs="*",
+        help="benchmark names, .s files, or example .py files "
+        "(default: every shipped benchmark, handler, and example)",
+    )
+    guest.add_argument(
+        "--privileged",
+        action="store_true",
+        help="assemble .s targets as PAL handler images",
+    )
+
+    arch = sub.add_parser(
+        "arch",
+        parents=[common],
+        help="architecture lint over src/repro",
+    )
+    arch.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="package directory to lint (default: the installed repro)",
+    )
+
+    args = parser.parse_args(argv)
+    fmt = getattr(args, "format", None) or "text"
+    strict = bool(getattr(args, "strict", False))
+
+    if args.command == "guest":
+        if args.targets:
+            diagnostics = _lint_guest_targets(args.targets, args.privileged)
+        else:
+            diagnostics = _lint_shipped_guests()
+    elif args.command == "arch":
+        diagnostics = check_tree(args.root or _package_root())
+    else:
+        diagnostics = _lint_shipped_guests() + check_tree(_package_root())
+
+    return _report(diagnostics, fmt, strict)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

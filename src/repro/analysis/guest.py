@@ -1,0 +1,478 @@
+"""Static analysis of guest programs (workloads, handlers, examples).
+
+The analyzer builds a control-flow graph over an assembled instruction
+sequence (:mod:`repro.analysis.cfg`), runs a forward must-defined
+def-use dataflow over it, and reports:
+
+========================  ========  =========================================
+code                      severity  meaning
+========================  ========  =========================================
+``undefined-label``       error     branch to a label no pass defined
+``duplicate-label``       error     the same label defined twice
+``asm-error``             error     any other assembly syntax error
+``unresolved-target``     error     direct branch whose target never resolved
+``target-out-of-range``   error     direct branch outside the text segment
+``branch-into-pal``       error     user branch targeting privileged code
+``branch-out-of-pal``     warning   handler branch targeting user code
+``fall-through-end``      error     control can run off the end of the text
+``fall-through-pal``      error     control can fall across a privilege
+                                    boundary without a branch
+``priv-outside-pal``      error     privileged opcode in unprivileged code
+``read-never-written``    error     a register read but never written
+                                    anywhere reachable (reads as zero --
+                                    almost always a missing ``li``)
+``read-before-def``       warning   a register read on some path before its
+                                    first write
+``unreachable-code``      warning   block no root (entry, PAL entry, label
+                                    for indirect units) can reach
+``label-out-of-range``    warning   label naming a PC outside the text
+========================  ========  =========================================
+
+Suppression: a comment containing ``lint: ok(code, ...)`` suppresses
+those codes for the instruction assembled from that line (or, on a
+standalone comment/label line, for the next instruction).  Program-level
+analysis accepts an explicit ``suppress`` set instead, since assembled
+:class:`~repro.isa.program.Program` objects carry no comments.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg, falls_through
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import FP_DEST_OPS, SRC_SPACES, Instruction
+from repro.isa.program import Program
+from repro.isa.registers import ZERO_REG
+
+_SUPPRESS_RE = re.compile(r"lint:\s*ok\(([^)]*)\)")
+
+#: A register is identified by (space, index); ``space`` is "int"/"fp".
+Reg = tuple[str, int]
+
+
+def inst_uses(inst: Instruction) -> list[Reg]:
+    """Register sources ``inst`` reads (logical, pre-PAL-shadow indices)."""
+    space_a, space_b = SRC_SPACES[inst.op]
+    uses: list[Reg] = []
+    if space_a is not None and inst.ra is not None:
+        uses.append((space_a, inst.ra))
+    if space_b is not None and inst.rb is not None:
+        uses.append((space_b, inst.rb))
+    return uses
+
+
+def inst_defs(inst: Instruction) -> list[Reg]:
+    """Register destinations ``inst`` writes."""
+    if inst.rd is None:
+        return []
+    space = "fp" if inst.op in FP_DEST_OPS else "int"
+    return [(space, inst.rd)]
+
+
+class _Reporter:
+    """Collects diagnostics, honoring per-PC and unit-wide suppression."""
+
+    def __init__(
+        self,
+        unit: str,
+        file: str | None,
+        pc_suppress: Mapping[int, set[str]],
+        unit_suppress: frozenset[str],
+        pc_lines: Mapping[int, int],
+        label_of: Mapping[int, str],
+    ) -> None:
+        self.unit = unit
+        self.file = file
+        self.pc_suppress = pc_suppress
+        self.unit_suppress = unit_suppress
+        self.pc_lines = pc_lines
+        self.label_of = label_of
+        self.diagnostics: list[Diagnostic] = []
+
+    def emit(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        pc: int | None = None,
+        line: int | None = None,
+    ) -> None:
+        if code in self.unit_suppress:
+            return
+        if pc is not None and code in self.pc_suppress.get(pc, ()):
+            return
+        if line is None and pc is not None:
+            line = self.pc_lines.get(pc)
+        label = self.label_of.get(pc) if pc is not None else None
+        self.diagnostics.append(
+            Diagnostic(
+                passname="guest",
+                code=code,
+                severity=severity,
+                unit=self.unit,
+                message=message,
+                pc=pc,
+                line=line,
+                label=label,
+                file=self.file,
+            )
+        )
+
+
+def _nearest_labels(labels: Mapping[str, int], size: int) -> dict[int, str]:
+    """pc -> name of the closest label at or before pc (for diagnostics)."""
+    by_pc: dict[int, str] = {}
+    for name, pc in sorted(labels.items(), key=lambda kv: (kv[1], kv[0])):
+        if 0 <= pc < size:
+            by_pc.setdefault(pc, name)
+    out: dict[int, str] = {}
+    current: str | None = None
+    for pc in range(size):
+        if pc in by_pc:
+            current = by_pc[pc]
+        if current is not None:
+            out[pc] = current
+    return out
+
+
+def analyze_unit(
+    insts: Sequence[Instruction],
+    labels: Mapping[str, int],
+    roots: Iterable[int],
+    unit: str = "<unit>",
+    file: str | None = None,
+    suppress: Iterable[str] = (),
+    pc_suppress: Mapping[int, set[str]] | None = None,
+    pc_lines: Mapping[int, int] | None = None,
+) -> list[Diagnostic]:
+    """Run every static check over one assembled unit."""
+    size = len(insts)
+    labels = dict(labels)
+    rep = _Reporter(
+        unit=unit,
+        file=file,
+        pc_suppress=pc_suppress or {},
+        unit_suppress=frozenset(suppress),
+        pc_lines=pc_lines or {},
+        label_of=_nearest_labels(labels, size),
+    )
+    if size == 0:
+        return rep.diagnostics
+
+    for name, pc in sorted(labels.items()):
+        if pc < 0 or pc > size:
+            rep.emit(
+                "label-out-of-range",
+                Severity.WARNING,
+                f"label {name!r} names PC {pc}, outside the text segment "
+                f"[0, {size}]",
+            )
+
+    # ------------------------------------------------------------------
+    # Per-instruction checks (all instructions, reachable or not).
+    # ------------------------------------------------------------------
+    for pc, inst in enumerate(insts):
+        if inst.is_priv and not inst.privileged:
+            rep.emit(
+                "priv-outside-pal",
+                Severity.ERROR,
+                f"privileged instruction {inst.op.value!r} outside a PAL "
+                "handler image",
+                pc=pc,
+            )
+        if inst.is_branch and not inst.is_indirect:
+            if inst.target is None:
+                rep.emit(
+                    "unresolved-target",
+                    Severity.ERROR,
+                    f"direct branch {inst.op.value!r} has no resolved target",
+                    pc=pc,
+                )
+            elif not 0 <= inst.target < size:
+                rep.emit(
+                    "target-out-of-range",
+                    Severity.ERROR,
+                    f"branch target {inst.target} outside the text segment "
+                    f"[0, {size})",
+                    pc=pc,
+                )
+            elif insts[inst.target].privileged and not inst.privileged:
+                rep.emit(
+                    "branch-into-pal",
+                    Severity.ERROR,
+                    f"user branch targets privileged code at PC {inst.target}",
+                    pc=pc,
+                )
+            elif inst.privileged and not insts[inst.target].privileged:
+                rep.emit(
+                    "branch-out-of-pal",
+                    Severity.WARNING,
+                    f"handler branch targets user code at PC {inst.target}",
+                    pc=pc,
+                )
+
+    # ------------------------------------------------------------------
+    # CFG checks: unreachable code, fall-through hazards.
+    # ------------------------------------------------------------------
+    cfg = build_cfg(insts, roots, labels)
+    for start in sorted(cfg.blocks):
+        block = cfg.blocks[start]
+        if block.end > block.start and start not in cfg.reachable:
+            rep.emit(
+                "unreachable-code",
+                Severity.WARNING,
+                f"block [{block.start}, {block.end}) is unreachable from "
+                "every analysis root",
+                pc=block.start,
+            )
+
+    for pc in sorted(cfg.reachable_pcs()):
+        inst = insts[pc]
+        if not falls_through(inst):
+            continue
+        if pc + 1 == size:
+            rep.emit(
+                "fall-through-end",
+                Severity.ERROR,
+                "control can fall off the end of the text segment "
+                f"(instruction at PC {pc} is not a terminator)",
+                pc=pc,
+            )
+        elif insts[pc + 1].privileged != inst.privileged:
+            rep.emit(
+                "fall-through-pal",
+                Severity.ERROR,
+                "control falls across a privilege boundary at PC "
+                f"{pc + 1} without a branch",
+                pc=pc,
+            )
+
+    _check_dataflow(insts, cfg, rep)
+    return rep.diagnostics
+
+
+def _check_dataflow(
+    insts: Sequence[Instruction],
+    cfg: ControlFlowGraph,
+    rep: _Reporter,
+) -> None:
+    """Forward must-defined analysis; report undefined register reads.
+
+    Entry state: only ``r0`` (hardwired zero) counts as defined.  The
+    machine zero-initializes every architectural register, so these are
+    lint findings about programmer intent, not undefined behavior: a
+    register that is *never* written anywhere reachable reads as zero on
+    every path (``read-never-written``, almost always a missing ``li``),
+    while one written elsewhere but not on every path to a use is the
+    classic maybe-uninitialized pattern (``read-before-def``).
+    """
+    reachable = sorted(cfg.reachable)
+    if not reachable:
+        return
+    blocks = cfg.blocks
+    preds: dict[int, list[int]] = {start: [] for start in reachable}
+    for start in reachable:
+        for succ in blocks[start].succs:
+            if succ in preds:
+                preds[succ].append(start)
+
+    entry_defs: set[Reg] = {("int", ZERO_REG)}
+    written: set[Reg] = set(entry_defs)
+    for start in reachable:
+        block = blocks[start]
+        for pc in range(block.start, block.end):
+            written.update(inst_defs(insts[pc]))
+
+    # Iterate to the must-defined fixpoint.  ``None`` means "all regs"
+    # (the usual top element for an intersection analysis).  Real roots
+    # pin their IN state to the entry state: control can always arrive
+    # there directly with only r0 defined, so no predecessor can add to
+    # it.  Blocks reachable *only* through the labels-as-roots rule for
+    # indirect flow (jump-table cases) stay at top -- their callers'
+    # register state is unknowable, so flow-sensitive reads there are
+    # not reported (the flow-insensitive never-written check still is).
+    root_starts = set(cfg.roots) & set(reachable)
+    ins: dict[int, set[Reg] | None] = {
+        start: (set(entry_defs) if start in root_starts else None)
+        for start in reachable
+    }
+    outs: dict[int, set[Reg] | None] = {start: None for start in reachable}
+    changed = True
+    while changed:
+        changed = False
+        for start in reachable:
+            block = blocks[start]
+            if start in root_starts:
+                in_set: set[Reg] | None = set(entry_defs)
+            else:
+                in_set = None
+                for pred in preds[start]:
+                    pred_out = outs[pred]
+                    if pred_out is None:
+                        continue
+                    in_set = (
+                        set(pred_out) if in_set is None else in_set & pred_out
+                    )
+            ins[start] = set(in_set) if in_set is not None else None
+            out_set = None if in_set is None else set(in_set)
+            if out_set is not None:
+                for pc in range(block.start, block.end):
+                    out_set.update(inst_defs(insts[pc]))
+            if out_set != outs[start]:
+                outs[start] = out_set
+                changed = True
+
+    reported_never: set[Reg] = set()
+    reported_maybe: set[Reg] = set()
+    for start in reachable:
+        block = blocks[start]
+        in_state = ins[start]
+        flow_known = in_state is not None
+        current = set(in_state) if flow_known else set()
+        for pc in range(block.start, block.end):
+            inst = insts[pc]
+            for reg in inst_uses(inst):
+                space, idx = reg
+                if space == "int" and idx == ZERO_REG:
+                    continue
+                name = f"{'f' if space == 'fp' else 'r'}{idx}"
+                if reg not in written:
+                    if reg not in reported_never:
+                        reported_never.add(reg)
+                        rep.emit(
+                            "read-never-written",
+                            Severity.ERROR,
+                            f"register {name} is read but never written "
+                            "anywhere reachable (reads as zero)",
+                            pc=pc,
+                        )
+                elif (
+                    flow_known
+                    and reg not in current
+                    and reg not in reported_maybe
+                ):
+                    reported_maybe.add(reg)
+                    rep.emit(
+                        "read-before-def",
+                        Severity.WARNING,
+                        f"register {name} may be read before its first "
+                        "write on some path",
+                        pc=pc,
+                    )
+            current.update(inst_defs(inst))
+
+
+# ----------------------------------------------------------------------
+# Entry points: whole programs and assembly source.
+# ----------------------------------------------------------------------
+def analyze_program(
+    program: Program,
+    unit: str = "<program>",
+    file: str | None = None,
+    suppress: Iterable[str] = (),
+) -> list[Diagnostic]:
+    """Analyze an assembled :class:`Program` (user text + PAL images).
+
+    Roots are the program entry plus every installed PAL handler entry.
+    """
+    roots = {program.entry, *program.pal_entries.values()}
+    return analyze_unit(
+        program.insts,
+        program.labels,
+        roots=roots,
+        unit=unit,
+        file=file,
+        suppress=suppress,
+    )
+
+
+def _scan_source(text: str) -> tuple[dict[int, set[str]], dict[int, int]]:
+    """Map suppression markers and source lines to instruction indices.
+
+    Mirrors the assembler's pass-1 line classification: comment-only and
+    label lines attach their suppressions to the *next* instruction;
+    trailing markers attach to their own line's instruction.
+    """
+    from repro.isa.assembler import _LABEL_RE, _strip_comment
+
+    pc_suppress: dict[int, set[str]] = {}
+    pc_lines: dict[int, int] = {}
+    pending: set[str] = set()
+    index = 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        marker = _SUPPRESS_RE.search(raw)
+        codes = (
+            {c.strip() for c in marker.group(1).replace(",", " ").split()}
+            if marker
+            else set()
+        )
+        stripped = _strip_comment(raw)
+        if not stripped or _LABEL_RE.match(stripped):
+            pending |= codes
+            continue
+        line_codes = codes | pending
+        pending = set()
+        if line_codes:
+            pc_suppress[index] = line_codes
+        pc_lines[index] = line_no
+        index += 1
+    return pc_suppress, pc_lines
+
+
+_ASM_ERROR_CODES = (
+    ("duplicate label", "duplicate-label"),
+    ("undefined label", "undefined-label"),
+    ("privileged instruction", "priv-outside-pal"),
+)
+
+
+def analyze_source(
+    text: str,
+    privileged: bool = False,
+    unit: str = "<source>",
+    file: str | None = None,
+    entry_label: str = "main",
+    suppress: Iterable[str] = (),
+) -> list[Diagnostic]:
+    """Assemble ``text`` and analyze it as a standalone unit.
+
+    Assembly failures (undefined/duplicate labels, syntax errors) become
+    error diagnostics instead of raising.  For privileged units the root
+    is PC 0 (handler entry); for user units it is ``entry_label`` when
+    defined, else PC 0.
+    """
+    pc_suppress, pc_lines = _scan_source(text)
+    try:
+        insts, labels = assemble(text, privileged=privileged)
+    except AssemblerError as exc:
+        message = str(exc)
+        code = "asm-error"
+        for needle, known in _ASM_ERROR_CODES:
+            if needle in message:
+                code = known
+                break
+        return [
+            Diagnostic(
+                passname="guest",
+                code=code,
+                severity=Severity.ERROR,
+                unit=unit,
+                message=message,
+                line=exc.line_no,
+                file=file,
+            )
+        ]
+    entry = labels.get(entry_label, 0) if not privileged else 0
+    return analyze_unit(
+        insts,
+        labels,
+        roots={entry},
+        unit=unit,
+        file=file,
+        suppress=suppress,
+        pc_suppress=pc_suppress,
+        pc_lines=pc_lines,
+    )

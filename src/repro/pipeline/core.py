@@ -23,6 +23,7 @@ Wrong-path execution is real: it touches the caches and the TLB.
 
 from __future__ import annotations
 
+import os
 from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING
 
@@ -125,6 +126,18 @@ class SMTCore:
         #: :meth:`run` fast-forward the clock (see docs/PERFORMANCE.md).
         self._activity = True
         self.stats = SimStats()
+        #: Opt-in runtime invariant checker (docs/ANALYSIS.md).  ``None``
+        #: when disabled; the hot-path hooks cost one ``is not None``
+        #: check each, nothing more.
+        self._sanitizer = None
+        if config.sanitize or os.environ.get("REPRO_SANITIZE", "") not in (
+            "",
+            "0",
+        ):
+            from repro.analysis.sanitizer import PipelineSanitizer
+
+            self._sanitizer = PipelineSanitizer(self)
+            self.window.sanitizer = self._sanitizer
         #: PAL entries by handler name, set when programs load; lengths
         #: (per handler) drive window reservations and fetch stop.
         self.pal_entries: dict[str, int] = {}
@@ -1060,6 +1073,8 @@ class SMTCore:
                 progress = True
 
     def _do_retire(self, thread: ThreadContext, uop: Uop, now: int) -> None:
+        if self._sanitizer is not None:
+            self._sanitizer.on_retire(thread, uop, now)
         thread.rob.popleft()
         self.window.remove(uop)
         uop.state = UopState.RETIRED

@@ -34,10 +34,14 @@ class InstructionWindow:
         "_reserved_total",
         "peak_occupancy",
         "tail_squashes",
+        "sanitizer",
     )
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
+        #: Runtime invariant checker, attached by the core when enabled
+        #: (``None`` costs a single identity check per insert).
+        self.sanitizer = None
         #: Occupying uops (unordered; scheduling order lives in the
         #: core's event queue, so membership is all that matters here).
         self._uops: set["Uop"] = set()
@@ -78,6 +82,8 @@ class InstructionWindow:
         A handler uop consumes one unit of its instance's reservation, if
         any remains.
         """
+        if self.sanitizer is not None:
+            self.sanitizer.on_insert(self, uop)
         self._uops.add(uop)
         if not uop.free_slot:
             occ = self._occupancy + 1

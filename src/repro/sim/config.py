@@ -110,6 +110,10 @@ class MachineConfig:
     #: Cycle accounting is bit-identical either way (see
     #: ``docs/PERFORMANCE.md``); disable only to cross-check that claim.
     fast_forward: bool = True
+    #: Attach the runtime invariant checker (docs/ANALYSIS.md): splice
+    #: ordering, retirement order, uop lifecycle, window occupancy.  Off
+    #: by default and free when off; ``REPRO_SANITIZE=1`` also enables it.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.fu_pool is None:

@@ -150,15 +150,41 @@ class ResultCache:
 
 
 def default_jobs() -> int:
-    """Worker count: ``REPRO_JOBS`` if set, else the CPU count."""
-    raw = os.environ.get("REPRO_JOBS", "")
+    """Worker count: ``REPRO_JOBS`` if set, else the CPU count.
+
+    ``REPRO_JOBS`` must be a non-negative integer; ``0`` (or unset)
+    means "use the CPU count".  Anything else raises :class:`ValueError`
+    here, at configuration time, instead of crashing deep inside the
+    worker pool.
+    """
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return os.cpu_count() or 1
     try:
         jobs = int(raw)
     except ValueError:
-        jobs = 0
-    if jobs > 0:
-        return jobs
-    return os.cpu_count() or 1
+        raise ValueError(
+            f"REPRO_JOBS must be a non-negative integer, got {raw!r}"
+        ) from None
+    if jobs < 0:
+        raise ValueError(f"REPRO_JOBS must be non-negative, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _worker_init(sanitize: str | None) -> None:
+    """Reproduce the parent's ``REPRO_SANITIZE`` in a pool worker.
+
+    Spawn-based pools on some platforms start workers without the
+    parent's (post-launch) environment mutations; cells must run under
+    the same sanitizer setting either way, or sanitized parallel runs
+    would silently check nothing.
+    """
+    if sanitize is None:
+        os.environ.pop("REPRO_SANITIZE", None)
+    else:
+        os.environ["REPRO_SANITIZE"] = sanitize
 
 
 def run_cells(
@@ -199,7 +225,11 @@ def run_cells(
         workers = min(jobs, len(todo))
         if workers > 1:
             try:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_worker_init,
+                    initargs=(os.environ.get("REPRO_SANITIZE"),),
+                ) as pool:
                     fresh = list(pool.map(run_cell, todo))
             except Exception:
                 fresh = None  # fall back to the serial path below

@@ -1,0 +1,2 @@
+# violates: layering (isa must not import pipeline)
+from repro.pipeline.uop import Uop  # noqa: F401

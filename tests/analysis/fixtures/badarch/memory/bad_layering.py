@@ -1,0 +1,2 @@
+# violates: layering (memory must not import exceptions)
+import repro.exceptions  # noqa: F401

@@ -1,0 +1,15 @@
+# violates: nondet-time, nondet-random, nondet-set-order
+import time  # noqa: F401
+from random import random  # noqa: F401
+
+
+def drain(window):
+    total = 0
+    for uop in window._uops:
+        total += uop.seq
+    return total
+
+
+def squash_all(window):
+    # sorted() iteration is the sanctioned form and must NOT be flagged.
+    return [uop.seq for uop in sorted(window._uops, key=lambda u: u.seq)]

@@ -1,0 +1,6 @@
+# violates: missing-slots (Uop is a required-__slots__ hot-loop class)
+
+
+class Uop:
+    def __init__(self, seq):
+        self.seq = seq

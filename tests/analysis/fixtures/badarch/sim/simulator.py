@@ -1,0 +1,4 @@
+# violates: nondet-random in the deterministic half of sim; the second
+# import is silenced by an inline suppression and must not be reported.
+import random  # noqa: F401
+import time  # noqa: F401  # lint: ok(nondet-time)

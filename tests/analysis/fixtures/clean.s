@@ -1,0 +1,7 @@
+; a well-formed unit the analyzer must pass
+main:
+    li   r1, 10
+loop:
+    sub  r1, r1, 1
+    bne  r1, r0, loop
+    halt

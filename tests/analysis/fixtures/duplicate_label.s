@@ -1,0 +1,7 @@
+; seeded-bad: the same label defined twice -> duplicate-label
+main:
+    li   r1, 1
+loop:
+    add  r1, r1, r1
+loop:
+    halt

@@ -1,0 +1,4 @@
+; seeded-bad: no halt/branch at the end of the text -> fall-through-end
+main:
+    li   r1, 1
+    add  r2, r1, r1

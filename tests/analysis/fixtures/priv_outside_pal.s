@@ -1,0 +1,6 @@
+; seeded-bad: reti is a privileged instruction; this unit is user code
+; -> priv-outside-pal
+main:
+    li   r1, 1
+    reti
+    halt

@@ -1,0 +1,9 @@
+; seeded-bad (warning class): r2 is written on only one path to its read
+; -> read-before-def
+main:
+    li   r1, 1
+    beq  r1, r0, skip
+    li   r2, 5
+skip:
+    add  r3, r2, r0
+    halt

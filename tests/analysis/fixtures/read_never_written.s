@@ -1,0 +1,6 @@
+; seeded-bad: r5 is read but no instruction ever writes it
+; -> read-never-written
+main:
+    li   r1, 1
+    add  r2, r5, r1
+    halt

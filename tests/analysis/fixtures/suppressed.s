@@ -1,0 +1,5 @@
+; the same defect as read_never_written.s, silenced by an inline marker
+main:
+    li   r1, 1
+    add  r2, r5, r1    ; lint: ok(read-never-written)
+    halt

@@ -1,0 +1,5 @@
+; seeded-bad: branches to a label nobody defines -> undefined-label
+main:
+    li   r1, 1
+    jmp  nowhere
+    halt

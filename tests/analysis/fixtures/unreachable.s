@@ -1,0 +1,8 @@
+; seeded-bad (warning class): the add after jmp can never execute
+; -> unreachable-code
+main:
+    li   r1, 1
+    jmp  done
+    add  r1, r1, r1
+done:
+    halt

@@ -1,0 +1,169 @@
+"""Guest-program static analyzer: every diagnostic has a fixture."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.guest import analyze_program, analyze_source, analyze_unit
+from repro.isa.instructions import Instruction, Opcode
+from repro.workloads import BENCHMARKS, build_benchmark
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def analyze_fixture(name: str, **kwargs):
+    return analyze_source((FIXTURES / name).read_text(), unit=name, **kwargs)
+
+
+class TestSourceFixtures:
+    @pytest.mark.parametrize(
+        "fixture, expected, is_error",
+        [
+            ("undefined_label.s", "undefined-label", True),
+            ("duplicate_label.s", "duplicate-label", True),
+            ("read_never_written.s", "read-never-written", True),
+            ("fall_through_end.s", "fall-through-end", True),
+            ("priv_outside_pal.s", "priv-outside-pal", True),
+            ("unreachable.s", "unreachable-code", False),
+            ("read_before_def.s", "read-before-def", False),
+        ],
+    )
+    def test_each_diagnostic_fires(self, fixture, expected, is_error):
+        diagnostics = analyze_fixture(fixture)
+        matching = [d for d in diagnostics if d.code == expected]
+        assert matching, f"{fixture} did not raise {expected}: {diagnostics}"
+        assert all(d.is_error == is_error for d in matching)
+
+    def test_clean_fixture_is_clean(self):
+        assert analyze_fixture("clean.s") == []
+
+    def test_inline_suppression_silences_the_finding(self):
+        assert "read-never-written" in codes(
+            analyze_fixture("read_never_written.s")
+        )
+        assert analyze_fixture("suppressed.s") == []
+
+    def test_unit_suppression_silences_the_finding(self):
+        diagnostics = analyze_fixture(
+            "read_never_written.s", suppress=("read-never-written",)
+        )
+        assert "read-never-written" not in codes(diagnostics)
+
+    def test_diagnostics_carry_locations(self):
+        (diag,) = [
+            d
+            for d in analyze_fixture("read_never_written.s")
+            if d.code == "read-never-written"
+        ]
+        assert diag.pc == 1  # second instruction
+        assert diag.line == 5  # source line of the add
+        assert diag.label == "main"
+
+
+class TestHandBuiltUnits:
+    """Checks that need Program-level shapes the assembler can't emit."""
+
+    def test_target_out_of_range(self):
+        insts = [Instruction(op=Opcode.JMP, target=99)]
+        diagnostics = analyze_unit(insts, {}, roots={0})
+        assert "target-out-of-range" in codes(diagnostics)
+
+    def test_unresolved_target(self):
+        insts = [Instruction(op=Opcode.JMP), Instruction(op=Opcode.HALT)]
+        diagnostics = analyze_unit(insts, {}, roots={0})
+        assert "unresolved-target" in codes(diagnostics)
+
+    def test_user_branch_into_pal(self):
+        insts = [
+            Instruction(op=Opcode.JMP, target=1),
+            Instruction(op=Opcode.NOP, privileged=True),
+            Instruction(op=Opcode.HALT, privileged=True),
+        ]
+        diagnostics = analyze_unit(insts, {}, roots={0})
+        assert "branch-into-pal" in codes(diagnostics)
+
+    def test_handler_branch_out_of_pal_warns(self):
+        insts = [
+            Instruction(op=Opcode.JMP, target=1, privileged=True),
+            Instruction(op=Opcode.HALT),
+        ]
+        diagnostics = analyze_unit(insts, {}, roots={0})
+        matching = [d for d in diagnostics if d.code == "branch-out-of-pal"]
+        assert matching and not matching[0].is_error
+
+    def test_fall_through_privilege_boundary(self):
+        insts = [
+            Instruction(op=Opcode.NOP),
+            Instruction(op=Opcode.NOP, privileged=True),
+            Instruction(op=Opcode.HALT, privileged=True),
+        ]
+        diagnostics = analyze_unit(insts, {}, roots={0})
+        assert "fall-through-pal" in codes(diagnostics)
+
+    def test_priv_op_outside_pal_in_assembled_program(self):
+        insts = [Instruction(op=Opcode.RETI), Instruction(op=Opcode.HALT)]
+        diagnostics = analyze_unit(insts, {}, roots={0})
+        assert "priv-outside-pal" in codes(diagnostics)
+
+    def test_label_out_of_range_warns(self):
+        insts = [Instruction(op=Opcode.HALT)]
+        diagnostics = analyze_unit(insts, {"ghost": 7}, roots={0})
+        assert "label-out-of-range" in codes(diagnostics)
+
+
+class TestIndirectFlow:
+    def test_jump_table_blocks_not_reported_unreachable(self):
+        source = """
+        main:
+            li    r1, 1
+            jmpi  r1
+        case0:
+            halt
+        case1:
+            halt
+        """
+        diagnostics = analyze_source(source, unit="jmpi")
+        assert "unreachable-code" not in codes(diagnostics)
+
+    def test_label_roots_do_not_fake_read_before_def(self):
+        # r2 is written before the indirect jump; the case block reading
+        # it must not warn just because its caller context is unknown.
+        source = """
+        main:
+            li    r1, 1
+            li    r2, 42
+            jmpi  r1
+        case0:
+            add   r3, r2, r0
+            halt
+        """
+        diagnostics = analyze_source(source, unit="jmpi-defs")
+        assert "read-before-def" not in codes(diagnostics)
+
+
+class TestShippedTree:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_benchmarks_have_no_errors(self, name):
+        import importlib
+
+        module = importlib.import_module(BENCHMARKS[name].build.__module__)
+        suppress = getattr(module, "LINT_OK", ())
+        diagnostics = analyze_program(
+            build_benchmark(name), unit=name, suppress=suppress
+        )
+        assert diagnostics == [], diagnostics
+
+    def test_handler_images_are_clean(self):
+        from repro.exceptions import handler_code
+
+        for name in ("DTLB_HANDLER_SOURCE", "EMUL_HANDLER_SOURCE"):
+            diagnostics = analyze_source(
+                getattr(handler_code, name), privileged=True, unit=name
+            )
+            assert diagnostics == [], (name, diagnostics)

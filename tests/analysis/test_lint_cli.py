@@ -1,0 +1,76 @@
+"""repro-lint CLI: exit codes, formats, and target handling."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+ERROR_FIXTURES = [
+    "undefined_label.s",
+    "duplicate_label.s",
+    "read_never_written.s",
+    "fall_through_end.s",
+    "priv_outside_pal.s",
+]
+
+
+class TestExitCodes:
+    @pytest.mark.parametrize("fixture", ERROR_FIXTURES)
+    def test_each_seeded_bad_fixture_fails(self, fixture, capsys):
+        assert main(["guest", str(FIXTURES / fixture)]) == 1
+        out = capsys.readouterr().out
+        assert "error[" in out
+
+    def test_clean_fixture_passes(self, capsys):
+        assert main(["guest", str(FIXTURES / "clean.s")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_warning_fixture_passes_unless_strict(self, capsys):
+        target = str(FIXTURES / "unreachable.s")
+        assert main(["guest", target]) == 0
+        assert main(["guest", target, "--strict"]) == 1
+
+    def test_shipped_tree_is_clean(self, capsys):
+        assert main([]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unknown_target_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["guest", "no-such-benchmark"])
+
+
+class TestFormats:
+    def test_json_payload_shape(self, capsys):
+        code = main(
+            ["guest", str(FIXTURES / "undefined_label.s"), "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] >= 1
+        (diag,) = payload["diagnostics"]
+        assert diag["code"] == "undefined-label"
+        assert diag["severity"] == "error"
+        assert diag["passname"] == "guest"
+
+    def test_format_flag_works_before_subcommand_too(self, capsys):
+        assert main(["--format", "json", "arch"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"diagnostics": [], "errors": 0, "warnings": 0}
+
+
+class TestTargets:
+    def test_benchmark_by_name(self, capsys):
+        assert main(["guest", "compress"]) == 0
+
+    def test_arch_on_fixture_tree_fails(self, capsys):
+        badarch = FIXTURES / "badarch"
+        assert main(["arch", "--root", str(badarch)]) == 1
+        out = capsys.readouterr().out
+        assert "missing-slots" in out
+        assert "layering" in out

@@ -1,0 +1,247 @@
+"""Pipeline invariant sanitizer: clean runs stay clean, broken ones trap."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import ALL_MECHANISMS, make_sim, run_to_halt
+from repro.analysis.sanitizer import PipelineSanitizer, SanitizerError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import DataSegment
+from repro.pipeline.core import SMTCore
+from repro.pipeline.thread import ThreadState
+from repro.pipeline.uop import Uop, UopState
+
+COUNTDOWN = """
+main:
+    li   r1, 20
+loop:
+    sub  r1, r1, 1
+    bne  r1, r0, loop
+    halt
+"""
+
+
+def _missing_loop(data_base: int) -> tuple[str, list[DataSegment]]:
+    """A kernel whose loads alternate between two pages (DTLB thrash)."""
+    source = f"""
+    main:
+        li   r1, {data_base}
+        li   r5, 5
+        li   r7, 0
+    loop:
+        ld   r6, 0(r1)
+        ld   r9, 8192(r1)
+        add  r7, r7, r6
+        add  r7, r7, r9
+        sub  r5, r5, 1
+        bne  r5, r0, loop
+        halt
+    """
+    segments = [
+        DataSegment(base=data_base, words=[1]),
+        DataSegment(base=data_base + 8192, words=[2]),
+    ]
+    return source, segments
+
+
+def _fresh_parts(sanitize: bool = True):
+    sim = make_sim(COUNTDOWN, sanitize=sanitize)
+    core = sim.core
+    return core, core.threads[0], core._sanitizer
+
+
+def _window_uop(seq: int, now: int = 0) -> Uop:
+    uop = Uop(seq, 0, 0, Instruction(op=Opcode.NOP))
+    uop.state = UopState.WINDOW
+    uop.issued = True
+    uop.finish_cycle = now
+    return uop
+
+
+class TestEnablement:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        sim = make_sim(COUNTDOWN)
+        assert sim.core._sanitizer is None
+        assert sim.core.window.sanitizer is None
+
+    def test_config_flag_attaches(self):
+        core, _, sanitizer = _fresh_parts()
+        assert isinstance(sanitizer, PipelineSanitizer)
+        assert core.window.sanitizer is sanitizer
+
+    def test_env_flag_attaches(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        sim = make_sim(COUNTDOWN)
+        assert isinstance(sim.core._sanitizer, PipelineSanitizer)
+
+    def test_env_zero_means_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        sim = make_sim(COUNTDOWN)
+        assert sim.core._sanitizer is None
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("mechanism", ALL_MECHANISMS + ("perfect",))
+    def test_sanitized_run_matches_plain(self, mechanism, data_base):
+        source, segments = _missing_loop(data_base)
+        plain = make_sim(
+            source, mechanism=mechanism, dtlb_entries=1, segments=segments
+        )
+        sanitized = make_sim(
+            source,
+            mechanism=mechanism,
+            dtlb_entries=1,
+            segments=segments,
+            sanitize=True,
+        )
+        cycles_plain = run_to_halt(plain)
+        cycles_sanitized = run_to_halt(sanitized)
+        assert cycles_plain == cycles_sanitized
+        assert sanitized.core.threads[0].arch.read_int(7) == 15
+
+
+class TestHookChecks:
+    def test_double_retire_trips_lifecycle(self):
+        _, thread, sanitizer = _fresh_parts()
+        uop = _window_uop(0)
+        uop.state = UopState.RETIRED
+        with pytest.raises(SanitizerError) as exc:
+            sanitizer.on_retire(thread, uop, 0)
+        assert exc.value.code == "uop-lifecycle"
+        assert "twice" in str(exc.value)
+
+    def test_squashed_uop_retiring_trips_lifecycle(self):
+        _, thread, sanitizer = _fresh_parts()
+        uop = _window_uop(0)
+        uop.state = UopState.SQUASHED
+        with pytest.raises(SanitizerError) as exc:
+            sanitizer.on_retire(thread, uop, 0)
+        assert exc.value.code == "uop-lifecycle"
+        assert "squashed" in str(exc.value)
+
+    def test_non_head_retire_trips_rob_order(self):
+        _, thread, sanitizer = _fresh_parts()
+        head, straggler = _window_uop(0), _window_uop(1)
+        thread.rob.append(head)
+        thread.rob.append(straggler)
+        with pytest.raises(SanitizerError) as exc:
+            sanitizer.on_retire(thread, straggler, 0)
+        assert exc.value.code == "rob-order"
+
+    def test_unfinished_uop_trips_retire_early(self):
+        _, thread, sanitizer = _fresh_parts()
+        uop = _window_uop(0)
+        uop.issued = False
+        thread.rob.append(uop)
+        with pytest.raises(SanitizerError) as exc:
+            sanitizer.on_retire(thread, uop, 0)
+        assert exc.value.code == "retire-early"
+
+    def test_sequence_regression_trips_monotonic(self):
+        _, thread, sanitizer = _fresh_parts()
+        sanitizer._last_retired_seq[thread.tid] = 100
+        uop = _window_uop(5)
+        thread.rob.append(uop)
+        with pytest.raises(SanitizerError) as exc:
+            sanitizer.on_retire(thread, uop, 0)
+        assert exc.value.code == "retire-monotonic"
+
+    def test_linked_handler_blocks_retire(self):
+        core, thread, sanitizer = _fresh_parts()
+        uop = _window_uop(0)
+        uop.linked_handler = core.threads[1]
+        thread.rob.append(uop)
+        with pytest.raises(SanitizerError) as exc:
+            sanitizer.on_retire(thread, uop, 0)
+        assert exc.value.code == "splice-order"
+
+    def test_handler_retire_without_parked_master(self):
+        core, thread, sanitizer = _fresh_parts()
+        handler_thread = core.threads[1]
+        handler_thread.state = ThreadState.EXCEPTION
+        handler_thread.master_tid = thread.tid
+        handler_thread.master_uop = _window_uop(0)
+        uop = _window_uop(1)
+        handler_thread.rob.append(uop)
+        with pytest.raises(SanitizerError) as exc:
+            sanitizer.on_retire(handler_thread, uop, 0)
+        assert exc.value.code == "splice-order"
+
+    def test_double_insert_trips_lifecycle(self):
+        core, _, sanitizer = _fresh_parts()
+        uop = _window_uop(0)
+        core.window.insert(uop)
+        with pytest.raises(SanitizerError) as exc:
+            core.window.insert(uop)
+        assert exc.value.code == "uop-lifecycle"
+
+    def test_window_overflow_trips_occupancy(self):
+        core, _, sanitizer = _fresh_parts()
+        core.window._occupancy = core.window.capacity
+        with pytest.raises(SanitizerError) as exc:
+            core.window.insert(_window_uop(0))
+        assert exc.value.code == "occupancy"
+
+    def test_occupancy_recount_catches_drift(self):
+        core, _, sanitizer = _fresh_parts()
+        core.window._occupancy += 3  # simulate accounting drift
+        with pytest.raises(SanitizerError) as exc:
+            sanitizer._verify_occupancy(0)
+        assert exc.value.code == "occupancy"
+
+    def test_error_carries_cycle_and_trace(self):
+        _, thread, sanitizer = _fresh_parts()
+        good = _window_uop(0)
+        thread.rob.append(good)
+        sanitizer.on_retire(thread, good, 0)
+        thread.rob.popleft()
+        good.state = UopState.RETIRED
+        thread.rob.append(good)
+        with pytest.raises(SanitizerError) as exc:
+            sanitizer.on_retire(thread, good, 7)
+        assert exc.value.cycle == 7
+        assert "last pipeline events" in str(exc.value)
+        assert "retire" in str(exc.value)
+
+
+class TestBrokenSplice:
+    def test_broken_splice_ordering_is_caught(self, data_base, monkeypatch):
+        """Retiring without the splice gates must raise, not corrupt."""
+
+        def broken_retire(self, now):
+            # The real _retire minus both splice gates: handler uops may
+            # retire while the master runs ahead, and the excepting uop
+            # may retire while its handler is still linked.
+            threads = self.threads
+            do_retire = self._do_retire
+            progress = True
+            while progress:
+                progress = False
+                for thread in threads:
+                    if thread.state is ThreadState.IDLE:
+                        continue
+                    rob = thread.rob
+                    if not rob:
+                        continue
+                    head = rob[0]
+                    if not head.issued or head.finish_cycle > now:
+                        continue
+                    if head.state != UopState.WINDOW:
+                        continue
+                    do_retire(thread, head, now)
+                    progress = True
+
+        monkeypatch.setattr(SMTCore, "_retire", broken_retire)
+        source, segments = _missing_loop(data_base)
+        sim = make_sim(
+            source,
+            mechanism="multithreaded",
+            dtlb_entries=1,
+            segments=segments,
+            sanitize=True,
+        )
+        with pytest.raises(SanitizerError) as exc:
+            run_to_halt(sim)
+        assert exc.value.code == "splice-order"

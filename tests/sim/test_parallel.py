@@ -3,11 +3,18 @@
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import pytest
 
 from repro.sim.config import MachineConfig
-from repro.sim.parallel import CellSpec, ResultCache, default_jobs, run_cells
+from repro.sim.parallel import (
+    CellSpec,
+    ResultCache,
+    _worker_init,
+    default_jobs,
+    run_cells,
+)
 from repro.sim.simulator import SimResult
 
 
@@ -94,11 +101,39 @@ class TestJobs:
         monkeypatch.setenv("REPRO_JOBS", "7")
         assert default_jobs() == 7
 
-    def test_garbage_env_falls_back(self, monkeypatch):
-        monkeypatch.setenv("REPRO_JOBS", "many")
+    @pytest.mark.parametrize("raw", ["many", "2.5", "-3", "1e3"])
+    def test_invalid_env_is_rejected_early(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JOBS", raw)
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            default_jobs()
+
+    @pytest.mark.parametrize("raw", ["", "0", " 0 "])
+    def test_zero_or_unset_means_cpu_count(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JOBS", raw)
         assert default_jobs() >= 1
 
-    @pytest.mark.parametrize("jobs", [0, -3])
-    def test_non_positive_env_falls_back(self, monkeypatch, jobs):
-        monkeypatch.setenv("REPRO_JOBS", str(jobs))
-        assert default_jobs() >= 1
+
+class TestSanitizePropagation:
+    def test_worker_init_sets_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        _worker_init("1")
+        assert os.environ["REPRO_SANITIZE"] == "1"
+
+    def test_worker_init_clears_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        _worker_init(None)
+        assert "REPRO_SANITIZE" not in os.environ
+
+    def test_sanitized_parallel_run_matches_serial(
+        self, tmp_path, monkeypatch
+    ):
+        """A sanitized fan-out completes and stays bit-identical."""
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        specs = make_specs()[:2]
+        parallel = run_cells(specs, jobs=2, cache=None)
+        monkeypatch.delenv("REPRO_SANITIZE")
+        serial = run_cells(specs, jobs=1, cache=None)
+        assert [result_key(r) for r in parallel] == [
+            result_key(r) for r in serial
+        ]
