@@ -38,12 +38,17 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "workloads": frozenset({"isa", "exceptions"}),
     "exceptions": frozenset({"isa", "memory", "branch", "pipeline"}),
     # pipeline -> analysis is the lazily-imported sanitizer hookup;
-    # pipeline -> sim is config/stats plumbing.
+    # pipeline -> sim is config/stats plumbing.  The event bus needs no
+    # import at all from pipeline (core.listeners is a plain attribute).
     "pipeline": frozenset(
         {"isa", "memory", "branch", "exceptions", "sim", "analysis"}
     ),
+    # obs -> sim is type-only plus the lazily-imported engine
+    # fingerprint for manifests; obs -> workloads is the CLI building
+    # the programs it traces.
+    "obs": frozenset({"pipeline", "sim", "workloads"}),
     "sim": frozenset(
-        {"isa", "memory", "branch", "pipeline", "exceptions", "workloads"}
+        {"isa", "memory", "branch", "pipeline", "exceptions", "workloads", "obs"}
     ),
     "experiments": frozenset(
         {
@@ -55,6 +60,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "workloads",
             "sim",
             "analysis",
+            "obs",
         }
     ),
     "analysis": frozenset(
@@ -67,6 +73,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "workloads",
             "sim",
             "experiments",
+            "obs",
         }
     ),
 }

@@ -94,6 +94,54 @@ class ExceptionMechanism:
         """Bind to a core.  Called once by the simulator before running."""
         self.core = core
 
+    # -- observability ---------------------------------------------------
+    def _emit_spawn(
+        self,
+        instance: ExceptionInstance,
+        tid: int,
+        path: str,
+        now: int,
+        master_tid: int | None = None,
+        master_seq: int | None = None,
+    ) -> None:
+        """Report to the event bus that handling began (no-op when off).
+
+        ``path`` records the route taken: ``thread`` (handler thread),
+        ``trap`` (traditional squash-and-refetch), ``walk`` (hardware
+        FSM).  Master identity defaults to ``instance.master_uop`` and
+        must be passed explicitly by the traditional engine, whose
+        instances do not keep the (squashed) faulting uop.
+        """
+        bus = self.core.listeners
+        if bus is None:
+            return
+        master = instance.master_uop
+        if master_tid is None:
+            master_tid = master.thread_id if master is not None else -1
+        if master_seq is None:
+            master_seq = master.seq if master is not None else -1
+        bus.spawn(
+            now, tid, instance.id, instance.exc_type, master_tid, master_seq,
+            path,
+        )
+
+    def _emit_splice(
+        self, instance: ExceptionInstance, tid: int, path: str, now: int
+    ) -> None:
+        """Report that handling ended; ``path`` names the clean route
+        (``thread``/``trap``/``walk``) or the abort reason
+        (``reclaimed``/``dropped``/``fault``)."""
+        bus = self.core.listeners
+        if bus is None:
+            return
+        master = instance.master_uop
+        bus.splice(
+            now, tid, instance.id, instance.exc_type,
+            master.thread_id if master is not None else -1,
+            master.seq if master is not None else -1,
+            path,
+        )
+
     # -- events from the execute stage ---------------------------------
     def on_dtlb_miss(self, uop: "Uop", va: int, vpn: int, now: int) -> None:
         """A user-mode memory op failed translation at issue time."""

@@ -88,6 +88,7 @@ class HardwareWalkerMechanism(ExceptionMechanism):
         self.stats.walks_started += 1
         instance = ExceptionInstance(vpn=vpn, va=va, master_uop=uop)
         instance.spawn_cycle = now
+        self._emit_spawn(instance, uop.thread_id, "walk", now)
         uop.waiting_fill = vpn
         self._walks[vpn] = _Walk(
             instance=instance, pte_addr=self.core.page_table.pte_address(vpn)
@@ -133,9 +134,12 @@ class HardwareWalkerMechanism(ExceptionMechanism):
             for u in [instance.master_uop, *instance.waiters]
             if u is not None and u.state != UopState.SQUASHED
         ]
+        master = instance.master_uop
+        walk_tid = master.thread_id if master is not None else -1
         if not survivors:
             # Everything that wanted this page died: drop the fill.
             self.stats.walks_dropped += 1
+            self._emit_splice(instance, walk_tid, "dropped", now)
             return
         if not pte_valid(pte):
             # Page fault: revert to a traditional software trap for the
@@ -143,6 +147,7 @@ class HardwareWalkerMechanism(ExceptionMechanism):
             self.stats.page_faults += 1
             oldest = min(survivors, key=lambda u: u.seq)
             thread = core.threads[oldest.thread_id]
+            self._emit_splice(instance, walk_tid, "fault", now)
             self.traditional.trap(thread, oldest, instance.va, now)
             for uop in survivors:
                 uop.waiting_fill = None
@@ -152,6 +157,7 @@ class HardwareWalkerMechanism(ExceptionMechanism):
         self.stats.committed_fills += 1
         instance.filled = True
         instance.fill_cycle = now
+        self._emit_splice(instance, walk_tid, "walk", now)
         for uop in survivors:
             uop.waiting_fill = None
             core.wake_uop(uop)

@@ -156,6 +156,7 @@ class MultithreadedMechanism(ExceptionMechanism):
         instance.spawn_cycle = now
         if instance.exc_type == "dtlb_miss":
             self._by_vpn[instance.vpn] = instance
+        self._emit_spawn(instance, thread.tid, "thread", now)
 
         uop.exc_instance = instance
         uop.linked_handler = thread
@@ -203,6 +204,7 @@ class MultithreadedMechanism(ExceptionMechanism):
     def _materialize_instantly(self, thread: ThreadContext, now: int) -> None:
         """Table 3 limit study: handler appears decoded in the window."""
         core = self.core
+        bus = core.listeners
         exc_id = thread.exc_instance.id if thread.exc_instance else None
         pc = self._handler_entry(thread)
         while True:
@@ -211,6 +213,8 @@ class MultithreadedMechanism(ExceptionMechanism):
             uop.fetch_cycle = now
             uop.avail_cycle = now
             uop.is_handler = True
+            if bus is not None:
+                bus.fetch(now, thread.tid, uop.seq, pc, inst.op.value, True)
             if core.config.limits.no_window_overhead:
                 uop.free_slot = True
             if inst.is_branch:
@@ -323,6 +327,7 @@ class MultithreadedMechanism(ExceptionMechanism):
             if self._by_vpn.get(instance.vpn) is instance:
                 del self._by_vpn[instance.vpn]
             self.core.window.release(instance.id)
+            self._emit_splice(instance, thread.tid, "thread", now)
         self._thread_freed(thread, now)
         thread.reset_to_idle()
 
@@ -369,6 +374,8 @@ class MultithreadedMechanism(ExceptionMechanism):
         self.stats.reclaimed_threads += 1
         core = self.core
         instance = thread.exc_instance
+        if instance is not None:
+            self._emit_splice(instance, thread.tid, "reclaimed", now)
         # Detach links first so the rob squash does not recurse into us.
         if instance is not None:
             instance.squashed = True

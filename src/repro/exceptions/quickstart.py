@@ -111,6 +111,7 @@ class QuickStartMechanism(MultithreadedMechanism):
             self.stats.quickstart_partial += 1
 
         exc_id = thread.exc_instance.id if thread.exc_instance else None
+        bus = core.listeners
         saw_reti = False
         for entry in served:
             inst = thread.program.fetch(entry.pc)
@@ -127,6 +128,8 @@ class QuickStartMechanism(MultithreadedMechanism):
             thread.rob.append(uop)
             thread.fetch_buffer.append(uop)
             core.stats.fetched += 1
+            if bus is not None:
+                bus.fetch(now, thread.tid, uop.seq, entry.pc, inst.op.value, True)
             if inst.op is Opcode.RETI:
                 saw_reti = True
         if saw_reti:

@@ -77,6 +77,10 @@ class TraditionalMechanism(ExceptionMechanism):
         self.core.squash_from(thread, uop.seq - 1, now)
         instance.spawn_cycle = now
         self._active[thread.tid] = instance
+        self._emit_spawn(
+            instance, thread.tid, "trap", now,
+            master_tid=thread.tid, master_seq=uop.seq,
+        )
         entry = self.core.pal_entries.get(handler)
         if entry is None:
             raise RuntimeError(f"no {handler!r} handler installed in the program")
@@ -132,6 +136,7 @@ class TraditionalMechanism(ExceptionMechanism):
                 self.stats.emulations += 1
             if self._active.get(thread.tid) is instance:
                 del self._active[thread.tid]
+            self._emit_splice(instance, thread.tid, "trap", now)
 
     def next_event_cycle(self, now: int) -> int:
         """Purely reactive: traps, fills, and redirects all happen in

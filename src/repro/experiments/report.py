@@ -9,7 +9,12 @@ paper-vs-measured summary block for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.experiments.common import ExperimentResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.attribution import AttributionTable
 
 #: Bar glyphs per series, cycled in label order.
 _GLYPHS = "█▓▒░◆"
@@ -86,6 +91,47 @@ def comparison_table(
         ref = paper.get(label)
         ref_text = f"{ref:5.1f}" if ref is not None else "   --"
         lines.append(f"| {label:{label_width}s} | {ref_text} | {value:8.1f} |")
+    return "\n".join(lines)
+
+
+def format_attribution(
+    tables: dict[str, "AttributionTable"],
+    fills: dict[str, int] | None = None,
+    width: int = 32,
+) -> str:
+    """Side-by-side Table-3 category shares, one column per mechanism.
+
+    ``tables`` maps a label (usually the mechanism name) to its
+    :class:`~repro.obs.attribution.AttributionTable`; ``fills`` (same
+    keys) adds a per-miss row.  This is the paper's where-do-the-cycles-
+    go comparison: traditional's squash/refetch column against
+    multithreaded's handler-fetch column against quick-start's shrunken
+    one.
+    """
+    from repro.obs.attribution import ATTRIBUTION_CATEGORIES
+
+    labels = list(tables)
+    cat_width = max(len(c) for c in ATTRIBUTION_CATEGORIES)
+    col = max([len(label) for label in labels] + [8])
+    header = f"{'category':{cat_width}s}"
+    for label in labels:
+        header += f" {label:>{col}s}"
+    lines = [header, "-" * len(header)]
+    for cat in ATTRIBUTION_CATEGORIES:
+        line = f"{cat:{cat_width}s}"
+        for label in labels:
+            table = tables[label]
+            share = 100.0 * table.cycles.get(cat, 0) / (table.total_cycles or 1)
+            line += f" {share:{col - 1}.1f}%"
+        lines.append(line)
+    if fills:
+        line = f"{'per-miss':{cat_width}s}"
+        for label in labels:
+            table = tables[label]
+            n = fills.get(label, 0)
+            per = table.overhead_cycles / n if n else 0.0
+            line += f" {per:{col}.1f}"
+        lines.append(line)
     return "\n".join(lines)
 
 

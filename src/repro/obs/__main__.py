@@ -1,0 +1,5 @@
+"""``python -m repro.obs`` — see :mod:`repro.obs.cli`."""
+
+from repro.obs.cli import main
+
+raise SystemExit(main())

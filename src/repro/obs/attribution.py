@@ -1,0 +1,399 @@
+"""Cycle accounting in the paper's Table-3 categories.
+
+The paper's argument is a *where-do-the-cycles-go* argument: Table 3
+decomposes the traditional trap penalty (~22.7 cycles/miss) into squash
+and refetch waste, handler fetch/decode latency, and handler occupancy,
+then shows which mechanism removes which component.  This module turns
+the event stream into exactly that decomposition.
+
+:class:`CycleAttribution` subscribes to the core's event bus and
+classifies **every cycle into exactly one category**, so the per-category
+counts always sum to the run's total cycle count:
+
+``user``
+    At least one user-mode instruction retired this cycle -- forward
+    progress, whatever else was happening.
+``handler_fetch``
+    No user retirement, and a handler-thread episode was still in its
+    fetch/decode phase (spawn until the first handler instruction
+    issues).  The dominant multithreaded-mechanism cost; quick-start
+    exists to shrink it.
+``handler_exec``
+    No user retirement, and an exception episode was executing (first
+    handler issue until ``reti`` issues; hardware walks count here for
+    their whole duration).
+``squash_refetch``
+    No user retirement and either a traditional trap was refilling the
+    pipeline (its fetch/decode phase *is* refetch after the trap
+    squash), a squash happened this cycle, or a thread was still
+    refetching squashed work.  The dominant traditional-trap cost.
+``splice_stall``
+    No user retirement; every open episode had executed its ``reti``
+    and was only waiting for the retirement splice.
+``idle``
+    Nothing happened at all (includes cycles skipped by the idle
+    fast-forward, which emit no events by construction).
+
+Classification uses end-of-cycle state and a fixed precedence
+(``user`` > ``handler_fetch`` > trap-refill > ``handler_exec`` >
+``splice_stall`` > ``squash_refetch`` > activity > ``idle``), so
+overlapping episodes and multiprogrammed threads never double-count a
+cycle.  Per-episode phase timings are recorded alongside the aggregate
+table (:class:`EpisodeRecord`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.events import EventBus, ObsEvent
+
+#: The classification buckets, in report order.
+ATTRIBUTION_CATEGORIES = (
+    "user",
+    "handler_fetch",
+    "handler_exec",
+    "squash_refetch",
+    "splice_stall",
+    "idle",
+)
+
+#: Episode phases: spawned but no handler instruction issued yet; handler
+#: executing; reti issued, waiting only for the retirement splice.
+_FETCH, _EXEC, _DRAIN = "fetch", "exec", "drain"
+
+
+@dataclass
+class EpisodeRecord:
+    """One exception's life with its phase boundaries."""
+
+    exc_id: int
+    exc_type: str
+    #: How handling ran: ``thread`` (multithreaded/quick-start),
+    #: ``trap`` (traditional, incl. reversions), ``walk`` (hardware).
+    path: str
+    #: How it ended: the clean paths echo ``path``; ``reclaimed`` /
+    #: ``dropped`` / ``fault`` / ``superseded`` aborted; ``open`` means
+    #: the run finished with the episode still in flight.
+    end_path: str
+    tid: int
+    master_tid: int
+    master_seq: int
+    detect_cycle: int
+    spawn_cycle: int
+    first_issue_cycle: int
+    reti_cycle: int
+    end_cycle: int
+
+    @property
+    def latency(self) -> int:
+        """Spawn to completion, in cycles."""
+        return self.end_cycle - self.spawn_cycle
+
+    @property
+    def fetch_cycles(self) -> int:
+        """Spawn until the first handler instruction issued."""
+        stop = self.first_issue_cycle if self.first_issue_cycle >= 0 else self.end_cycle
+        return max(0, stop - self.spawn_cycle)
+
+    @property
+    def exec_cycles(self) -> int:
+        """First handler issue until ``reti`` issued (whole walk for
+        the hardware mechanism)."""
+        if self.path == "walk":
+            return self.latency
+        if self.first_issue_cycle < 0:
+            return 0
+        stop = self.reti_cycle if self.reti_cycle >= 0 else self.end_cycle
+        return max(0, stop - self.first_issue_cycle)
+
+    @property
+    def drain_cycles(self) -> int:
+        """``reti`` issued until the retirement splice completed."""
+        if self.reti_cycle < 0:
+            return 0
+        return max(0, self.end_cycle - self.reti_cycle)
+
+
+@dataclass
+class AttributionTable:
+    """Aggregate per-category cycle counts plus the episode log."""
+
+    total_cycles: int
+    cycles: dict[str, int]
+    episodes: list[EpisodeRecord] = field(default_factory=list)
+
+    def check_sum(self) -> None:
+        """Raise if the categories do not cover the run exactly."""
+        total = sum(self.cycles.values())
+        if total != self.total_cycles:
+            raise AssertionError(
+                f"attribution covers {total} of {self.total_cycles} cycles"
+            )
+
+    @property
+    def overhead_cycles(self) -> int:
+        """Cycles in any non-``user``, non-``idle`` category."""
+        return sum(
+            v for k, v in self.cycles.items() if k not in ("user", "idle")
+        )
+
+    def per_miss(self, fills: int) -> dict[str, float]:
+        """Category cycles normalised per committed TLB fill."""
+        if fills <= 0:
+            return {k: 0.0 for k in self.cycles}
+        return {k: v / fills for k, v in self.cycles.items()}
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (manifests, exporters)."""
+        return {
+            "total_cycles": self.total_cycles,
+            "cycles": dict(self.cycles),
+            "episodes": len(self.episodes),
+            "episode_latency_sum": sum(e.latency for e in self.episodes),
+        }
+
+    def format(self, fills: int | None = None) -> str:
+        """Aligned text table (optionally with a per-miss column)."""
+        width = max(len(k) for k in ATTRIBUTION_CATEGORIES)
+        lines = []
+        header = f"{'category':{width}s} {'cycles':>10s} {'share':>7s}"
+        if fills:
+            header += f" {'per-miss':>9s}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        total = self.total_cycles or 1
+        for cat in ATTRIBUTION_CATEGORIES:
+            v = self.cycles.get(cat, 0)
+            line = f"{cat:{width}s} {v:10d} {100.0 * v / total:6.1f}%"
+            if fills:
+                line += f" {v / fills:9.2f}"
+            lines.append(line)
+        lines.append("-" * len(header))
+        line = f"{'total':{width}s} {self.total_cycles:10d} {100.0:6.1f}%"
+        if fills:
+            line += f" {self.total_cycles / fills:9.2f}"
+        lines.append(line)
+        return "\n".join(lines)
+
+
+class _Episode:
+    """Mutable in-flight episode state (becomes an EpisodeRecord)."""
+
+    __slots__ = (
+        "exc_id", "exc_type", "path", "tid", "master_tid", "master_seq",
+        "detect_cycle", "spawn_cycle", "first_issue_cycle", "reti_cycle",
+        "phase",
+    )
+
+    def __init__(self, event: ObsEvent, detect_cycle: int) -> None:
+        self.exc_id = event.exc_id
+        self.exc_type = event.exc_type
+        self.path = event.path
+        self.tid = event.tid
+        self.master_tid = event.master_tid
+        self.master_seq = event.master_seq
+        self.detect_cycle = detect_cycle
+        self.spawn_cycle = event.cycle
+        self.first_issue_cycle = -1
+        self.reti_cycle = -1
+        # A walk has no front end: the FSM is "executing" from cycle one.
+        self.phase = _EXEC if event.path == "walk" else _FETCH
+
+    def record(self, end_cycle: int, end_path: str) -> EpisodeRecord:
+        return EpisodeRecord(
+            exc_id=self.exc_id,
+            exc_type=self.exc_type,
+            path=self.path,
+            end_path=end_path,
+            tid=self.tid,
+            master_tid=self.master_tid,
+            master_seq=self.master_seq,
+            detect_cycle=self.detect_cycle,
+            spawn_cycle=self.spawn_cycle,
+            first_issue_cycle=self.first_issue_cycle,
+            reti_cycle=self.reti_cycle,
+            end_cycle=end_cycle,
+        )
+
+
+class CycleAttribution:
+    """Event-bus subscriber that buckets every cycle (see module doc).
+
+    Feed it a whole run, then call :meth:`finalize` with the run's total
+    cycle count::
+
+        attribution = CycleAttribution.attach(sim.core)
+        result = sim.run(...)
+        table = attribution.finalize(sim.core.cycle)
+        table.check_sum()          # categories cover the run exactly
+        print(table.format(fills=result.committed_fills))
+    """
+
+    def __init__(self) -> None:
+        self.episodes: list[EpisodeRecord] = []
+        self._counts: dict[str, int] = {k: 0 for k in ATTRIBUTION_CATEGORIES}
+        self._open: dict[int, _Episode] = {}  # exc_id -> episode
+        #: (tid, seq) -> cycle of an ``exception`` event not yet matched
+        #: to its ``spawn``.
+        self._pending_detect: dict[tuple[int, int], int] = {}
+        #: Threads refetching squashed user work (cleared by the thread's
+        #: next user-mode retirement).
+        self._refetching: set[int] = set()
+        #: The cycle currently being accumulated, and its flags.
+        self._cycle = -1
+        self._user_retired = False
+        self._user_squashed = False
+        self._any_event = False
+        #: Phases of episodes that closed during the current cycle (they
+        #: still colour the cycle they ended in).
+        self._closed_phases: list[tuple[str, str]] = []
+        self._done_through = 0  # cycles [0, _done_through) are classified
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, core) -> "CycleAttribution":
+        """Create, subscribe to ``core``'s bus (creating it), return."""
+        from repro.obs.events import attach_bus
+
+        self = cls()
+        attach_bus(core).subscribe(self)
+        return self
+
+    # ------------------------------------------------------------------
+    def on_event(self, event: ObsEvent) -> None:
+        if event.cycle != self._cycle:
+            self._advance_to(event.cycle)
+        self._any_event = True
+        kind = event.kind
+        if kind == "retire":
+            if not event.is_handler:
+                self._user_retired = True
+                self._refetching.discard(event.tid)
+        elif kind == "issue":
+            if event.is_handler:
+                self._handler_issued(event)
+        elif kind == "squash":
+            if not event.is_handler:
+                self._user_squashed = True
+                self._refetching.add(event.tid)
+        elif kind == "exception":
+            self._pending_detect[(event.tid, event.seq)] = event.cycle
+        elif kind == "spawn":
+            self._on_spawn(event)
+        elif kind == "splice":
+            self._on_splice(event)
+
+    # -- episode bookkeeping -------------------------------------------
+    def _handler_issued(self, event: ObsEvent) -> None:
+        for ep in self._open.values():
+            if ep.tid != event.tid or ep.phase == _DRAIN or ep.path == "walk":
+                continue
+            if ep.phase == _FETCH:
+                ep.phase = _EXEC
+                ep.first_issue_cycle = event.cycle
+            if event.op == "reti":
+                ep.phase = _DRAIN
+                ep.reti_cycle = event.cycle
+
+    def _on_spawn(self, event: ObsEvent) -> None:
+        if event.path == "trap":
+            # The traditional engine keeps one live trap per thread; a
+            # new trap on the same thread supersedes a stale one (e.g.
+            # a wrong-path trap whose reti never retired).
+            stale = [
+                ep for ep in self._open.values()
+                if ep.path == "trap" and ep.tid == event.tid
+            ]
+            for ep in stale:
+                self._close(ep, event.cycle, "superseded")
+        detect = self._pending_detect.pop(
+            (event.master_tid, event.master_seq), event.cycle
+        )
+        self._open[event.exc_id] = _Episode(event, detect)
+
+    def _on_splice(self, event: ObsEvent) -> None:
+        ep = self._open.get(event.exc_id)
+        if ep is not None:
+            self._close(ep, event.cycle, event.path)
+
+    def _close(self, ep: _Episode, cycle: int, end_path: str) -> None:
+        del self._open[ep.exc_id]
+        self._closed_phases.append((ep.path, ep.phase))
+        self.episodes.append(ep.record(cycle, end_path))
+
+    # -- per-cycle classification --------------------------------------
+    def _advance_to(self, cycle: int) -> None:
+        """Finalize the current cycle, then bulk-classify the quiet gap
+        up to (but excluding) ``cycle``."""
+        if self._cycle >= 0:
+            self._counts[self._classify()] += 1
+            self._done_through = self._cycle + 1
+        gap = cycle - self._done_through
+        if gap > 0:
+            # No events in the gap means no state transitions either, so
+            # one classification covers every cycle in it.
+            self._counts[self._classify_quiet()] += gap
+            self._done_through = cycle
+        self._cycle = cycle
+        self._user_retired = False
+        self._user_squashed = False
+        self._any_event = False
+        self._closed_phases.clear()
+
+    def _classify(self) -> str:
+        if self._user_retired:
+            return "user"
+        phases = [(ep.path, ep.phase) for ep in self._open.values()]
+        phases.extend(self._closed_phases)
+        if phases:
+            return self._episode_category(phases)
+        if self._user_squashed or self._refetching:
+            return "squash_refetch"
+        if self._any_event:
+            # Front-end / execute activity on the user program's behalf
+            # with nothing retiring yet (pipeline fill): forward work.
+            return "user"
+        return "idle"
+
+    def _classify_quiet(self) -> str:
+        phases = [(ep.path, ep.phase) for ep in self._open.values()]
+        if phases:
+            return self._episode_category(phases)
+        if self._refetching:
+            return "squash_refetch"
+        return "idle"
+
+    @staticmethod
+    def _episode_category(phases: list[tuple[str, str]]) -> str:
+        """Category for a no-user-retirement cycle with open episodes.
+
+        A handler *thread* still in its front end is the multithreaded
+        mechanism's fetch/decode cost; a *trap* in its front end is the
+        traditional mechanism refilling the pipeline it just squashed,
+        which the paper accounts as squash/refetch waste.
+        """
+        if any(path == "thread" and phase == _FETCH for path, phase in phases):
+            return "handler_fetch"
+        if any(path == "trap" and phase == _FETCH for path, phase in phases):
+            return "squash_refetch"
+        if any(phase == _EXEC for _, phase in phases):
+            return "handler_exec"
+        return "splice_stall"
+
+    # ------------------------------------------------------------------
+    def finalize(self, total_cycles: int) -> AttributionTable:
+        """Classify through ``total_cycles`` and return the table.
+
+        Episodes still open (the run ended mid-exception) are closed at
+        ``total_cycles`` with ``end_path="open"``.
+        """
+        self._advance_to(total_cycles)
+        for ep in list(self._open.values()):
+            self._close(ep, total_cycles, "open")
+        self._closed_phases.clear()
+        return AttributionTable(
+            total_cycles=total_cycles,
+            cycles=dict(self._counts),
+            episodes=list(self.episodes),
+        )

@@ -1,0 +1,215 @@
+"""Chrome ``trace_event`` export: load a run in ``chrome://tracing``.
+
+The exporter is an event-bus subscriber that renders the run in the
+Trace Event Format (the JSON dialect understood by ``chrome://tracing``
+and Perfetto): one track per hardware thread context, every retired
+instruction as a duration slice, handler episodes as colored spans on
+the handler's track, and exception detections / squashes as instant
+events.  One simulated cycle maps to one microsecond of trace time.
+
+Typical use::
+
+    exporter = ChromeTraceExporter.attach(sim.core)
+    sim.run(...)
+    exporter.write("run.trace.json")
+
+The output's top level is ``{"traceEvents": [...], ...}``;
+:func:`validate_chrome_trace` checks the invariants the tests and the
+CI schema job rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.obs.events import ObsEvent
+
+#: chrome://tracing reserved color names per episode path.
+_EPISODE_COLORS = {
+    "thread": "thread_state_running",
+    "trap": "terrible",
+    "walk": "thread_state_iowait",
+}
+
+#: Fields every emitted trace event carries.
+_REQUIRED_EVENT_KEYS = ("name", "ph", "pid", "tid")
+
+
+class ChromeTraceExporter:
+    """Collects bus events and renders Trace Event Format JSON."""
+
+    PID = 1  # one simulated machine == one "process"
+
+    def __init__(self, retires: bool = True) -> None:
+        #: Include per-retired-instruction slices (set False for long
+        #: runs where only the episode spans matter).
+        self.include_retires = retires
+        self._retires: list[ObsEvent] = []
+        self._instants: list[ObsEvent] = []  # exception detects, squashes
+        self._spawns: dict[int, ObsEvent] = {}
+        self._episodes: list[tuple[ObsEvent, ObsEvent]] = []  # (spawn, splice)
+        self._tids: set[int] = set()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, core, retires: bool = True) -> "ChromeTraceExporter":
+        """Create, subscribe to ``core``'s bus (creating it), return."""
+        from repro.obs.events import attach_bus
+
+        self = cls(retires=retires)
+        attach_bus(core).subscribe(self)
+        return self
+
+    def on_event(self, event: ObsEvent) -> None:
+        kind = event.kind
+        self._tids.add(event.tid)
+        if kind == "retire":
+            if self.include_retires:
+                self._retires.append(event)
+        elif kind in ("exception", "squash"):
+            self._instants.append(event)
+        elif kind == "spawn":
+            self._spawns[event.exc_id] = event
+        elif kind == "splice":
+            spawn = self._spawns.pop(event.exc_id, None)
+            if spawn is not None:
+                self._episodes.append((spawn, event))
+
+    # ------------------------------------------------------------------
+    def trace_events(self) -> list[dict]:
+        """The ``traceEvents`` array (metadata first, then slices)."""
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": self.PID,
+                "tid": 0,
+                "args": {"name": "repro SMT core"},
+            }
+        ]
+        for tid in sorted(self._tids):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": self.PID,
+                    "tid": tid,
+                    "args": {"name": f"hardware context T{tid}"},
+                }
+            )
+        for spawn, splice in self._episodes:
+            events.append(
+                {
+                    "name": f"{spawn.exc_type} handler [{spawn.path}]",
+                    "cat": "episode",
+                    "ph": "X",
+                    "ts": spawn.cycle,
+                    "dur": max(1, splice.cycle - spawn.cycle),
+                    "pid": self.PID,
+                    "tid": spawn.tid,
+                    "cname": _EPISODE_COLORS.get(spawn.path, "generic_work"),
+                    "args": {
+                        "exc_id": spawn.exc_id,
+                        "master_tid": spawn.master_tid,
+                        "master_seq": spawn.master_seq,
+                        "end": splice.path,
+                    },
+                }
+            )
+        for e in self._retires:
+            record = {
+                "name": e.op,
+                "cat": "retire",
+                "ph": "X",
+                "ts": e.cycle,
+                "dur": 1,
+                "pid": self.PID,
+                "tid": e.tid,
+                "args": {"seq": e.seq, "pc": e.pc},
+            }
+            if e.is_handler:
+                record["cname"] = "yellow"
+            events.append(record)
+        for e in self._instants:
+            events.append(
+                {
+                    "name": e.exc_type if e.kind == "exception" else f"squash {e.op}",
+                    "cat": e.kind,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": e.cycle,
+                    "pid": self.PID,
+                    "tid": e.tid,
+                    "args": {"seq": e.seq, "pc": e.pc},
+                }
+            )
+        return events
+
+    def export(self, manifest: dict | None = None) -> dict:
+        """The full trace document (``otherData`` carries the manifest)."""
+        doc = {
+            "traceEvents": self.trace_events(),
+            "displayTimeUnit": "ms",
+            "metadata": {"unit": "1 cycle == 1 us", "format": "trace_event"},
+        }
+        if manifest is not None:
+            doc["otherData"] = manifest
+        return doc
+
+    def write(self, path_or_file: str | IO[str], manifest: dict | None = None) -> None:
+        """Serialize :meth:`export` as JSON to a path or open file."""
+        doc = self.export(manifest)
+        if hasattr(path_or_file, "write"):
+            json.dump(doc, path_or_file, indent=1)
+        else:
+            with open(path_or_file, "w") as fh:
+                json.dump(doc, fh, indent=1)
+                fh.write("\n")
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Schema-check a trace document; returns a list of problems.
+
+    Checks the Trace Event Format essentials (the keys ``about:tracing``
+    actually requires) plus this exporter's invariants: integer
+    non-negative timestamps, positive durations on ``X`` slices, and
+    metadata naming for every referenced thread track.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["trace document is not an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    named_tids: set[int] = set()
+    used_tids: set[int] = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in _REQUIRED_EVENT_KEYS:
+            if key not in event:
+                errors.append(f"{where}: missing {key!r}")
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                named_tids.add(event.get("tid"))
+            continue
+        used_tids.add(event.get("tid"))
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 1:
+                errors.append(f"{where}: bad dur {dur!r}")
+        elif ph == "i":
+            if event.get("s") not in ("g", "p", "t"):
+                errors.append(f"{where}: instant scope {event.get('s')!r}")
+        else:
+            errors.append(f"{where}: unexpected phase {ph!r}")
+    for tid in sorted(used_tids - named_tids):
+        errors.append(f"thread {tid} has events but no thread_name metadata")
+    return errors

@@ -1,0 +1,158 @@
+"""Typed pipeline events and the core's optional event bus.
+
+Event kinds and their populated fields (every event carries ``kind``,
+``cycle``, and ``tid``; unused fields hold their defaults):
+
+=============== ====================================================
+``fetch``       ``seq``, ``pc``, ``op``, ``is_handler``
+``issue``       ``seq``, ``pc``, ``op``, ``is_handler``
+``retire``      ``seq``, ``pc``, ``op``, ``is_handler``
+``squash``      ``seq``, ``pc``, ``op``, ``is_handler``
+``exception``   ``seq``, ``pc``, ``exc_type`` -- a user instruction
+                needed help at issue time (DTLB miss / emulation),
+                emitted *before* the mechanism reacts
+``spawn``       ``exc_id``, ``exc_type``, ``master_tid``,
+                ``master_seq``, ``path`` -- handling began; ``tid`` is
+                the thread running the handler (the master itself for a
+                traditional trap) and ``path`` says how
+                (``thread`` / ``trap`` / ``walk``)
+``splice``      same fields as ``spawn`` -- handling ended; ``path``
+                says how (``thread`` / ``trap`` / ``walk`` retired
+                cleanly, ``reclaimed`` / ``dropped`` / ``fault``
+                aborted)
+=============== ====================================================
+
+Within one cycle events arrive in stage order (retire before issue
+before fetch, matching :meth:`SMTCore.step`); across cycles the stream
+is monotonically non-decreasing in ``cycle``.  Quiet cycles skipped by
+the idle fast-forward emit nothing -- stream consumers must treat cycle
+gaps as machine-wide inactivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline.core import SMTCore
+
+#: Every event kind the core and the mechanisms emit.
+EVENT_KINDS = (
+    "fetch",
+    "issue",
+    "retire",
+    "squash",
+    "exception",
+    "spawn",
+    "splice",
+)
+
+
+@dataclass(slots=True)
+class ObsEvent:
+    """One observed machine event (see the module table for fields)."""
+
+    kind: str
+    cycle: int
+    tid: int
+    seq: int = -1
+    pc: int = -1
+    op: str = ""
+    is_handler: bool = False
+    exc_type: str = ""
+    exc_id: int = -1
+    master_tid: int = -1
+    master_seq: int = -1
+    path: str = ""
+
+
+class Subscriber(Protocol):
+    """Anything with an ``on_event`` method may join the bus."""
+
+    def on_event(self, event: ObsEvent) -> None: ...  # pragma: no cover
+
+
+class EventBus:
+    """Fan-out of :class:`ObsEvent` records to subscribers.
+
+    The bus itself never mutates machine state; subscription order is
+    the notification order, and unsubscription is valid in any order
+    (there is nothing to restore -- unlike the retired monkey-patch
+    tracer, detaching one subscriber cannot resurrect another).
+    """
+
+    __slots__ = ("_subs",)
+
+    def __init__(self) -> None:
+        self._subs: list[Subscriber] = []
+
+    # ------------------------------------------------------------------
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Add ``subscriber`` (idempotent); returns it for chaining."""
+        if subscriber not in self._subs:
+            self._subs.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Remove ``subscriber`` if present (any order is fine)."""
+        try:
+            self._subs.remove(subscriber)
+        except ValueError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    # ------------------------------------------------------------------
+    def emit(self, event: ObsEvent) -> None:
+        for sub in self._subs:
+            sub.on_event(event)
+
+    # Convenience constructors so emission sites stay one line each.
+    def fetch(self, cycle: int, tid: int, seq: int, pc: int, op: str,
+              is_handler: bool) -> None:
+        self.emit(ObsEvent("fetch", cycle, tid, seq, pc, op, is_handler))
+
+    def issue(self, cycle: int, tid: int, seq: int, pc: int, op: str,
+              is_handler: bool) -> None:
+        self.emit(ObsEvent("issue", cycle, tid, seq, pc, op, is_handler))
+
+    def retire(self, cycle: int, tid: int, seq: int, pc: int, op: str,
+               is_handler: bool) -> None:
+        self.emit(ObsEvent("retire", cycle, tid, seq, pc, op, is_handler))
+
+    def squash(self, cycle: int, tid: int, seq: int, pc: int, op: str,
+               is_handler: bool) -> None:
+        self.emit(ObsEvent("squash", cycle, tid, seq, pc, op, is_handler))
+
+    def exception(self, cycle: int, tid: int, seq: int, pc: int,
+                  exc_type: str) -> None:
+        self.emit(
+            ObsEvent("exception", cycle, tid, seq, pc, exc_type=exc_type)
+        )
+
+    def spawn(self, cycle: int, tid: int, exc_id: int, exc_type: str,
+              master_tid: int, master_seq: int, path: str) -> None:
+        self.emit(
+            ObsEvent(
+                "spawn", cycle, tid, exc_id=exc_id, exc_type=exc_type,
+                master_tid=master_tid, master_seq=master_seq, path=path,
+            )
+        )
+
+    def splice(self, cycle: int, tid: int, exc_id: int, exc_type: str,
+               master_tid: int, master_seq: int, path: str) -> None:
+        self.emit(
+            ObsEvent(
+                "splice", cycle, tid, exc_id=exc_id, exc_type=exc_type,
+                master_tid=master_tid, master_seq=master_seq, path=path,
+            )
+        )
+
+
+def attach_bus(core: "SMTCore") -> EventBus:
+    """The core's event bus, creating (and installing) one if absent."""
+    if core.listeners is None:
+        core.listeners = EventBus()
+    return core.listeners

@@ -126,6 +126,12 @@ class SMTCore:
         #: :meth:`run` fast-forward the clock (see docs/PERFORMANCE.md).
         self._activity = True
         self.stats = SimStats()
+        #: Opt-in observability event bus (docs/OBSERVABILITY.md).
+        #: ``None`` when nothing listens; every emission site costs one
+        #: ``is not None`` check, so a bus-less machine is bit-identical
+        #: to one built before the bus existed.  Attach via
+        #: :func:`repro.obs.attach_bus`.
+        self.listeners = None
         #: Opt-in runtime invariant checker (docs/ANALYSIS.md).  ``None``
         #: when disabled; the hot-path hooks cost one ``is not None``
         #: check each, nothing more.
@@ -391,6 +397,10 @@ class SMTCore:
         thread.fetch_buffer.append(uop)
         self.stats.fetched += 1
         self._activity = True
+        if self.listeners is not None:
+            self.listeners.fetch(
+                now, thread.tid, seq, pc, inst.op.value, uop.is_handler
+            )
 
         op = inst.op
         if op is Opcode.HALT:
@@ -740,9 +750,15 @@ class SMTCore:
             # uop issues, or it raises an exception event (TLB miss /
             # emulation) through the mechanism.
             self._activity = True
-            if self._issue(uop, now) and not handler_free:
-                fu_used[group] += 1
-                budget -= 1
+            if self._issue(uop, now):
+                if self.listeners is not None:
+                    self.listeners.issue(
+                        now, uop.thread_id, uop.seq, uop.pc,
+                        uop.inst.op.value, uop.is_handler,
+                    )
+                if not handler_free:
+                    fu_used[group] += 1
+                    budget -= 1
         self._exec_heap = None
         self._exec_seq = -1
         if ports is not None:
@@ -844,6 +860,10 @@ class SMTCore:
                 uop.value = semantics.compute_int(inst, int(a), 0)
             else:
                 self.stats.emulation_events += 1
+                if self.listeners is not None:
+                    self.listeners.exception(
+                        now, uop.thread_id, uop.seq, uop.pc, "emul"
+                    )
                 self.mechanism.on_emulation(uop, int(a), now)
                 return False  # waits for the handler's mtdst
         elif kind == EK_MTDST:
@@ -879,6 +899,10 @@ class SMTCore:
             entry = self.dtlb.lookup(vpn_of(addr))
             if entry is None:
                 self.stats.dtlb_miss_events += 1
+                if self.listeners is not None:
+                    self.listeners.exception(
+                        now, uop.thread_id, uop.seq, uop.pc, "dtlb_miss"
+                    )
                 if self.mechanism is not None:
                     self.mechanism.on_dtlb_miss(uop, addr, vpn_of(addr), now)
                 return False
@@ -993,6 +1017,11 @@ class SMTCore:
         return squashed
 
     def _squash_uop(self, thread: ThreadContext, victim: Uop, now: int) -> None:
+        if self.listeners is not None:
+            self.listeners.squash(
+                now, thread.tid, victim.seq, victim.pc,
+                victim.inst.op.value, victim.is_handler,
+            )
         state = victim.state
         if state == UopState.WINDOW:
             self.window.remove(victim)
@@ -1075,6 +1104,11 @@ class SMTCore:
     def _do_retire(self, thread: ThreadContext, uop: Uop, now: int) -> None:
         if self._sanitizer is not None:
             self._sanitizer.on_retire(thread, uop, now)
+        if self.listeners is not None:
+            self.listeners.retire(
+                now, thread.tid, uop.seq, uop.pc, uop.inst.op.value,
+                uop.is_handler,
+            )
         thread.rob.popleft()
         self.window.remove(uop)
         uop.state = UopState.RETIRED

@@ -115,5 +115,16 @@ class InstructionWindow:
         remaining = self._reservations.pop(exc_id, 0)
         self._reserved_total -= remaining
 
+    def counters(self) -> dict[str, int]:
+        """Occupancy/reservation snapshot for manifests and debugging."""
+        return {
+            "capacity": self.capacity,
+            "occupancy": self._occupancy,
+            "reserved_total": self._reserved_total,
+            "open_reservations": len(self._reservations),
+            "peak_occupancy": self.peak_occupancy,
+            "tail_squashes": self.tail_squashes,
+        }
+
     def __len__(self) -> int:
         return len(self._uops)

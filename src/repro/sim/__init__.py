@@ -4,7 +4,12 @@ from repro.sim.config import FUPool, MachineConfig
 from repro.sim.metrics import PenaltyResult, penalty_per_miss, run_pair
 from repro.sim.simulator import SimResult, Simulator
 from repro.sim.stats import SimStats
-from repro.sim.trace import PipelineTracer, TraceEvent
+from repro.sim.trace import (
+    ExceptionEpisode,
+    PipelineTracer,
+    TraceEvent,
+    group_handler_episodes,
+)
 
 __all__ = [
     "FUPool",
@@ -17,4 +22,6 @@ __all__ = [
     "SimStats",
     "PipelineTracer",
     "TraceEvent",
+    "ExceptionEpisode",
+    "group_handler_episodes",
 ]

@@ -145,8 +145,24 @@ class ResultCache:
             with tmp.open("wb") as fh:
                 pickle.dump(result, fh)
             tmp.replace(path)  # atomic: concurrent writers race benignly
+            self._write_manifest(spec, result, path)
         except OSError:
             pass  # a read-only cache dir degrades to "no cache"
+
+    def _write_manifest(self, spec: CellSpec, result: SimResult, path: Path) -> None:
+        """Audit trail: a human-readable manifest beside each pickle."""
+        from repro.obs.manifest import build_manifest, write_manifest
+
+        tmp = path.with_suffix(f".json.tmp.{os.getpid()}")
+        with tmp.open("w") as fh:
+            write_manifest(
+                fh, build_manifest(result, spec.config, workload=spec.workload)
+            )
+        tmp.replace(path.with_suffix(".json"))
+
+    def manifest_path(self, spec: CellSpec) -> Path:
+        """Where :meth:`put` leaves the manifest for ``spec``."""
+        return self._path(spec).with_suffix(".json")
 
 
 def default_jobs() -> int:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.branch.unit import BranchPredictionUnit, BranchStats
 from repro.exceptions import handler_length, make_mechanism
@@ -33,6 +34,9 @@ from repro.memory.tlb import PerfectTLB, TLB, TLBStats
 from repro.pipeline.core import SMTCore
 from repro.sim.config import MachineConfig
 from repro.sim.stats import SimStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.events import EventBus
 
 
 @dataclass
@@ -76,6 +80,7 @@ class Simulator:
         self,
         programs: Program | list[Program],
         config: MachineConfig | None = None,
+        listeners: "EventBus | None" = None,
     ) -> None:
         if isinstance(programs, Program):
             programs = [programs]
@@ -104,6 +109,8 @@ class Simulator:
             self.bpu,
             self.mechanism,
         )
+        if listeners is not None:
+            self.core.listeners = listeners
         for tid, program in enumerate(programs):
             self.core.load_program(tid, program)
             for segment in program.data_segments:

@@ -8,7 +8,7 @@ branch, cache, TLB, and mechanism counters into a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass
@@ -43,15 +43,15 @@ class SimStats:
         return self.squashed / self.fetched
 
     def as_dict(self) -> dict[str, float]:
-        return {
-            "cycles": self.cycles,
-            "fetched": self.fetched,
-            "retired_user": self.retired_user,
-            "retired_handler": self.retired_handler,
-            "squashed": self.squashed,
-            "mispredicts": self.mispredicts,
-            "dtlb_miss_events": self.dtlb_miss_events,
-            "store_forwards": self.store_forwards,
-            "overfetch_discarded": self.overfetch_discarded,
-            "ipc": self.ipc,
-        }
+        """Every counter field plus every derived property.
+
+        Built by introspection so a new field can never be silently
+        dropped from reports and manifests (a hand-maintained version of
+        this dict once omitted ``emulation_events`` and the derived
+        totals).
+        """
+        out: dict[str, float] = {f.name: getattr(self, f.name) for f in fields(self)}
+        for name in dir(type(self)):
+            if isinstance(getattr(type(self), name), property):
+                out[name] = getattr(self, name)
+        return out

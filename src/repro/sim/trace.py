@@ -1,24 +1,35 @@
 """Pipeline tracing: observe what the machine does, cycle by cycle.
 
-A :class:`PipelineTracer` attaches to a core non-invasively (it wraps
-the retire/issue/squash entry points) and records typed events.  It
-powers the examples' retirement-order dumps, debugging sessions, and
-the tests that assert ordering properties without reaching into core
-internals.
+A :class:`PipelineTracer` subscribes to the core's observability event
+bus (:mod:`repro.obs.events`) and records :class:`TraceEvent` rows for
+the kinds it was asked to keep.  It powers the examples'
+retirement-order dumps, debugging sessions, and the tests that assert
+ordering properties without reaching into core internals.
 
-Event kinds:
+Event kinds and the fields each populates (all events carry ``kind``,
+``cycle``, ``tid``):
 
-``retire``   (cycle, tid, seq, pc, op, is_handler)
-``issue``    (cycle, tid, seq, pc, op)
-``squash``   (cycle, tid, seq, pc, op)
-``exception``(cycle, tid, seq, kind)   -- via mechanism stats deltas
+``fetch``      ``seq``, ``pc``, ``op``, ``is_handler``
+``issue``      ``seq``, ``pc``, ``op``, ``is_handler``
+``retire``     ``seq``, ``pc``, ``op``, ``is_handler``
+``squash``     ``seq``, ``pc``, ``op``, ``is_handler``
+``exception``  ``seq``, ``pc``, and the exception type in ``op``
+               (``dtlb_miss`` / ``emul``), emitted at detection,
+               before the mechanism reacts
+
+Tracers detach by unsubscribing, so any number may observe one core and
+they may attach/detach in any order -- detaching one never disturbs
+another (the historical monkey-patch implementation restored saved
+method pointers and could resurrect a stale spy on out-of-order
+detach).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
+from repro.obs.events import ObsEvent, attach_bus
 from repro.pipeline.core import SMTCore
 
 
@@ -40,80 +51,82 @@ class ExceptionEpisode:
     start_cycle: int
     end_cycle: int
     handler_instructions: int
+    tid: int = -1
 
     @property
     def latency(self) -> int:
         return self.end_cycle - self.start_cycle
 
 
+def group_handler_episodes(
+    events: Sequence[TraceEvent],
+) -> list[ExceptionEpisode]:
+    """Split a retirement stream into handler episodes.
+
+    An episode is the spliced block of handler retirements for one
+    exception.  Within the stream a new episode starts at a handler
+    retire that (a) follows a non-handler retire, (b) runs on a
+    different thread than the previous handler retire, or (c) follows a
+    retired ``reti`` -- the handler terminator, which is what separates
+    back-to-back episodes that the splice leaves with no user
+    retirement in between.  Traditional traps run their handler on the
+    faulting (often tid-0) thread, so no thread id is excluded.
+    """
+    episodes: list[ExceptionEpisode] = []
+    current: list[TraceEvent] = []
+
+    def flush() -> None:
+        if current:
+            episodes.append(
+                ExceptionEpisode(
+                    start_cycle=current[0].cycle,
+                    end_cycle=current[-1].cycle,
+                    handler_instructions=len(current),
+                    tid=current[0].tid,
+                )
+            )
+            current.clear()
+
+    for event in events:
+        if event.kind != "retire" or not event.is_handler:
+            flush()
+            continue
+        if current and event.tid != current[-1].tid:
+            flush()
+        current.append(event)
+        if event.op == "reti":
+            flush()
+    flush()
+    return episodes
+
+
 class PipelineTracer:
-    """Records core events; detach restores the original methods."""
+    """Records core events; detach unsubscribes from the bus."""
 
     def __init__(self, core: SMTCore, kinds: Iterable[str] = ("retire",)) -> None:
         self.core = core
         self.kinds = frozenset(kinds)
         self.events: list[TraceEvent] = []
-        self._originals: dict[str, object] = {}
-        self._attach()
+        self._bus = attach_bus(core)
+        self._bus.subscribe(self)
 
     # ------------------------------------------------------------------
-    def _attach(self) -> None:
-        core = self.core
-        if "retire" in self.kinds:
-            self._originals["_do_retire"] = core.__dict__.get("_do_retire")
-
-            def retire_spy(thread, uop, now, _orig=core._do_retire):
-                self.events.append(
-                    TraceEvent(
-                        "retire", now, thread.tid, uop.seq, uop.pc,
-                        uop.inst.op.value, uop.is_handler,
-                    )
-                )
-                return _orig(thread, uop, now)
-
-            core._do_retire = retire_spy
-        if "issue" in self.kinds:
-            self._originals["_issue"] = core.__dict__.get("_issue")
-
-            def issue_spy(uop, now, _orig=core._issue):
-                result = _orig(uop, now)
-                if uop.issued:
-                    self.events.append(
-                        TraceEvent(
-                            "issue", now, uop.thread_id, uop.seq, uop.pc,
-                            uop.inst.op.value, uop.is_handler,
-                        )
-                    )
-                return result
-
-            core._issue = issue_spy
-        if "squash" in self.kinds:
-            self._originals["_squash_uop"] = core.__dict__.get("_squash_uop")
-
-            def squash_spy(thread, victim, now, _orig=core._squash_uop):
-                self.events.append(
-                    TraceEvent(
-                        "squash", now, thread.tid, victim.seq, victim.pc,
-                        victim.inst.op.value, victim.is_handler,
-                    )
-                )
-                return _orig(thread, victim, now)
-
-            core._squash_uop = squash_spy
+    def on_event(self, event: ObsEvent) -> None:
+        kind = event.kind
+        if kind not in self.kinds:
+            return
+        # Exception detections carry their type where ops go elsewhere.
+        op = event.exc_type if kind == "exception" else event.op
+        self.events.append(
+            TraceEvent(
+                kind, event.cycle, event.tid, event.seq, event.pc, op,
+                event.is_handler,
+            )
+        )
 
     def detach(self) -> None:
-        """Restore the core's pre-attach state.
-
-        The spies live in the instance ``__dict__``; we saved what (if
-        anything) was there before -- ``None`` means attribute lookup fell
-        through to the class method, an earlier tracer's spy otherwise.
-        """
-        for name, previous in self._originals.items():
-            if previous is None:
-                self.core.__dict__.pop(name, None)
-            else:
-                self.core.__dict__[name] = previous
-        self._originals.clear()
+        """Stop recording.  Safe in any order across nested tracers."""
+        self._bus.unsubscribe(self)
 
     def __enter__(self) -> "PipelineTracer":
         return self
@@ -129,30 +142,8 @@ class PipelineTracer:
         return self.of_kind("retire")
 
     def handler_episodes(self) -> list[ExceptionEpisode]:
-        """Contiguous handler-retirement episodes (splice occurrences)."""
-        episodes: list[ExceptionEpisode] = []
-        current: list[TraceEvent] = []
-        for event in self.retirement_order():
-            if event.is_handler and event.tid != 0:
-                current.append(event)
-            elif current:
-                episodes.append(
-                    ExceptionEpisode(
-                        start_cycle=current[0].cycle,
-                        end_cycle=current[-1].cycle,
-                        handler_instructions=len(current),
-                    )
-                )
-                current = []
-        if current:
-            episodes.append(
-                ExceptionEpisode(
-                    start_cycle=current[0].cycle,
-                    end_cycle=current[-1].cycle,
-                    handler_instructions=len(current),
-                )
-            )
-        return episodes
+        """Handler-retirement episodes (splice occurrences)."""
+        return group_handler_episodes(self.retirement_order())
 
     def format(self, limit: int = 50) -> str:
         """Human-readable event listing."""

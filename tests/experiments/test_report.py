@@ -60,3 +60,45 @@ class TestSparkline:
 
     def test_empty(self):
         assert sparkline([]) == ""
+
+
+class TestFormatAttribution:
+    def _tables(self):
+        from repro.obs.attribution import AttributionTable
+
+        trad = AttributionTable(
+            total_cycles=100,
+            cycles={
+                "user": 50, "handler_fetch": 0, "handler_exec": 20,
+                "squash_refetch": 25, "splice_stall": 0, "idle": 5,
+            },
+        )
+        multi = AttributionTable(
+            total_cycles=100,
+            cycles={
+                "user": 60, "handler_fetch": 25, "handler_exec": 10,
+                "squash_refetch": 2, "splice_stall": 1, "idle": 2,
+            },
+        )
+        return {"traditional": trad, "multithreaded": multi}
+
+    def test_side_by_side_columns(self):
+        from repro.experiments.report import format_attribution
+
+        text = format_attribution(self._tables())
+        lines = text.splitlines()
+        assert "traditional" in lines[0] and "multithreaded" in lines[0]
+        squash = next(l for l in lines if l.startswith("squash_refetch"))
+        assert "25.0%" in squash and "2.0%" in squash
+
+    def test_per_miss_row_with_fills(self):
+        from repro.experiments.report import format_attribution
+
+        text = format_attribution(
+            self._tables(), fills={"traditional": 5, "multithreaded": 4}
+        )
+        per_miss = next(
+            l for l in text.splitlines() if l.startswith("per-miss")
+        )
+        assert "9.0" in per_miss   # (20 + 25) / 5 overhead cycles per fill
+        assert "9.5" in per_miss   # (25 + 10 + 2 + 1) / 4

@@ -1,0 +1,114 @@
+"""Tests for Table-3 cycle attribution."""
+
+import pytest
+
+from repro.obs.attribution import ATTRIBUTION_CATEGORIES, CycleAttribution
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.workloads import build_benchmark
+from tests.conftest import ALL_MECHANISMS
+
+
+def _attributed_run(mechanism, user_insts=2500, warmup_insts=400):
+    sim = Simulator(
+        build_benchmark("compress"), MachineConfig(mechanism=mechanism)
+    )
+    attribution = CycleAttribution.attach(sim.core)
+    result = sim.run(user_insts=user_insts, warmup_insts=warmup_insts)
+    table = attribution.finalize(sim.core.cycle)
+    return sim, result, table
+
+
+class TestSumsToTotal:
+    @pytest.mark.parametrize("mechanism", ALL_MECHANISMS)
+    def test_categories_cover_run_exactly(self, mechanism):
+        sim, _, table = _attributed_run(mechanism)
+        table.check_sum()  # raises on any gap or double-count
+        assert table.total_cycles == sim.core.cycle
+        assert set(table.cycles) == set(ATTRIBUTION_CATEGORIES)
+        assert all(v >= 0 for v in table.cycles.values())
+
+    def test_perfect_machine_has_no_exception_categories(self):
+        sim, _, table = _attributed_run("perfect")
+        table.check_sum()
+        assert table.cycles["handler_fetch"] == 0
+        assert table.cycles["handler_exec"] == 0
+        assert table.cycles["splice_stall"] == 0
+
+
+class TestTable3Story:
+    """The paper's qualitative decomposition, measured."""
+
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return {m: _attributed_run(m) for m in ALL_MECHANISMS}
+
+    def test_traditional_pays_squash_refetch(self, tables):
+        _, _, trad = tables["traditional"]
+        _, _, multi = tables["multithreaded"]
+        # The trap squashes and refetches on every miss; the handler
+        # thread does not.  (Both keep a branch-misprediction floor.)
+        assert trad.cycles["squash_refetch"] > multi.cycles["squash_refetch"]
+        assert trad.cycles["handler_fetch"] == 0  # no handler threads
+
+    def test_multithreaded_pays_handler_fetch(self, tables):
+        _, _, multi = tables["multithreaded"]
+        assert multi.cycles["handler_fetch"] > 0
+
+    def test_quickstart_removes_most_fetch_component(self, tables):
+        _, _, multi = tables["multithreaded"]
+        _, _, quick = tables["quickstart"]
+        assert quick.cycles["handler_fetch"] < multi.cycles["handler_fetch"]
+
+    def test_hardware_has_neither_software_cost(self, tables):
+        _, _, hw = tables["hardware"]
+        assert hw.cycles["handler_fetch"] == 0
+        assert hw.cycles["splice_stall"] == 0
+        assert hw.cycles["handler_exec"] > 0  # walks still take cycles
+
+
+class TestEpisodes:
+    @pytest.mark.parametrize("mechanism", ALL_MECHANISMS)
+    def test_episode_log_is_consistent(self, mechanism):
+        _, result, table = _attributed_run(mechanism)
+        assert table.episodes
+        expected_path = {
+            "traditional": "trap",
+            "multithreaded": "thread",
+            "quickstart": "thread",
+            "hardware": "walk",
+        }[mechanism]
+        assert any(e.path == expected_path for e in table.episodes)
+        for episode in table.episodes:
+            assert episode.end_cycle >= episode.spawn_cycle >= episode.detect_cycle
+            assert episode.latency >= 0
+            assert (
+                episode.fetch_cycles >= 0
+                and episode.exec_cycles >= 0
+                and episode.drain_cycles >= 0
+            )
+
+    def test_clean_thread_episode_phases_ordered(self):
+        _, _, table = _attributed_run("multithreaded")
+        clean = [e for e in table.episodes if e.end_path == "thread"]
+        assert clean
+        for episode in clean:
+            assert episode.first_issue_cycle >= episode.spawn_cycle
+            assert episode.reti_cycle >= episode.first_issue_cycle
+            assert episode.end_cycle >= episode.reti_cycle
+
+
+class TestTableHelpers:
+    def test_per_miss_and_format(self):
+        _, result, table = _attributed_run("traditional")
+        per = table.per_miss(result.committed_fills)
+        assert set(per) == set(ATTRIBUTION_CATEGORIES)
+        text = table.format(fills=result.committed_fills)
+        assert "squash_refetch" in text and "per-miss" in text
+
+    def test_check_sum_raises_on_mismatch(self):
+        from repro.obs.attribution import AttributionTable
+
+        table = AttributionTable(total_cycles=10, cycles={"user": 4, "idle": 5})
+        with pytest.raises(AssertionError):
+            table.check_sum()

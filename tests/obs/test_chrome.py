@@ -1,0 +1,129 @@
+"""Tests for the Chrome trace_event exporter and its validator."""
+
+import json
+
+import pytest
+
+from repro.isa.program import DataSegment
+from repro.obs.chrome import ChromeTraceExporter, validate_chrome_trace
+from tests.conftest import make_sim, run_to_halt
+
+
+def _miss_sim(data_base, mechanism="multithreaded"):
+    return make_sim(
+        f"""
+        main:
+            li   r1, {data_base}
+            ld   r2, 0(r1)
+            add  r3, r2, 1
+            halt
+        """,
+        mechanism=mechanism,
+        segments=[DataSegment(base=data_base, words=[41])],
+    )
+
+
+def _traced_run(data_base, mechanism="multithreaded"):
+    sim = _miss_sim(data_base, mechanism)
+    exporter = ChromeTraceExporter.attach(sim.core)
+    run_to_halt(sim)
+    return sim, exporter
+
+
+class TestExport:
+    def test_document_passes_schema(self, data_base):
+        _, exporter = _traced_run(data_base)
+        doc = exporter.export()
+        assert validate_chrome_trace(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_document_is_json_serializable(self, data_base, tmp_path):
+        _, exporter = _traced_run(data_base)
+        path = tmp_path / "run.trace.json"
+        exporter.write(str(path), manifest={"kind": "x"})
+        reloaded = json.loads(path.read_text())
+        assert reloaded["otherData"] == {"kind": "x"}
+        assert validate_chrome_trace(reloaded) == []
+
+    def test_every_track_is_named(self, data_base):
+        _, exporter = _traced_run(data_base)
+        events = exporter.trace_events()
+        named = {
+            e["tid"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        used = {e["tid"] for e in events if e["ph"] != "M"}
+        assert used <= named
+
+    @pytest.mark.parametrize("mechanism", ("traditional", "multithreaded"))
+    def test_episode_span_emitted(self, data_base, mechanism):
+        _, exporter = _traced_run(data_base, mechanism)
+        spans = [
+            e for e in exporter.trace_events() if e.get("cat") == "episode"
+        ]
+        assert len(spans) == 1
+        (span,) = spans
+        assert span["ph"] == "X" and span["dur"] >= 1
+        expected = "thread" if mechanism == "multithreaded" else "trap"
+        assert f"[{expected}]" in span["name"]
+        assert span["args"]["end"] == expected
+
+    def test_retires_can_be_omitted(self, data_base):
+        sim = _miss_sim(data_base)
+        exporter = ChromeTraceExporter.attach(sim.core, retires=False)
+        run_to_halt(sim)
+        events = exporter.trace_events()
+        assert not [e for e in events if e.get("cat") == "retire"]
+        assert [e for e in events if e.get("cat") == "episode"]
+
+
+class TestSpliceInvariant:
+    def test_handler_retires_between_pre_and_post_exception_user_work(
+        self, data_base
+    ):
+        # The retirement splice: every handler instruction retires after
+        # all pre-exception user instructions and before the excepting
+        # one.  The trace must show handler slices strictly between the
+        # pre-exception user slices and the excepting ld's slice.
+        _, exporter = _traced_run(data_base, "multithreaded")
+        retires = [
+            e for e in exporter.trace_events() if e.get("cat") == "retire"
+        ]
+        handler = [e for e in retires if e.get("cname") == "yellow"]
+        user = [e for e in retires if e.get("cname") != "yellow"]
+        assert handler and user
+        ld = next(e for e in user if e["name"] == "ld")
+        pre = [e for e in user if e["args"]["seq"] < ld["args"]["seq"]]
+        assert pre  # the li retires before the exception
+        for h in handler:
+            assert max(e["ts"] for e in pre) <= h["ts"] <= ld["ts"]
+
+
+class TestValidator:
+    def test_flags_missing_keys(self):
+        doc = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1}]}
+        problems = validate_chrome_trace(doc)
+        assert any("missing 'tid'" in p for p in problems)
+
+    def test_flags_bad_timestamps_and_durations(self):
+        doc = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "pid": 1, "tid": 0, "ts": -1, "dur": 0},
+            ]
+        }
+        problems = validate_chrome_trace(doc)
+        assert any("bad ts" in p for p in problems)
+        assert any("bad dur" in p for p in problems)
+
+    def test_flags_unnamed_tracks(self):
+        doc = {
+            "traceEvents": [
+                {"name": "a", "ph": "i", "s": "t", "pid": 1, "tid": 7, "ts": 0},
+            ]
+        }
+        problems = validate_chrome_trace(doc)
+        assert any("thread 7" in p for p in problems)
+
+    def test_rejects_non_document(self):
+        assert validate_chrome_trace([]) == ["trace document is not an object"]
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]

@@ -55,6 +55,25 @@ class TestRunControl:
         assert d["cycles"] > 0
         assert "ipc" in d
 
+    def test_stats_as_dict_is_exhaustive(self):
+        # A hand-maintained as_dict once dropped emulation_events and the
+        # derived totals; diff against the dataclass definition so any
+        # future field lands in reports automatically.
+        import dataclasses
+
+        from repro.sim.stats import SimStats
+
+        stats = SimStats()
+        d = stats.as_dict()
+        field_names = {f.name for f in dataclasses.fields(SimStats)}
+        property_names = {
+            name
+            for name in dir(SimStats)
+            if isinstance(getattr(SimStats, name), property)
+        }
+        assert set(d) == field_names | property_names
+        assert {"emulation_events", "retired_total", "fetch_waste_fraction"} <= set(d)
+
     def test_fetch_waste_fraction_bounded(self):
         sim = Simulator(
             build_benchmark("gcc"), MachineConfig(mechanism="perfect")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.isa.program import DataSegment
-from repro.sim.trace import PipelineTracer
+from repro.sim.trace import PipelineTracer, TraceEvent, group_handler_episodes
 from tests.conftest import make_sim, run_to_halt
 
 
@@ -48,15 +48,77 @@ class TestTracer:
         assert tracer.of_kind("squash")  # the trap squashed something
         assert not tracer.of_kind("retire")
 
-    def test_detach_restores_core(self, data_base):
+    def test_detach_stops_recording(self, data_base):
         sim = _miss_sim(data_base)
-        original = sim.core._do_retire
         tracer = PipelineTracer(sim.core)
-        assert sim.core._do_retire != original
+        assert len(sim.core.listeners) == 1
         tracer.detach()
-        assert sim.core._do_retire == original
+        assert len(sim.core.listeners) == 0
         run_to_halt(sim)
         assert not tracer.events  # recorded nothing after detach
+
+    def test_nested_detach_any_order(self, data_base):
+        # The monkey-patch implementation required LIFO detach; detaching
+        # the inner tracer first resurrected the outer tracer's stale
+        # spy.  Bus subscribers detach independently in any order.
+        sim = _miss_sim(data_base)
+        outer = PipelineTracer(sim.core)
+        inner = PipelineTracer(sim.core)
+        outer.detach()  # non-LIFO: outer first
+        run_to_halt(sim)
+        inner.detach()
+        assert not outer.events
+        assert inner.retirement_order()
+
+    def test_traditional_episodes_counted(self, data_base):
+        # The old tid != 0 filter dropped traditional-trap episodes,
+        # which run their handler on the faulting (tid-0) thread.
+        sim = _miss_sim(data_base, mechanism="traditional")
+        with PipelineTracer(sim.core) as tracer:
+            run_to_halt(sim)
+        episodes = tracer.handler_episodes()
+        assert len(episodes) == 1
+        assert episodes[0].tid == 0
+        assert episodes[0].handler_instructions == 10
+
+
+class TestEpisodeGrouping:
+    @staticmethod
+    def _retire(cycle, tid, seq, op, is_handler=True):
+        return TraceEvent("retire", cycle, tid, seq, seq, op, is_handler)
+
+    def test_back_to_back_episodes_split_on_reti(self):
+        # Two spliced handlers retiring with no user retirement between
+        # them used to merge into one giant episode.
+        events = [
+            self._retire(10, 1, 100, "ld"),
+            self._retire(10, 1, 101, "reti"),
+            self._retire(11, 1, 200, "ld"),
+            self._retire(11, 1, 201, "reti"),
+        ]
+        episodes = group_handler_episodes(events)
+        assert [e.handler_instructions for e in episodes] == [2, 2]
+
+    def test_split_on_tid_change(self):
+        events = [
+            self._retire(10, 1, 100, "ld"),
+            self._retire(10, 2, 200, "ld"),
+            self._retire(11, 2, 201, "reti"),
+        ]
+        episodes = group_handler_episodes(events)
+        assert [(e.tid, e.handler_instructions) for e in episodes] == [
+            (1, 1),
+            (2, 2),
+        ]
+
+    def test_user_retire_terminates_episode(self):
+        events = [
+            self._retire(10, 1, 100, "ld"),
+            self._retire(11, 0, 5, "add", is_handler=False),
+            self._retire(12, 1, 101, "ld"),
+        ]
+        episodes = group_handler_episodes(events)
+        assert len(episodes) == 2
 
     def test_format_is_readable(self, data_base):
         sim = _miss_sim(data_base)
