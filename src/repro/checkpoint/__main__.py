@@ -1,0 +1,6 @@
+"""``python -m repro.checkpoint`` entry point."""
+
+from repro.checkpoint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,146 @@
+"""Periodic autosave and crash-resume for long runs.
+
+:func:`run_with_autosave` replays :meth:`repro.sim.simulator.Simulator.run`
+exactly -- warmup phase, measurement window, the same timeout semantics --
+but executes it in bounded chunks through :meth:`SMTCore.run_to`, writing
+an *exact* checkpoint between chunks.  Chunking is bit-identical to one
+straight call (see ``run_to``), and capture is read-only, so a run that
+autosaves produces the same :class:`SimResult` as one that does not.
+
+The checkpoint's ``meta.run`` block records where in the two-phase run
+the save happened (absolute per-thread retirement targets, the
+measurement baseline), so a killed process resumes mid-phase and
+finishes with final stats identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.checkpoint.format import CheckpointFormatError
+from repro.checkpoint.state import (
+    restore_simulator_checkpoint,
+    save_simulator_checkpoint,
+)
+
+
+def _fresh_targets(core, insts: int) -> list:
+    """Absolute retirement targets, exactly as ``SMTCore.run`` computes."""
+    from repro.pipeline.thread import ThreadState
+
+    return [
+        (thread, thread.retired_user + insts)
+        for thread in core.threads
+        if thread.state is ThreadState.NORMAL
+    ]
+
+
+def _measurement_baseline(sim) -> tuple[int, int, int]:
+    """The ``since`` triple ``Simulator.run`` records at measure start."""
+    fills = sim.mechanism.stats.committed_fills if sim.mechanism else 0
+    return (sim.core.cycle, fills, sim.core.stats.retired_user)
+
+
+def _timeout(core, max_cycles: int) -> RuntimeError:
+    return RuntimeError(
+        f"simulation exceeded {max_cycles} cycles "
+        f"(retired: {[t.retired_user for t in core.threads]})"
+    )
+
+
+def run_with_autosave(
+    sim,
+    path: str | Path,
+    user_insts: int = 20_000,
+    warmup_insts: int = 3_000,
+    max_cycles: int = 10_000_000,
+    autosave_every: int = 100_000,
+    resume: bool = True,
+    on_autosave: Callable[[int], None] | None = None,
+    workload: str | tuple[str, ...] | None = None,
+):
+    """Run warmup + measurement with periodic autosaves to ``path``.
+
+    If ``path`` already holds an autosave (and ``resume`` is true), the
+    machine state and run position are restored from it and the run
+    continues; the explicit ``user_insts``/``warmup_insts``/``max_cycles``
+    are then taken from the autosave, which is authoritative for what
+    the interrupted run was doing.  ``on_autosave`` is called with the
+    current cycle after each save (tests and the CLI's ``--die-after``
+    crash injection hook in here).
+    """
+    core = sim.core
+    path = Path(path)
+
+    run_state = None
+    if resume and path.exists():
+        header = restore_simulator_checkpoint(sim, path)
+        run_state = header.get("meta", {}).get("run")
+        if run_state is None:
+            raise CheckpointFormatError(
+                f"{path} is not an autosave checkpoint (no run state in meta)"
+            )
+    if run_state is not None:
+        phase = run_state["phase"]
+        targets = [
+            (core.threads[tid], target) for tid, target in run_state["targets"]
+        ]
+        since = (
+            tuple(run_state["since"]) if run_state["since"] is not None else None
+        )
+        user_insts = run_state["user_insts"]
+        warmup_insts = run_state["warmup_insts"]
+        max_cycles = run_state["max_cycles"]
+    else:
+        phase = "warmup" if warmup_insts else "measure"
+        targets = _fresh_targets(
+            core, warmup_insts if phase == "warmup" else user_insts
+        )
+        since = None if phase == "warmup" else _measurement_baseline(sim)
+
+    def _autosave() -> None:
+        extra: dict = {}
+        if workload is not None:
+            # Recorded so `repro-ckpt resume` can rebuild the machine
+            # from the file alone.
+            extra["workload"] = (
+                list(workload) if isinstance(workload, tuple) else workload
+            )
+        save_simulator_checkpoint(
+            sim,
+            path,
+            kind="autosave",
+            extra_meta={
+                **extra,
+                "run": {
+                    "phase": phase,
+                    "targets": [[t.tid, target] for t, target in targets],
+                    "since": list(since) if since is not None else None,
+                    "user_insts": user_insts,
+                    "warmup_insts": warmup_insts,
+                    "max_cycles": max_cycles,
+                }
+            },
+        )
+        if on_autosave is not None:
+            on_autosave(core.cycle)
+
+    while phase == "warmup":
+        if core.run_to(targets, min(max_cycles, core.cycle + autosave_every)):
+            phase = "measure"
+            since = _measurement_baseline(sim)
+            targets = _fresh_targets(core, user_insts)
+        elif core.cycle >= max_cycles:
+            raise _timeout(core, max_cycles)
+        else:
+            _autosave()
+
+    while True:
+        if core.run_to(targets, min(max_cycles, core.cycle + autosave_every)):
+            break
+        if core.cycle >= max_cycles:
+            raise _timeout(core, max_cycles)
+        _autosave()
+
+    return sim.result(since=since if since is not None else (0, 0, 0))

@@ -1,0 +1,125 @@
+"""Warm-checkpoint sweep benchmark: ``python -m repro.checkpoint.bench``.
+
+Times a Figure-5-style sweep (every mechanism over a benchmark suite)
+two ways and writes ``BENCH_checkpoint.json``:
+
+* **cold** -- every cell runs its own warmup in-process, the way sweeps
+  ran before checkpoints existed;
+* **warm** -- each workload family warms up *once* under the
+  traditional mechanism, the quiesced machine is checkpointed, and all
+  mechanisms attach to the shared warm state (the ``REPRO_WARM_CKPT=1``
+  path of :func:`repro.sim.parallel.run_cells`).
+
+The timed region includes the warm builds themselves -- the speedup is
+what a user actually sees on a first, uncached sweep.  Both paths run
+serially in-process so the ratio measures the checkpoint workflow, not
+process-pool scheduling.  The result cache is disabled throughout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.sim.config import MECHANISMS, MachineConfig
+from repro.sim.parallel import CellSpec, derive_warm_cells, run_cell
+
+#: Sweep shape: suite x every mechanism, warmup comparable to the
+#: measurement window (the regime the paper's figures run in).
+SUITE = ("compress", "gcc", "murphi", "vortex")
+USER_INSTS = 2_000
+WARMUP_INSTS = 3_000
+MAX_CYCLES = 5_000_000
+
+
+def make_specs() -> list[CellSpec]:
+    return [
+        CellSpec(
+            workload=bench,
+            config=MachineConfig(mechanism=mech),
+            user_insts=USER_INSTS,
+            warmup_insts=WARMUP_INSTS,
+            max_cycles=MAX_CYCLES,
+        )
+        for bench in SUITE
+        for mech in MECHANISMS
+    ]
+
+
+def time_sweep(specs: list[CellSpec], warm: bool) -> tuple[float, list]:
+    start = time.perf_counter()
+    if warm:
+        specs = derive_warm_cells(specs)  # builds the warm checkpoints
+    results = [run_cell(spec) for spec in specs]
+    return time.perf_counter() - start, results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.checkpoint.bench")
+    parser.add_argument("--reps", type=int, default=3, help="best-of-N")
+    parser.add_argument("--output", default="BENCH_checkpoint.json")
+    args = parser.parse_args(argv)
+
+    import os
+    import tempfile
+
+    os.environ["REPRO_CACHE"] = "0"
+    with tempfile.TemporaryDirectory(prefix="repro-ckpt-bench-") as tmp:
+        os.environ["REPRO_CKPT_DIR"] = tmp
+
+        cold_best = warm_best = float("inf")
+        cold_results = warm_results = None
+        for _ in range(max(1, args.reps)):
+            elapsed, results = time_sweep(make_specs(), warm=False)
+            if elapsed < cold_best:
+                cold_best, cold_results = elapsed, results
+            # Fresh warm builds each rep: empty the store first.
+            for stale in os.listdir(tmp):
+                os.unlink(os.path.join(tmp, stale))
+            elapsed, results = time_sweep(make_specs(), warm=True)
+            if elapsed < warm_best:
+                warm_best, warm_results = elapsed, results
+
+    # Warm sharing must not change *what* is measured, only the cost:
+    # every mechanism still retires the same user instructions.
+    for cold, warm in zip(cold_results, warm_results):
+        assert warm.retired_user >= USER_INSTS, "warm cell under-ran"
+        assert cold.mechanism == warm.mechanism
+
+    cells = len(make_specs())
+    report = {
+        "protocol": {
+            "suite": list(SUITE),
+            "mechanisms": list(MECHANISMS),
+            "cells": cells,
+            "user_insts": USER_INSTS,
+            "warmup_insts": WARMUP_INSTS,
+            "reps_best_of": args.reps,
+            "python": platform.python_version(),
+            "note": (
+                "serial in-process sweep, result cache off; warm timing "
+                "includes building the shared warm checkpoints"
+            ),
+        },
+        "cold_sweep_seconds": round(cold_best, 3),
+        "warm_sweep_seconds": round(warm_best, 3),
+        "speedup": round(cold_best / warm_best, 3),
+        "warm_checkpoints_built": len(SUITE),
+        "lineage_hashes": sorted(
+            {r.checkpoint["hash"][:16] for r in warm_results if r.checkpoint}
+        ),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"cold {cold_best:.2f}s  warm {warm_best:.2f}s  "
+        f"speedup {report['speedup']}x  -> {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,351 @@
+"""Machine-state capture and restore over the snapshot protocol.
+
+Every state-bearing class in the simulator implements an explicit
+``snapshot_state(ctx)`` / ``restore_state(state, ctx)`` pair (plus a
+``from_state`` / ``link_state`` two-phase variant for objects that
+reference each other: uops and exception instances).  Nothing is
+pickled: every field is enumerated by hand, and
+:mod:`repro.analysis.archlint` verifies that no mutable architectural
+field is silently missing from a class's snapshot methods.
+
+This module supplies the :class:`SnapshotContext` those protocols
+reference each other through, and the two orchestrators:
+
+* :func:`capture_machine` walks an idle (between ``step()`` boundaries)
+  :class:`~repro.sim.simulator.Simulator` and produces one JSON-safe
+  body dict;
+* :func:`restore_machine` rebuilds that state onto a freshly
+  constructed simulator of the same configuration (same workload, same
+  engine), in two phases: materialize all uops/instances from scalars,
+  then patch the object links between them.
+
+Object links are encoded as stable references -- uops by global fetch
+sequence number, exception instances by allocator id, threads by tid,
+programs by position in the simulator's program list -- and static
+instruction text is never serialized at all: a restored uop re-fetches
+its :class:`~repro.isa.instructions.Instruction` from the program image
+(PAL handler code lives in the same image, so handler PCs resolve too).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.branch.ras import RASCheckpoint
+from repro.branch.unit import BranchCheckpoint
+from repro.checkpoint.format import (
+    CheckpointMismatchError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.exceptions.base import (
+    ExceptionInstance,
+    instance_id_state,
+    restore_instance_id_state,
+)
+from repro.exceptions.limits import LimitKnobs
+from repro.memory.hierarchy import HierarchyConfig
+from repro.pipeline.uop import Uop
+from repro.sim.config import FUPool, MachineConfig
+
+#: Config fields a *warm* restore may legitimately differ on: the whole
+#: point of a warm checkpoint is attaching a different mechanism to a
+#: shared warmed machine, and the sanitizer is pure instrumentation.
+_WARM_VARIANT_FIELDS = frozenset({"mechanism", "sanitize"})
+
+
+class SnapshotContext:
+    """Shared reference registry for one capture or restore pass.
+
+    Capture side: ``uop_ref``/``instance_ref`` turn objects into stable
+    references and register them for encoding; :meth:`encode_registered`
+    drains the registry to a fixpoint (encoding a uop may register its
+    producers, encoding an instance its waiters).
+
+    Restore side: ``admit_*`` populate the registry from decoded state
+    and ``resolve_*`` look references back up.
+    """
+
+    __slots__ = (
+        "core",
+        "programs",
+        "_uops",
+        "_instances",
+        "_pending_uops",
+        "_pending_instances",
+    )
+
+    def __init__(self, core, programs) -> None:
+        self.core = core
+        self.programs = list(programs)
+        self._uops: dict[int, Uop] = {}
+        self._instances: dict[int, ExceptionInstance] = {}
+        self._pending_uops: list[Uop] = []
+        self._pending_instances: list[ExceptionInstance] = []
+
+    # -- capture side ---------------------------------------------------
+    def uop_ref(self, uop: Uop | None) -> int | None:
+        """Reference a uop by seq, registering it for encoding."""
+        if uop is None:
+            return None
+        if uop.seq not in self._uops:
+            self._uops[uop.seq] = uop
+            self._pending_uops.append(uop)
+        return uop.seq
+
+    def instance_ref(self, instance: ExceptionInstance | None) -> int | None:
+        """Reference an exception instance by id, registering it."""
+        if instance is None:
+            return None
+        if instance.id not in self._instances:
+            self._instances[instance.id] = instance
+            self._pending_instances.append(instance)
+        return instance.id
+
+    def encode_registered(self) -> tuple[list[dict], list[dict]]:
+        """Encode every registered uop/instance, to a fixpoint.
+
+        Encoding can register new objects (an in-flight uop's producers,
+        an instance's waiters), so the drain loops until both queues are
+        empty; the closure is bounded because completed uops prune their
+        links (see :meth:`repro.pipeline.uop.Uop.snapshot_state`).
+        """
+        uops: dict[int, dict] = {}
+        instances: dict[int, dict] = {}
+        while self._pending_uops or self._pending_instances:
+            while self._pending_uops:
+                uop = self._pending_uops.pop()
+                uops[uop.seq] = uop.snapshot_state(self)
+            while self._pending_instances:
+                instance = self._pending_instances.pop()
+                instances[instance.id] = instance.snapshot_state(self)
+        return (
+            [uops[seq] for seq in sorted(uops)],
+            [instances[iid] for iid in sorted(instances)],
+        )
+
+    # -- restore side ---------------------------------------------------
+    def admit_uop(self, uop: Uop) -> Uop:
+        self._uops[uop.seq] = uop
+        return uop
+
+    def admit_instance(self, instance: ExceptionInstance) -> ExceptionInstance:
+        self._instances[instance.id] = instance
+        return instance
+
+    def resolve_uop(self, seq: int | None) -> Uop | None:
+        if seq is None:
+            return None
+        try:
+            return self._uops[seq]
+        except KeyError:
+            raise ValueError(f"snapshot references unknown uop #{seq}") from None
+
+    def resolve_instance(self, iid: int | None) -> ExceptionInstance | None:
+        if iid is None:
+            return None
+        try:
+            return self._instances[iid]
+        except KeyError:
+            raise ValueError(
+                f"snapshot references unknown exception instance {iid}"
+            ) from None
+
+    def resolve_thread(self, tid: int | None):
+        if tid is None:
+            return None
+        return self.core.threads[tid]
+
+    # -- shared helpers -------------------------------------------------
+    def program_index(self, program) -> int | None:
+        """Position of ``program`` in the simulator's program list."""
+        if program is None:
+            return None
+        for idx, candidate in enumerate(self.programs):
+            if candidate is program:
+                return idx
+        raise ValueError("snapshot reached a program not loaded in this simulator")
+
+    def program_at(self, idx: int | None):
+        return None if idx is None else self.programs[idx]
+
+    def thread_program_ref(self, tid: int) -> int:
+        """Program index for a uop's owning thread.
+
+        Every snapshot-reachable uop belongs to a non-idle thread (idle
+        contexts clear their rename maps and ROB), so the thread always
+        has a program bound.
+        """
+        idx = self.program_index(self.core.threads[tid].program)
+        if idx is None:
+            raise ValueError(f"thread {tid} has in-flight uops but no program")
+        return idx
+
+    def instruction_at(self, prog_idx: int, pc: int):
+        """Re-fetch static instruction text for a restored uop."""
+        inst = self.programs[prog_idx].fetch(pc)
+        if inst is None:
+            raise ValueError(
+                f"snapshot uop pc {pc} is outside program {prog_idx}'s text"
+            )
+        return inst
+
+    @staticmethod
+    def make_branch_checkpoint(data: list | None) -> BranchCheckpoint | None:
+        """Rebuild a frozen branch checkpoint from ``[ghr, path, tos, top]``."""
+        if data is None:
+            return None
+        ghr, path, tos, top_value = data
+        return BranchCheckpoint(
+            ghr=ghr, path=path, ras=RASCheckpoint(tos=tos, top_value=top_value)
+        )
+
+
+# ----------------------------------------------------------------------
+def machine_config_from_dict(data: dict) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from its ``asdict`` form."""
+    kwargs = dict(data)
+    if kwargs.get("fu_pool") is not None:
+        kwargs["fu_pool"] = FUPool(**kwargs["fu_pool"])
+    kwargs["hierarchy"] = HierarchyConfig(**kwargs["hierarchy"])
+    kwargs["limits"] = LimitKnobs(**kwargs["limits"])
+    return MachineConfig(**kwargs)
+
+
+def check_config_compatible(
+    config: MachineConfig, saved: dict, warm: bool
+) -> None:
+    """Reject restores onto a differently shaped machine."""
+    current = dataclasses.asdict(config)
+    ignore = _WARM_VARIANT_FIELDS if warm else frozenset()
+    diffs = sorted(
+        key
+        for key in set(current) | set(saved)
+        if key not in ignore and current.get(key) != saved.get(key)
+    )
+    if diffs:
+        raise CheckpointMismatchError(
+            "machine configuration differs from the snapshot's on: "
+            + ", ".join(diffs)
+        )
+
+
+def capture_machine(sim) -> dict:
+    """Serialize a simulator's complete machine state to a body dict.
+
+    Read-only: capturing never perturbs the machine, so a run that was
+    snapshotted mid-way stays bit-identical to one that was not.  Must
+    be called between ``step()`` boundaries (the core enforces this).
+    """
+    from repro.sim.parallel import engine_fingerprint
+
+    core = sim.core
+    ctx = SnapshotContext(core, sim.programs)
+    core_state = core.snapshot_state(ctx)
+    mech_state = (
+        core.mechanism.snapshot_state(ctx) if core.mechanism is not None else None
+    )
+    uops, instances = ctx.encode_registered()
+    return {
+        "engine": engine_fingerprint(),
+        "config": dataclasses.asdict(sim.config),
+        "memory": sim.memory.snapshot_state(ctx),
+        "page_table": sim.page_table.snapshot_state(ctx),
+        "dtlb": sim.dtlb.snapshot_state(ctx),
+        "hierarchy": sim.hierarchy.snapshot_state(ctx),
+        "bpu": sim.bpu.snapshot_state(ctx),
+        "core": core_state,
+        "mechanism": mech_state,
+        "uops": uops,
+        "instances": instances,
+        "instance_next_id": instance_id_state(),
+    }
+
+
+def restore_machine(sim, body: dict, warm: bool = False) -> None:
+    """Rebuild captured state onto a freshly constructed simulator.
+
+    The simulator must have been built from the same workload and the
+    same engine sources.  An *exact* restore reproduces everything,
+    including the mechanism's in-flight bookkeeping, so restore-then-run
+    is bit-identical to straight-through.  A *warm* restore attaches a
+    (possibly different) mechanism to a quiesced architectural state:
+    the mechanism keeps its freshly-attached empty state, and TLB
+    contents are only restored when the TLB kinds match (a ``perfect``
+    machine has no real TLB to warm).
+    """
+    from repro.sim.parallel import engine_fingerprint
+
+    if body.get("engine") != engine_fingerprint():
+        raise CheckpointMismatchError(
+            f"checkpoint was written by engine {body.get('engine')!r}, "
+            f"these sources are {engine_fingerprint()!r} "
+            "(regenerate the checkpoint)"
+        )
+    check_config_compatible(sim.config, body["config"], warm=warm)
+
+    core = sim.core
+    ctx = SnapshotContext(core, sim.programs)
+    # Phase A: materialize every uop and instance from scalars.
+    for ustate in body["uops"]:
+        ctx.admit_uop(Uop.from_state(ustate, ctx))
+    for istate in body["instances"]:
+        ctx.admit_instance(ExceptionInstance.from_state(istate))
+    # Phase B: self-contained structures.
+    sim.memory.restore_state(body["memory"], ctx)
+    sim.page_table.restore_state(body["page_table"], ctx)
+    own_kind = sim.dtlb.snapshot_state(ctx)["kind"]
+    if body["dtlb"]["kind"] == own_kind:
+        sim.dtlb.restore_state(body["dtlb"], ctx)
+    elif not warm:
+        raise CheckpointMismatchError(
+            f"checkpoint holds {body['dtlb']['kind']!r} TLB state, "
+            f"this machine has a {own_kind!r} TLB"
+        )
+    sim.hierarchy.restore_state(body["hierarchy"], ctx)
+    sim.bpu.restore_state(body["bpu"], ctx)
+    # Phase C: patch object links, then structures that hold them.
+    for ustate in body["uops"]:
+        ctx.resolve_uop(ustate["seq"]).link_state(ustate, ctx)
+    core.restore_state(body["core"], ctx)
+    for istate in body["instances"]:
+        ctx.resolve_instance(istate["id"]).link_state(istate, ctx)
+    if not warm and body["mechanism"] is not None and core.mechanism is not None:
+        core.mechanism.restore_state(body["mechanism"], ctx)
+    if not warm:
+        restore_instance_id_state(body["instance_next_id"])
+
+
+# ----------------------------------------------------------------------
+def save_simulator_checkpoint(
+    sim, path, kind: str = "exact", extra_meta: dict | None = None
+) -> str:
+    """Capture ``sim`` and write it as a checkpoint file; returns the hash."""
+    body = capture_machine(sim)
+    meta = {
+        "kind": kind,
+        "engine": body["engine"],
+        "mechanism": sim.config.mechanism,
+        "cycle": sim.core.cycle,
+        "retired_user": sim.core.stats.retired_user,
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+    return write_checkpoint(path, body, meta)
+
+
+def restore_simulator_checkpoint(sim, path, warm: bool = False) -> dict:
+    """Read a checkpoint file into ``sim``; returns the header.
+
+    Records the restore's lineage on the simulator so results and
+    manifests can report which checkpoint (by hash) a run started from.
+    """
+    header, body = read_checkpoint(path)
+    restore_machine(sim, body, warm=warm)
+    meta = header.get("meta", {})
+    sim.checkpoint_lineage = {
+        "hash": header["sha256"],
+        "kind": meta.get("kind"),
+        "warmup_insts": meta.get("warmup_insts"),
+    }
+    return header

@@ -14,7 +14,7 @@ is squashed.
 
 from __future__ import annotations
 
-import itertools
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -23,7 +23,38 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline.thread import ThreadContext
     from repro.pipeline.uop import Uop
 
-_instance_ids = itertools.count(1)
+
+class _InstanceIdSource:
+    """Monotonic id allocator whose position can be saved and restored.
+
+    Instance ids are producer tags for speculative TLB fills and keys for
+    window reservations, so a restored simulation must resume allocating
+    exactly where the snapshot left off or fresh instances could collide
+    with ids recorded in restored state.
+    """
+
+    __slots__ = ("next_id",)
+
+    def __init__(self, start: int = 1) -> None:
+        self.next_id = start
+
+    def __call__(self) -> int:
+        value = self.next_id
+        self.next_id = value + 1
+        return value
+
+
+_instance_ids = _InstanceIdSource(1)
+
+
+def instance_id_state() -> int:
+    """The next id the process-wide allocator will hand out."""
+    return _instance_ids.next_id
+
+
+def restore_instance_id_state(next_id: int) -> None:
+    """Reposition the process-wide allocator (checkpoint restore)."""
+    _instance_ids.next_id = next_id
 
 
 @dataclass
@@ -43,7 +74,7 @@ class ExceptionInstance:
     #: Latched source value of the excepting instruction (Section 6
     #: register-read access; emulation exceptions).
     src_value: int = 0
-    id: int = field(default_factory=lambda: next(_instance_ids))
+    id: int = field(default_factory=_instance_ids)
     #: Faulting uops (beyond the master) waiting on this fill.
     waiters: list = field(default_factory=list)
     filled: bool = False
@@ -56,6 +87,52 @@ class ExceptionInstance:
         from repro.pipeline.uop import UopState  # local import: cycle guard
 
         return [w for w in self.waiters if w.state != UopState.SQUASHED]
+
+    # -- checkpoint protocol --------------------------------------------
+    _SNAPSHOT_TRANSIENT = ("master_uop", "thread", "waiters")
+
+    def snapshot_state(self, ctx) -> dict:
+        """Encode every field; uops by seq, threads by tid."""
+        return {
+            "vpn": self.vpn,
+            "va": self.va,
+            "master_uop": ctx.uop_ref(self.master_uop),
+            "thread": self.thread.tid if self.thread is not None else None,
+            "exc_type": self.exc_type,
+            "src_value": self.src_value,
+            "id": self.id,
+            "waiters": [
+                s for s in (ctx.uop_ref(w) for w in self.waiters)
+                if s is not None
+            ],
+            "filled": self.filled,
+            "fill_cycle": self.fill_cycle,
+            "squashed": self.squashed,
+            "spawn_cycle": self.spawn_cycle,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ExceptionInstance":
+        """Rebuild scalars; object links are patched by :meth:`link_state`."""
+        return cls(
+            vpn=state["vpn"],
+            va=state["va"],
+            master_uop=None,
+            thread=None,
+            exc_type=state["exc_type"],
+            src_value=state["src_value"],
+            id=state["id"],
+            filled=state["filled"],
+            fill_cycle=state["fill_cycle"],
+            squashed=state["squashed"],
+            spawn_cycle=state["spawn_cycle"],
+        )
+
+    def link_state(self, state: dict, ctx) -> None:
+        """Second restore pass: resolve uop/thread references."""
+        self.master_uop = ctx.resolve_uop(state["master_uop"])
+        self.thread = ctx.resolve_thread(state["thread"])
+        self.waiters = [ctx.resolve_uop(s) for s in state["waiters"]]
 
 
 @dataclass
@@ -93,6 +170,45 @@ class ExceptionMechanism:
     def attach(self, core: "SMTCore") -> None:
         """Bind to a core.  Called once by the simulator before running."""
         self.core = core
+
+    # -- checkpoint protocol --------------------------------------------
+    #: ``core`` is rebound by attach(); stats are enumerated explicitly.
+    _SNAPSHOT_TRANSIENT = ("core", "stats")
+
+    def snapshot_state(self, ctx) -> dict:
+        """Encode mechanism state; subclasses extend the returned dict."""
+        return {
+            "name": self.name,
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        """Restore in-place on an attached mechanism of the same kind."""
+        if state["name"] != self.name:
+            raise ValueError(
+                f"snapshot holds {state['name']!r} mechanism state, "
+                f"cannot restore into {self.name!r}"
+            )
+        for f in dataclasses.fields(self.stats):
+            setattr(self.stats, f.name, state["stats"][f.name])
+
+    def drain(self, now: int) -> None:
+        """Drop all in-flight exception bookkeeping (quiesce support).
+
+        Called after the core has squashed every in-flight uop; purely
+        reactive mechanisms have nothing left to forget.
+        """
+
+    def drain_resume_pc(self, thread: "ThreadContext") -> int:
+        """Architectural resume PC for a thread drained mid-trap-handler.
+
+        Default: the latched exception return PC (re-execute the faulting
+        instruction).  Mechanisms whose handlers return *past* the
+        excepting instruction (emulation) override this.
+        """
+        from repro.isa.registers import PrivReg  # local: keep import light
+
+        return thread.priv_regs[PrivReg.EXC_PC]
 
     # -- observability ---------------------------------------------------
     def _emit_spawn(

@@ -394,6 +394,43 @@ class MultithreadedMechanism(ExceptionMechanism):
         self._thread_freed(thread, now)
         thread.reset_to_idle()
 
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self, ctx) -> dict:
+        state = super().snapshot_state(ctx)
+        state["traditional"] = self.traditional.snapshot_state(ctx)
+        # on_store_retired scans _by_vpn in insertion order: encode pairs
+        # verbatim, not sorted.
+        state["by_vpn"] = [
+            [vpn, ctx.instance_ref(inst)]
+            for vpn, inst in self._by_vpn.items()
+        ]
+        state["spawn_predictor"] = self.spawn_predictor.snapshot_state(ctx)
+        state["suppressed"] = [[k, v] for k, v in self._suppressed.items()]
+        state["spawn_probe_interval"] = self.spawn_probe_interval
+        return state
+
+    def restore_state(self, state: dict, ctx) -> None:
+        super().restore_state(state, ctx)
+        self.traditional.restore_state(state["traditional"], ctx)
+        self._by_vpn = {
+            vpn: ctx.resolve_instance(ref) for vpn, ref in state["by_vpn"]
+        }
+        self.spawn_predictor.restore_state(state["spawn_predictor"], ctx)
+        self._suppressed = {k: v for k, v in state["suppressed"]}
+        self.spawn_probe_interval = state["spawn_probe_interval"]
+
+    def drain(self, now: int) -> None:
+        """Forget in-flight exception work.  Handler threads were already
+        reclaimed by the squash cascade (their masters died); predictor
+        learning state is architectural and survives."""
+        self.traditional.drain(now)
+        self._by_vpn.clear()
+
+    def drain_resume_pc(self, thread: ThreadContext) -> int:
+        # Only the traditional fallback leaves a NORMAL thread mid-handler
+        # (handler threads are EXCEPTION-state and reclaimed wholesale).
+        return self.traditional.drain_resume_pc(thread)
+
     def on_store_retired(self, addr: int, now: int) -> None:
         """A committed store wrote the page-table region: if an in-flight
         handler read (or may read) that PTE, squash and respawn it."""

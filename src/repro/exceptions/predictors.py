@@ -56,6 +56,23 @@ class ExceptionTypePredictor:
             self.correct += 1
         return hit
 
+    # -- checkpoint protocol --------------------------------------------
+    #: Counter order matters: :meth:`predict` breaks ties by insertion
+    #: order, so the table is encoded as ordered pairs, not a sorted map.
+    def snapshot_state(self, ctx) -> dict:
+        return {
+            "counter_bits": self.counter_bits,
+            "counters": [[k, v] for k, v in self._counters.items()],
+            "predictions": self.predictions,
+            "correct": self.correct,
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        self.counter_bits = state["counter_bits"]
+        self._counters = {k: v for k, v in state["counters"]}
+        self.predictions = state["predictions"]
+        self.correct = state["correct"]
+
 
 @dataclass
 class HandlerLengthPredictor:
@@ -68,6 +85,13 @@ class HandlerLengthPredictor:
 
     def predict(self, exc_type: str, default: int) -> int:
         return self._lengths.get(exc_type, default)
+
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self, ctx) -> dict:
+        return {"lengths": [[k, v] for k, v in self._lengths.items()]}
+
+    def restore_state(self, state: dict, ctx) -> None:
+        self._lengths = {k: v for k, v in state["lengths"]}
 
 
 @dataclass
@@ -100,3 +124,14 @@ class SpawnPredictor:
         """A spawned handler reverted (hardexc): lower confidence."""
         current = self._counters.get(exc_type, self._max)
         self._counters[exc_type] = max(0, current - 1)
+
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self, ctx) -> dict:
+        return {
+            "counter_bits": self.counter_bits,
+            "counters": [[k, v] for k, v in self._counters.items()],
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        self.counter_bits = state["counter_bits"]
+        self._counters = {k: v for k, v in state["counters"]}

@@ -143,6 +143,36 @@ class TraditionalMechanism(ExceptionMechanism):
         response to core events, never on a timer."""
         return 1 << 60
 
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self, ctx) -> dict:
+        state = super().snapshot_state(ctx)
+        state["active"] = [
+            [tid, ctx.instance_ref(self._active[tid])]
+            for tid in sorted(self._active)
+        ]
+        return state
+
+    def restore_state(self, state: dict, ctx) -> None:
+        super().restore_state(state, ctx)
+        self._active = {
+            tid: ctx.resolve_instance(ref) for tid, ref in state["active"]
+        }
+
+    def drain(self, now: int) -> None:
+        """Forget in-flight traps; the core has already squashed their
+        handler uops and rewound each thread to its resume PC."""
+        self._active.clear()
+
+    def drain_resume_pc(self, thread: ThreadContext) -> int:
+        pc = thread.priv_regs[PrivReg.EXC_PC]
+        instance = self._active.get(thread.tid)
+        if instance is not None and instance.exc_type == "emul":
+            # trap_emul latched pc+1 (reti skips the emulated
+            # instruction), but the handler's mtdst may not have retired;
+            # re-executing the emul instruction is idempotent and safe.
+            return pc - 1
+        return pc
+
     # ------------------------------------------------------------------
     def on_uop_squashed(self, uop: Uop, now: int) -> None:
         # A squashed tlbwr's speculative fill is rolled back.  The trap

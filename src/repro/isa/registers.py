@@ -127,6 +127,19 @@ class RegisterFile:
         copy.privs = list(self.privs)
         return copy
 
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self, ctx) -> dict:
+        return {
+            "ints": list(self.ints),
+            "fps": list(self.fps),
+            "privs": list(self.privs),
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        self.ints = list(state["ints"])
+        self.fps = list(state["fps"])
+        self.privs = list(state["privs"])
+
 
 def to_signed(value: int) -> int:
     """Interpret an unsigned 64-bit integer as two's-complement signed."""

@@ -20,6 +20,7 @@ Concurrency effects modelled:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 
@@ -41,6 +42,17 @@ class Bus:
     def reset(self) -> None:
         self.next_free = 0
         self.transfers = 0
+
+    # -- checkpoint protocol --------------------------------------------
+    #: ``occupancy`` is configuration, rebuilt from MachineConfig.
+    _SNAPSHOT_TRANSIENT = ("occupancy",)
+
+    def snapshot_state(self, ctx) -> dict:
+        return {"next_free": self.next_free, "transfers": self.transfers}
+
+    def restore_state(self, state: dict, ctx) -> None:
+        self.next_free = state["next_free"]
+        self.transfers = state["transfers"]
 
 
 @dataclass(slots=True)
@@ -81,6 +93,17 @@ class _DRAM:
 
     def reset(self) -> None:
         self.stats = CacheStats()
+
+    # -- checkpoint protocol --------------------------------------------
+    #: ``latency`` is configuration, rebuilt from MachineConfig.
+    _SNAPSHOT_TRANSIENT = ("latency",)
+
+    def snapshot_state(self, ctx) -> dict:
+        return {"stats": dataclasses.asdict(self.stats)}
+
+    def restore_state(self, state: dict, ctx) -> None:
+        for f in dataclasses.fields(self.stats):
+            setattr(self.stats, f.name, state["stats"][f.name])
 
 
 class Cache:
@@ -230,6 +253,48 @@ class Cache:
         self._mshrs.clear()
         self.stats = CacheStats()
         self._use_clock = 0
+
+    # -- checkpoint protocol --------------------------------------------
+    #: Geometry/latency fields are configuration; next_level and bus are
+    #: wired by MemoryHierarchy and snapshotted as their own objects.
+    _SNAPSHOT_TRANSIENT = (
+        "name", "ways", "line_size", "line_shift", "num_sets", "set_mask",
+        "latency", "fill_latency", "next_level", "bus", "mshr_count",
+    )
+
+    def snapshot_state(self, ctx) -> dict:
+        """Encode sets/MSHRs preserving dict insertion order.
+
+        LRU victims are unique by ``last_use`` so order is not strictly
+        architectural here, but preserving it keeps restored and
+        straight-through runs structurally identical.
+        """
+        return {
+            "sets": [
+                [[line.tag, line.last_use, line.dirty]
+                 for line in lines.values()]
+                for lines in self._sets
+            ],
+            "mshrs": [[k, v] for k, v in self._mshrs.items()],
+            "use_clock": self._use_clock,
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        if len(state["sets"]) != self.num_sets:
+            raise ValueError(
+                f"{self.name}: snapshot has {len(state['sets'])} sets, "
+                f"cache has {self.num_sets}"
+            )
+        self._sets = [
+            {tag: _Line(tag=tag, last_use=last_use, dirty=dirty)
+             for tag, last_use, dirty in lines}
+            for lines in state["sets"]
+        ]
+        self._mshrs = {k: v for k, v in state["mshrs"]}
+        self._use_clock = state["use_clock"]
+        for f in dataclasses.fields(self.stats):
+            setattr(self.stats, f.name, state["stats"][f.name])
 
 
 def make_dram(latency: int) -> _DRAM:

@@ -40,3 +40,11 @@ class MainMemory:
     def snapshot(self) -> dict[int, int | float]:
         """Copy of the current contents (for architectural-state checks)."""
         return dict(self._words)
+
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self, ctx) -> dict:
+        """Encode contents as sorted [word_index, value] pairs."""
+        return {"words": [[k, self._words[k]] for k in sorted(self._words)]}
+
+    def restore_state(self, state: dict, ctx) -> None:
+        self._words = {k: v for k, v in state["words"]}

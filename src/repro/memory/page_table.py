@@ -93,3 +93,14 @@ class PageTable:
     @property
     def mapped_pages(self) -> int:
         return len(self._mapped)
+
+    # -- checkpoint protocol --------------------------------------------
+    #: ``memory`` is the owning simulator's MainMemory, restored separately.
+    _SNAPSHOT_TRANSIENT = ("memory",)
+
+    def snapshot_state(self, ctx) -> dict:
+        return {"base": self.base, "mapped": sorted(self._mapped)}
+
+    def restore_state(self, state: dict, ctx) -> None:
+        self.base = state["base"]
+        self._mapped = set(state["mapped"])

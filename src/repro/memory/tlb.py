@@ -16,6 +16,7 @@ baseline runs that define the penalty-per-miss metric.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -121,11 +122,49 @@ class TLB:
         """Drop every entry (context-switch semantics)."""
         self._entries.clear()
 
+    def rollback_all_speculative(self) -> int:
+        """Remove every speculative entry regardless of producer.
+
+        Quiesce support: after a drain no in-flight handler can confirm a
+        speculative fill, so any survivors would leak into the checkpoint.
+        """
+        doomed = [
+            vpn for vpn, entry in self._entries.items() if entry.speculative
+        ]
+        for vpn in doomed:
+            del self._entries[vpn]
+        self.stats.rollbacks += len(doomed)
+        return len(doomed)
+
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, vpn: int) -> bool:
         return vpn in self._entries
+
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self, ctx) -> dict:
+        """Entries in LRU order (OrderedDict order is architectural)."""
+        return {
+            "kind": "tlb",
+            "capacity": self.capacity,
+            "entries": [
+                [e.vpn, e.pfn, e.speculative, e.producer]
+                for e in self._entries.values()
+            ],
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        if state["kind"] != "tlb":
+            raise ValueError("snapshot TLB kind mismatch: expected 'tlb'")
+        self.capacity = state["capacity"]
+        self._entries = OrderedDict(
+            (vpn, TLBEntry(vpn=vpn, pfn=pfn, speculative=spec, producer=prod))
+            for vpn, pfn, spec, prod in state["entries"]
+        )
+        for f in dataclasses.fields(self.stats):
+            setattr(self.stats, f.name, state["stats"][f.name])
 
 
 class PerfectTLB:
@@ -163,3 +202,16 @@ class PerfectTLB:
 
     def flush(self) -> None:
         pass
+
+    def rollback_all_speculative(self) -> int:
+        return 0
+
+    # -- checkpoint protocol --------------------------------------------
+    def snapshot_state(self, ctx) -> dict:
+        return {"kind": "perfect", "stats": dataclasses.asdict(self.stats)}
+
+    def restore_state(self, state: dict, ctx) -> None:
+        if state["kind"] != "perfect":
+            raise ValueError("snapshot TLB kind mismatch: expected 'perfect'")
+        for f in dataclasses.fields(self.stats):
+            setattr(self.stats, f.name, state["stats"][f.name])

@@ -37,6 +37,7 @@ _REQUIRED_KEYS = (
     "mechanism",
     "cycles",
     "counters",
+    "checkpoint",
 )
 
 
@@ -51,6 +52,7 @@ def build_manifest(
     config: "MachineConfig",
     attribution: "AttributionTable | None" = None,
     workload: str | tuple[str, ...] | None = None,
+    checkpoint: dict | None = None,
 ) -> dict:
     """Assemble the manifest for one finished run."""
     # Local import: repro.sim.parallel imports the simulator stack, which
@@ -78,6 +80,13 @@ def build_manifest(
         "committed_fills": result.committed_fills,
         "ipc": result.ipc,
         "counters": counters,
+        # Checkpoint lineage: the warm/exact snapshot this run started
+        # from ({"hash", "kind", "warmup_insts"}), or null for cold runs.
+        "checkpoint": (
+            checkpoint
+            if checkpoint is not None
+            else getattr(result, "checkpoint", None)
+        ),
     }
     if attribution is not None:
         manifest["attribution"] = {
@@ -107,6 +116,12 @@ def validate_manifest(manifest: dict) -> list[str]:
     cycles = manifest.get("cycles")
     if not isinstance(cycles, int) or cycles < 0:
         errors.append(f"bad cycles {cycles!r}")
+    lineage = manifest.get("checkpoint")
+    if lineage is not None:
+        if not isinstance(lineage, dict) or not isinstance(
+            lineage.get("hash"), str
+        ):
+            errors.append("checkpoint lineage must be null or carry a hash")
     attribution = manifest.get("attribution")
     if attribution is not None:
         table = attribution.get("cycles")

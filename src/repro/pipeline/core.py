@@ -23,6 +23,7 @@ Wrong-path execution is real: it touches the caches and the TLB.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING
@@ -234,9 +235,33 @@ class SMTCore:
             for thread in self.threads
             if thread.state is ThreadState.NORMAL
         ]
+        if not self.run_to(watch, max_cycles):
+            raise RuntimeError(
+                f"simulation exceeded {max_cycles} cycles "
+                f"(retired: {[t.retired_user for t in self.threads]})"
+            )
+
+    def run_to(
+        self, watch: list[tuple[ThreadContext, int]], stop_cycle: int
+    ) -> bool:
+        """Run until every watched thread reaches its absolute
+        ``retired_user`` target (or halts), or the clock reaches
+        ``stop_cycle``.  Returns True when the targets completed.
+
+        The loop is the historical :meth:`run` body verbatim; ``run``
+        delegates here so the checkpoint autosave runner can execute the
+        same simulation in bounded chunks.  Chunking is bit-identical to
+        one straight call: the loop only stops at ``stop_cycle`` after a
+        completed step (or a fast-forward clamp), and the extra quiet
+        step a resumed chunk takes at a clamped boundary changes nothing
+        by the quietness invariant documented in :meth:`_next_event`.
+        Note the seed semantics are preserved exactly: targets are only
+        checked *before* a step, so targets reached exactly when the
+        clock runs out still report False.
+        """
         fast_forward = self.config.fast_forward
         step = self.step
-        while self.cycle < max_cycles:
+        while self.cycle < stop_cycle:
             for thread, target in watch:
                 if (
                     not thread.halted
@@ -245,7 +270,7 @@ class SMTCore:
                 ):
                     break
             else:
-                return
+                return True
             step()
             if fast_forward and not self._activity:
                 # Quiet cycle: no machine state changed, so nothing can
@@ -254,12 +279,9 @@ class SMTCore:
                 # too, so all stats remain bit-identical to the slow path.
                 nxt = self._next_event(self.cycle - 1)
                 if nxt > self.cycle:
-                    self.cycle = min(nxt, max_cycles)
+                    self.cycle = min(nxt, stop_cycle)
                     self.stats.cycles = self.cycle
-        raise RuntimeError(
-            f"simulation exceeded {max_cycles} cycles "
-            f"(retired: {[t.retired_user for t in self.threads]})"
-        )
+        return False
 
     def _next_event(self, prev: int) -> int:
         """Earliest cycle after ``prev`` at which anything can happen.
@@ -1170,3 +1192,117 @@ class SMTCore:
         else:
             thread.retired_user += 1
             self.stats.retired_user += 1
+
+    # ------------------------------------------------------------------
+    # Checkpoint support.
+    # ------------------------------------------------------------------
+    def drain_in_flight(self, now: int) -> None:
+        """Squash every in-flight instruction and cancel exception work.
+
+        Warm-checkpoint quiesce: after this the machine holds only
+        *architectural* state (registers, memory, committed TLB entries,
+        caches, predictor tables) plus empty pipeline structures, so a
+        snapshot taken here can be restored under any exception
+        mechanism.  Threads resume fetching at the architecturally
+        correct PC; a thread caught mid-trap-handler rewinds via the
+        mechanism's :meth:`drain_resume_pc`.  Consumes zero simulated
+        cycles (counters such as ``stats.squashed`` do move, which is
+        why warm measurements are always taken as deltas).
+        """
+        # Pre-scan: the BPU is shared, so collect the globally oldest
+        # squashable branch checkpoint before any squash cascades run.
+        restore_cp = None
+        restore_seq = _FAR_FUTURE
+        plans: list[tuple[ThreadContext, bool, int]] = []
+        for thread in self.threads:
+            for uop in thread.rob:
+                if uop.checkpoint is not None and uop.seq < restore_seq:
+                    restore_seq = uop.seq
+                    restore_cp = uop.checkpoint
+                    break
+            if thread.state is ThreadState.NORMAL:
+                handler_active = thread.fetch_priv or any(
+                    u.is_handler for u in thread.rob
+                )
+                oldest_pc = thread.rob[0].pc if thread.rob else thread.pc
+                plans.append((thread, handler_active, oldest_pc))
+        for thread, handler_active, oldest_pc in plans:
+            # Squashing the master's tail cascades into any linked
+            # exception threads via the mechanism's on_uop_squashed.
+            self.squash_all(thread, now)
+            if handler_active and self.mechanism is not None:
+                thread.pc = self.mechanism.drain_resume_pc(thread)
+            else:
+                thread.pc = oldest_pc
+            thread.fetch_priv = False
+            thread.fetch_stall_until = now
+            thread.fetch_wait_uop = None
+            thread.fetch_done = False
+            thread.overfetch_after_reti = False
+        if restore_cp is not None:
+            self.bpu.restore_checkpoint(restore_cp)
+        if self.mechanism is not None:
+            self.mechanism.drain(now)
+        # No in-flight handler can confirm a speculative fill any more.
+        self.dtlb.rollback_all_speculative()
+        # Only squashed uops can remain queued; drop them.
+        self._wake_buckets.clear()
+        self._retry.clear()
+        if len(self.window) or self.window.occupancy:
+            raise RuntimeError("drain left the instruction window occupied")
+
+    #: Rebuilt from MachineConfig / wiring at construction, or rebound by
+    #: attach(): not part of the snapshot.
+    _SNAPSHOT_TRANSIENT = (
+        "config", "memory", "hierarchy", "dtlb", "page_table", "bpu",
+        "mechanism", "_l1_latency", "_fetch_latency", "_icount_chooser",
+        "_pt_base", "_ifetch", "listeners", "_sanitizer", "_mech_tick",
+        "_mech_ports", "_mech_fetch_idle",
+    )
+
+    def snapshot_state(self, ctx) -> dict:
+        """Encode core state; uop references register with ``ctx``."""
+        if self._exec_heap is not None or self._exec_seq != -1:
+            raise RuntimeError(
+                "core snapshot is only defined between step() boundaries"
+            )
+        return {
+            "cycle": self.cycle,
+            "next_seq": self._next_seq,
+            "activity": self._activity,
+            "stats": dataclasses.asdict(self.stats),
+            "pal_entries": dict(self.pal_entries),
+            "handler_lengths": dict(self.handler_lengths),
+            "threads": [t.snapshot_state(ctx) for t in self.threads],
+            "window": self.window.snapshot_state(ctx),
+            "wake_buckets": [
+                [cyc, [ctx.uop_ref(u) for u in self._wake_buckets[cyc]]]
+                for cyc in sorted(self._wake_buckets)
+            ],
+            "retry": [ctx.uop_ref(u) for u in self._retry],
+        }
+
+    def restore_state(self, state: dict, ctx) -> None:
+        """Second restore phase: uops already exist in ``ctx``."""
+        self.cycle = state["cycle"]
+        self._next_seq = state["next_seq"]
+        self._activity = state["activity"]
+        for f in dataclasses.fields(self.stats):
+            setattr(self.stats, f.name, state["stats"][f.name])
+        self.pal_entries = dict(state["pal_entries"])
+        self.handler_lengths = dict(state["handler_lengths"])
+        if len(state["threads"]) != len(self.threads):
+            raise ValueError(
+                f"snapshot has {len(state['threads'])} thread contexts, "
+                f"core has {len(self.threads)}"
+            )
+        for thread, tstate in zip(self.threads, state["threads"]):
+            thread.restore_state(tstate, ctx)
+        self.window.restore_state(state["window"], ctx)
+        self._wake_buckets = {
+            cyc: [ctx.resolve_uop(s) for s in seqs]
+            for cyc, seqs in state["wake_buckets"]
+        }
+        self._retry = [ctx.resolve_uop(s) for s in state["retry"]]
+        self._exec_heap = None
+        self._exec_seq = -1

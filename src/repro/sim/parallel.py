@@ -24,6 +24,13 @@ Environment knobs:
     Set to ``0`` to disable the on-disk result cache.
 ``REPRO_CACHE_DIR``
     Cache location (default ``~/.cache/repro-sim``).
+``REPRO_WARM_CKPT``
+    Set to ``1`` to share one warmup per workload family across cells
+    via warm checkpoints (see :func:`derive_warm_cells`); the checkpoint
+    hash becomes part of each cell's cache key.
+``REPRO_CKPT_DIR``
+    Where warm checkpoints live (default ``~/.cache/repro-ckpt``); see
+    :func:`repro.checkpoint.checkpoint_dir`.
 
 Cache keys cover the machine configuration, the workload, the run
 lengths, *and* a fingerprint of the installed ``repro`` sources, so a
@@ -61,6 +68,11 @@ class CellSpec:
     user_insts: int
     warmup_insts: int
     max_cycles: int
+    #: Path of a shared warm checkpoint to attach instead of running the
+    #: in-process warmup.  A *location*, so deliberately NOT part of the
+    #: cache key; ``warm_hash`` (the checkpoint's content hash) is.
+    warm_from: str | None = None
+    warm_hash: str | None = None
 
     def build_programs(self):
         """Construct the program(s) this cell simulates."""
@@ -79,6 +91,7 @@ class CellSpec:
                 self.user_insts,
                 self.warmup_insts,
                 self.max_cycles,
+                self.warm_hash,
             )
         )
 
@@ -86,11 +99,57 @@ class CellSpec:
 def run_cell(spec: CellSpec) -> SimResult:
     """Run one cell to completion (in the current process)."""
     sim = Simulator(spec.build_programs(), spec.config)
+    if spec.warm_from is not None:
+        # Attach the shared warm state and measure from there; the
+        # warmup already happened once, in the checkpoint donor.
+        from repro.checkpoint.warm import attach_warm
+
+        attach_warm(sim, spec.warm_from)
+        since = (
+            sim.core.cycle,
+            sim.mechanism.stats.committed_fills if sim.mechanism else 0,
+            sim.core.stats.retired_user,
+        )
+        sim.core.run(spec.user_insts, spec.max_cycles)
+        return sim.result(since=since)
     return sim.run(
         user_insts=spec.user_insts,
         warmup_insts=spec.warmup_insts,
         max_cycles=spec.max_cycles,
     )
+
+
+def derive_warm_cells(specs: list[CellSpec]) -> list[CellSpec]:
+    """Rewrite cells to share warm checkpoints per workload family.
+
+    Cells that agree on workload, warmup length, and every
+    mechanism-independent configuration knob form a *family*; each
+    family's warmup runs once (here, serially, before the fan-out) and
+    every member attaches to the saved warm state.  The checkpoint's
+    content hash lands in each cell's cache key, so cached warm results
+    can never be confused with cold ones or with a different warm state.
+    """
+    from repro.checkpoint.warm import ensure_warm_checkpoint, warm_token
+
+    built: dict[str, tuple[Path, str]] = {}
+    out: list[CellSpec] = []
+    for spec in specs:
+        if spec.warm_from is not None or not spec.warmup_insts:
+            out.append(spec)
+            continue
+        token = warm_token(spec.workload, spec.warmup_insts, spec.config)
+        if token not in built:
+            built[token] = ensure_warm_checkpoint(
+                spec.workload,
+                spec.warmup_insts,
+                spec.config,
+                max_cycles=spec.max_cycles,
+            )
+        path, digest = built[token]
+        out.append(
+            dataclasses.replace(spec, warm_from=str(path), warm_hash=digest)
+        )
+    return out
 
 
 @lru_cache(maxsize=1)
@@ -156,7 +215,13 @@ class ResultCache:
         tmp = path.with_suffix(f".json.tmp.{os.getpid()}")
         with tmp.open("w") as fh:
             write_manifest(
-                fh, build_manifest(result, spec.config, workload=spec.workload)
+                fh,
+                build_manifest(
+                    result,
+                    spec.config,
+                    workload=spec.workload,
+                    checkpoint=getattr(result, "checkpoint", None),
+                ),
             )
         tmp.replace(path.with_suffix(".json"))
 
@@ -222,6 +287,10 @@ def run_cells(
         # so an ambitious REPRO_JOBS degrades gracefully on small
         # machines.  An explicit ``jobs`` argument is taken literally.
         jobs = min(default_jobs(), os.cpu_count() or 1)
+    if os.environ.get("REPRO_WARM_CKPT", "").strip() == "1":
+        # Opt-in: share one warmup per workload family via checkpoints
+        # instead of re-warming in every cell (see derive_warm_cells).
+        specs = derive_warm_cells(specs)
     use_cache = cache is not None or ResultCache.enabled()
     if cache is None and use_cache:
         cache = ResultCache()

@@ -59,6 +59,11 @@ class SimResult:
     committed_fills: int = 0
     retired_user: int = 0
     per_thread_user: list[int] = field(default_factory=list)
+    # Checkpoint lineage ({"hash", "kind", "warmup_insts"}) when this run
+    # started from a restored snapshot; None for cold runs.  Excluded from
+    # equality: two runs with identical architecture stats are the same
+    # result regardless of how their warm state was produced.
+    checkpoint: dict | None = field(default=None, compare=False)
 
     @property
     def ipc(self) -> float:
@@ -111,6 +116,7 @@ class Simulator:
         )
         if listeners is not None:
             self.core.listeners = listeners
+        self.checkpoint_lineage: dict | None = None
         for tid, program in enumerate(programs):
             self.core.load_program(tid, program)
             for segment in program.data_segments:
@@ -162,6 +168,29 @@ class Simulator:
         for _ in range(cycles):
             self.core.step()
 
+    def quiesce(self) -> None:
+        """Drain every in-flight instruction, leaving only architectural
+        state (memory, caches, TLB, predictors, registers, counters).
+        Used before saving a warm checkpoint that a *different* exception
+        mechanism will attach to."""
+        self.core.drain_in_flight(self.core.cycle)
+
+    def save_checkpoint(self, path, kind: str = "exact", extra_meta=None) -> str:
+        """Snapshot the complete machine state to ``path``; returns the
+        checkpoint hash.  Only legal between ``step()`` boundaries."""
+        from repro.checkpoint.state import save_simulator_checkpoint
+
+        return save_simulator_checkpoint(self, path, kind=kind, extra_meta=extra_meta)
+
+    def restore_checkpoint(self, path, warm: bool = False) -> dict:
+        """Replace this machine's state with a checkpoint's; returns the
+        checkpoint header.  ``warm=True`` keeps this simulator's own
+        (fresh) exception-mechanism state so any mechanism can attach to
+        a shared warm snapshot."""
+        from repro.checkpoint.state import restore_simulator_checkpoint
+
+        return restore_simulator_checkpoint(self, path, warm=warm)
+
     def result(self, since: tuple[int, int, int] = (0, 0, 0)) -> SimResult:
         start_cycle, start_fills, start_user = since
         fills = self.mechanism.stats.committed_fills if self.mechanism else 0
@@ -177,4 +206,5 @@ class Simulator:
             committed_fills=fills - start_fills,
             retired_user=self.core.stats.retired_user - start_user,
             per_thread_user=[t.retired_user for t in self.core.threads],
+            checkpoint=self.checkpoint_lineage,
         )

@@ -1,0 +1,29 @@
+"""Regenerate the golden snapshot fixture (tests/checkpoint/golden.ckpt).
+
+Run after any intentional container-format change (with the matching
+``FORMAT_VERSION`` bump)::
+
+    PYTHONPATH=src python -m tests.checkpoint.make_golden
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.suite import build_benchmark
+
+
+def main() -> None:
+    out = Path(__file__).with_name("golden.ckpt")
+    sim = Simulator(
+        build_benchmark("compress"), MachineConfig(mechanism="multithreaded")
+    )
+    sim.core.run(400, 10_000_000)
+    digest = sim.save_checkpoint(out, kind="exact")
+    print(f"{digest}  {out} ({out.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+"""The archlint snapshot rules: missing protocol and missing coverage."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.archlint import SNAPSHOT_REQUIRED, check_file, check_tree
+
+
+def lint(tmp_path, source: str, rel: str = "memory/tlb.py"):
+    path = tmp_path / Path(rel).name
+    path.write_text(source)
+    return check_file(path, Path(rel))
+
+
+SNAPSHOT_CODES = ("missing-snapshot", "snapshot-coverage")
+
+
+def codes(diags) -> list[str]:
+    """Only the snapshot-family codes (the fixtures may also trip
+    unrelated rules like missing-slots, which is not under test here)."""
+    return sorted(d.code for d in diags if d.code in SNAPSHOT_CODES)
+
+
+def test_class_without_protocol_is_flagged(tmp_path):
+    diags = lint(
+        tmp_path,
+        """
+class TLB:
+    def __init__(self):
+        self._entries = {}
+""",
+    )
+    assert "missing-snapshot" in codes(diags)
+
+
+def test_unserialized_attribute_is_flagged(tmp_path):
+    diags = lint(
+        tmp_path,
+        """
+class TLB:
+    def __init__(self):
+        self._entries = {}
+        self._sneaky = 0
+
+    def snapshot_state(self, ctx):
+        return {"entries": list(self._entries.items())}
+
+    def restore_state(self, state, ctx):
+        self._entries = dict(state["entries"])
+""",
+    )
+    assert codes(diags) == ["snapshot-coverage"]
+    flagged = [d for d in diags if d.code == "snapshot-coverage"]
+    assert "_sneaky" in flagged[0].message
+
+
+def test_transient_tuple_excuses_attribute(tmp_path):
+    diags = lint(
+        tmp_path,
+        """
+class TLB:
+    _SNAPSHOT_TRANSIENT = ("_sneaky",)
+
+    def __init__(self):
+        self._entries = {}
+        self._sneaky = 0
+
+    def snapshot_state(self, ctx):
+        return {"entries": list(self._entries.items())}
+
+    def restore_state(self, state, ctx):
+        self._entries = dict(state["entries"])
+""",
+    )
+    assert codes(diags) == []
+
+
+def test_slots_attributes_are_checked(tmp_path):
+    diags = lint(
+        tmp_path,
+        """
+class TLB:
+    __slots__ = ("_entries", "_hidden")
+
+    def snapshot_state(self, ctx):
+        return {"entries": list(self._entries.items())}
+
+    def restore_state(self, state, ctx):
+        self._entries = dict(state["entries"])
+""",
+    )
+    assert "snapshot-coverage" in codes(diags)
+
+
+def test_dataclass_introspection_counts_as_full_coverage(tmp_path):
+    diags = lint(
+        tmp_path,
+        """
+class TLB:
+    def __init__(self):
+        self._entries = {}
+        self.other = 1
+
+    def snapshot_state(self, ctx):
+        return dataclasses.asdict(self)
+
+    def restore_state(self, state, ctx):
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, state[f.name])
+""",
+    )
+    assert codes(diags) == []
+
+
+def test_two_phase_protocol_is_accepted(tmp_path):
+    diags = lint(
+        tmp_path,
+        """
+class Uop:
+    def __init__(self):
+        self.seq = 0
+
+    def snapshot_state(self, ctx):
+        return {"seq": self.seq}
+
+    @classmethod
+    def from_state(cls, state, ctx):
+        return cls()
+
+    def link_state(self, state, ctx):
+        pass
+""",
+        rel="pipeline/uop.py",
+    )
+    assert codes(diags) == []
+
+
+def test_classes_outside_the_table_are_not_checked(tmp_path):
+    diags = lint(
+        tmp_path,
+        """
+class Helper:
+    def __init__(self):
+        self.anything = 1
+""",
+        rel="analysis/helper.py",
+    )
+    assert codes(diags) == []
+
+
+def test_shipped_tree_is_clean():
+    root = Path(__file__).resolve().parents[2] / "src" / "repro"
+    snapshot_diags = [
+        d
+        for d in check_tree(root)
+        if d.code in ("missing-snapshot", "snapshot-coverage")
+    ]
+    assert snapshot_diags == []
+
+
+def test_table_names_real_modules():
+    root = Path(__file__).resolve().parents[2] / "src" / "repro"
+    for rel in SNAPSHOT_REQUIRED:
+        assert (root / rel).exists(), f"SNAPSHOT_REQUIRED names missing {rel}"

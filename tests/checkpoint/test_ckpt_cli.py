@@ -1,0 +1,122 @@
+"""The repro-ckpt CLI: save/inspect/verify/restore/run/resume."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*argv: str, capsys) -> tuple[int, str]:
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+@pytest.fixture
+def ckpt_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CKPT_DIR", str(tmp_path / "store"))
+    return tmp_path
+
+
+def test_save_then_verify_then_inspect(ckpt_env, capsys):
+    out_path = ckpt_env / "warm.ckpt"
+    code, out = run_cli(
+        "save", "--workload", "compress", "--warmup", "400",
+        "--out", str(out_path), capsys=capsys,
+    )
+    assert code == 0
+    digest = out.split()[0]
+    assert out_path.exists()
+
+    code, out = run_cli("verify", str(out_path), capsys=capsys)
+    assert code == 0
+    assert "OK" in out and "kind=warm" in out
+
+    code, out = run_cli("inspect", str(out_path), capsys=capsys)
+    assert code == 0
+    header = json.loads(out)
+    assert header["sha256"] == digest
+    assert header["meta"]["workload"] == "compress"
+    assert header["meta"]["warmup_insts"] == 400
+
+
+def test_verify_fails_on_corruption(ckpt_env, capsys):
+    out_path = ckpt_env / "warm.ckpt"
+    run_cli("save", "--workload", "compress", "--warmup", "300",
+            "--out", str(out_path), capsys=capsys)
+    raw = bytearray(out_path.read_bytes())
+    raw[-1] ^= 0xFF
+    out_path.write_bytes(bytes(raw))
+    assert main(["verify", str(out_path)]) == 2
+
+
+def test_restore_attaches_mechanism_to_warm_state(ckpt_env, capsys):
+    out_path = ckpt_env / "warm.ckpt"
+    run_cli("save", "--workload", "compress", "--warmup", "400",
+            "--out", str(out_path), capsys=capsys)
+    code, out = run_cli(
+        "restore", str(out_path), "--mechanism", "hardware",
+        "--user-insts", "500", "--json", capsys=capsys,
+    )
+    assert code == 0
+    summary = json.loads(out)
+    assert summary["mechanism"] == "hardware"
+    assert summary["retired_user"] >= 500
+    assert summary["checkpoint"]["kind"] == "warm"
+
+
+def test_run_die_after_then_resume_matches_straight(tmp_path):
+    """The CI crash-resume scenario, end to end through real processes:
+    a run killed mid-flight (hard exit, no cleanup) resumes from its
+    autosave and finishes with stats identical to an uninterrupted run."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    common = [
+        sys.executable, "-m", "repro.checkpoint", "run",
+        "--workload", "compress", "--mechanism", "multithreaded",
+        "--user-insts", "1500", "--warmup", "600",
+        "--autosave-every", "400", "--json",
+    ]
+
+    straight = subprocess.run(
+        [*common, "--out", str(tmp_path / "straight.ckpt"), "--fresh"],
+        capture_output=True, text=True, env=env, cwd=REPO,
+    )
+    assert straight.returncode == 0, straight.stderr
+
+    crashed = subprocess.run(
+        [*common, "--out", str(tmp_path / "crash.ckpt"), "--fresh",
+         "--die-after", "2"],
+        capture_output=True, text=True, env=env, cwd=REPO,
+    )
+    assert crashed.returncode == 3, crashed.stderr  # died as instructed
+
+    resumed = subprocess.run(
+        [sys.executable, "-m", "repro.checkpoint", "resume",
+         str(tmp_path / "crash.ckpt"), "--json"],
+        capture_output=True, text=True, env=env, cwd=REPO,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+
+    expect = json.loads(straight.stdout.strip().splitlines()[-1])
+    got = json.loads(resumed.stdout.strip().splitlines()[-1])
+    expect.pop("checkpoint"), got.pop("checkpoint")
+    assert got == expect
+
+
+def test_resume_rejects_non_autosave(ckpt_env, capsys):
+    out_path = ckpt_env / "warm.ckpt"
+    run_cli("save", "--workload", "compress", "--warmup", "300",
+            "--out", str(out_path), capsys=capsys)
+    assert main(["resume", str(out_path)]) == 2

@@ -1,0 +1,61 @@
+"""The committed golden snapshot: format stability across engine work.
+
+``golden.ckpt`` is a real (small) machine snapshot committed to the
+repo.  ``verify`` checks only the container -- magic, version, length,
+hash, decode -- deliberately *not* the engine fingerprint, so this
+fixture keeps passing as the simulator evolves; it fails only if the
+container format itself changes, which is exactly when
+``FORMAT_VERSION`` must be bumped and the fixture regenerated
+(``python -m tests.checkpoint.make_golden``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointIntegrityError,
+    read_checkpoint,
+    verify_checkpoint,
+)
+
+GOLDEN = Path(__file__).with_name("golden.ckpt")
+
+
+def test_golden_exists():
+    assert GOLDEN.exists(), "regenerate with python -m tests.checkpoint.make_golden"
+
+
+def test_golden_verifies():
+    header = verify_checkpoint(GOLDEN)
+    assert header["meta"]["kind"] == "exact"
+    assert header["sha256"]
+
+
+def test_golden_body_has_every_state_layer():
+    _, body = read_checkpoint(GOLDEN)
+    for layer in (
+        "memory",
+        "page_table",
+        "dtlb",
+        "hierarchy",
+        "bpu",
+        "core",
+        "mechanism",
+        "uops",
+        "instances",
+        "config",
+        "engine",
+    ):
+        assert layer in body, f"golden checkpoint lost the {layer} layer"
+
+
+def test_corrupted_golden_copy_fails_verification(tmp_path):
+    raw = bytearray(GOLDEN.read_bytes())
+    raw[len(raw) // 2] ^= 0x01
+    bad = tmp_path / "bad.ckpt"
+    bad.write_bytes(bytes(raw))
+    with pytest.raises(CheckpointIntegrityError):
+        verify_checkpoint(bad)

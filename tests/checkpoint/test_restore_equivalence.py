@@ -1,0 +1,140 @@
+"""The headline invariant: restore-then-run is bit-identical to
+straight-through for every mechanism.
+
+Three simulators per mechanism:
+
+* ``s0`` runs straight through (no checkpoint code touched);
+* ``s1`` saves a checkpoint mid-run and keeps going -- proving capture
+  is a pure read that perturbs nothing;
+* ``s2`` is a fresh machine restored from ``s1``'s checkpoint, then run
+  the same distance -- proving restore reproduces the machine exactly.
+
+``s0 == s1`` and ``s1 == s2``, compared over the *complete* result
+fingerprint (every counter of every component), is the invariant.  A
+subprocess variant repeats the check with the restore in a genuinely
+fresh interpreter, so no in-process leftovers can mask a hole in the
+snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.suite import build_benchmark
+
+MECHANISMS = ("traditional", "multithreaded", "hardware", "quickstart", "perfect")
+
+PHASE_A = 800  # user insts before the snapshot
+PHASE_B = 800  # user insts after it
+
+
+def fingerprint(sim: Simulator) -> str:
+    """Every counter the machine produced, as one canonical string."""
+    result = dataclasses.asdict(sim.result())
+    result.pop("checkpoint", None)  # lineage differs by construction
+    return json.dumps(result, sort_keys=True, default=str)
+
+
+def make(mechanism: str) -> Simulator:
+    return Simulator(build_benchmark("compress"), MachineConfig(mechanism=mechanism))
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_restore_then_run_bit_identical(mechanism, tmp_path):
+    path = tmp_path / "mid.ckpt"
+
+    s0 = make(mechanism)
+    s0.core.run(PHASE_A, 10_000_000)
+    s0.core.run(PHASE_B, 10_000_000)
+
+    s1 = make(mechanism)
+    s1.core.run(PHASE_A, 10_000_000)
+    s1.save_checkpoint(path)
+    s1.core.run(PHASE_B, 10_000_000)
+
+    s2 = make(mechanism)
+    s2.restore_checkpoint(path)
+    s2.core.run(PHASE_B, 10_000_000)
+
+    assert fingerprint(s0) == fingerprint(s1), "capture perturbed the run"
+    assert fingerprint(s1) == fingerprint(s2), "restore diverged from straight-through"
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_restore_into_fresh_process(mechanism, tmp_path):
+    """Same invariant with the restore side in a brand-new interpreter."""
+    path = tmp_path / "mid.ckpt"
+
+    s1 = make(mechanism)
+    s1.core.run(PHASE_A, 10_000_000)
+    s1.save_checkpoint(path)
+    s1.core.run(PHASE_B, 10_000_000)
+    expected = fingerprint(s1)
+
+    script = f"""
+from tests.checkpoint.test_restore_equivalence import make, fingerprint
+s2 = make({mechanism!r})
+s2.restore_checkpoint({json.dumps(str(path))})
+s2.core.run({PHASE_B}, 10_000_000)
+print(fingerprint(s2))
+"""
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        cwd=str(_repo_root()),
+        env=_env_with_src(),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip().splitlines()[-1] == expected
+
+
+def _repo_root():
+    from pathlib import Path
+
+    return Path(__file__).resolve().parents[2]
+
+
+def _env_with_src() -> dict:
+    import os
+
+    env = dict(os.environ)
+    root = _repo_root()
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(root / "src"), str(root), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    return env
+
+
+def test_snapshot_refused_mid_step():
+    """Snapshots are only legal at step boundaries; mid-step state
+    (the transient execution heap) must never leak into a file."""
+    sim = make("traditional")
+    sim.core.run(200, 10_000_000)
+    sim.core._exec_heap = []  # simulate being inside step()
+    with pytest.raises(RuntimeError, match="between step"):
+        sim.core.snapshot_state(None)
+    sim.core._exec_heap = None
+
+
+def test_restore_rejects_wrong_thread_count(tmp_path):
+    path = tmp_path / "a.ckpt"
+    sim = make("traditional")
+    sim.core.run(200, 10_000_000)
+    sim.save_checkpoint(path)
+
+    other = Simulator(
+        build_benchmark("compress"),
+        MachineConfig(mechanism="traditional", idle_threads=5),
+    )
+    from repro.checkpoint.format import CheckpointError
+
+    with pytest.raises((CheckpointError, ValueError)):
+        other.restore_checkpoint(path)

@@ -1,0 +1,161 @@
+"""Warm checkpoints: one warmup shared by every mechanism."""
+
+from __future__ import annotations
+
+import os
+import stat
+
+import pytest
+
+from repro.checkpoint import (
+    attach_warm,
+    checkpoint_dir,
+    ensure_warm_checkpoint,
+    read_meta,
+)
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.suite import build_benchmark
+
+MECHANISMS = ("traditional", "multithreaded", "hardware", "quickstart", "perfect")
+
+
+@pytest.fixture
+def ckpt_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CKPT_DIR", str(tmp_path / "ckpt"))
+    return tmp_path / "ckpt"
+
+
+def test_ensure_builds_once_then_reuses(ckpt_dir):
+    config = MachineConfig(mechanism="multithreaded")
+    path1, hash1 = ensure_warm_checkpoint("compress", 500, config)
+    mtime = path1.stat().st_mtime_ns
+    path2, hash2 = ensure_warm_checkpoint("compress", 500, config)
+    assert (path1, hash1) == (path2, hash2)
+    assert path1.stat().st_mtime_ns == mtime  # not rebuilt
+
+
+def test_warm_token_is_mechanism_independent(ckpt_dir):
+    """Every mechanism in a sweep family maps to the same warm file."""
+    paths = {
+        ensure_warm_checkpoint("compress", 500, MachineConfig(mechanism=m))[0]
+        for m in MECHANISMS
+    }
+    assert len(paths) == 1
+
+
+def test_stale_engine_is_rebuilt(ckpt_dir):
+    config = MachineConfig(mechanism="traditional")
+    path, digest = ensure_warm_checkpoint("compress", 500, config)
+    # Forge a file claiming a different engine at the same path.
+    from repro.checkpoint.format import read_checkpoint, write_checkpoint
+
+    header, body = read_checkpoint(path)
+    meta = dict(header["meta"], engine="0000000000000000")
+    write_checkpoint(path, body, meta=meta)
+    path2, digest2 = ensure_warm_checkpoint("compress", 500, config)
+    assert path2 == path
+    assert read_meta(path)["meta"]["engine"] != "0000000000000000"
+    # The rebuilt file is a valid warm checkpoint under the real engine.
+    # (Its content hash may differ from the first build: exception
+    # instance IDs come from a process-wide allocator, so only a fresh
+    # process reproduces a byte-identical warm file.)
+    from repro.checkpoint.format import verify_checkpoint
+
+    assert verify_checkpoint(path)["sha256"] == digest2
+
+
+def test_quiesce_leaves_only_architectural_state(ckpt_dir):
+    sim = Simulator(build_benchmark("compress"), MachineConfig(mechanism="multithreaded"))
+    sim.core.run(500, 10_000_000)
+    sim.quiesce()
+    assert len(sim.core.window) == 0
+    for thread in sim.core.threads:
+        assert not thread.rob
+    # Quiesce costs zero simulated time.
+    cycle = sim.core.cycle
+    sim.quiesce()
+    assert sim.core.cycle == cycle
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_every_mechanism_attaches_to_shared_warm_state(mechanism, ckpt_dir):
+    config = MachineConfig(mechanism=mechanism)
+    path, digest = ensure_warm_checkpoint("compress", 500, config)
+    sim = Simulator(build_benchmark("compress"), config)
+    attach_warm(sim, path)
+    assert sim.checkpoint_lineage == {
+        "hash": digest,
+        "kind": "warm",
+        "warmup_insts": 500,
+    }
+    since = (
+        sim.core.cycle,
+        sim.mechanism.stats.committed_fills if sim.mechanism else 0,
+        sim.core.stats.retired_user,
+    )
+    sim.core.run(600, 10_000_000)
+    result = sim.result(since=since)
+    assert result.retired_user >= 600
+    assert result.checkpoint["hash"] == digest
+
+
+def test_warm_restores_identical_tlb_state_across_mechanisms(ckpt_dir):
+    """The point of warm sharing: mechanisms start from the *same*
+    warmed TLB/cache contents, so fill counts can only differ by their
+    own behaviour, not by warmup luck."""
+    config = MachineConfig(mechanism="traditional")
+    path, _ = ensure_warm_checkpoint("compress", 500, config)
+    contents = []
+    for mechanism in ("traditional", "multithreaded", "hardware"):
+        sim = Simulator(
+            build_benchmark("compress"), MachineConfig(mechanism=mechanism)
+        )
+        attach_warm(sim, path)
+        contents.append(sorted(sim.dtlb._entries))
+    assert contents[0] == contents[1] == contents[2]
+
+
+# -- REPRO_CKPT_DIR validation (mirrors the REPRO_JOBS contract) -------
+
+
+class TestCheckpointDirEnv:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CKPT_DIR", raising=False)
+        assert checkpoint_dir().name == "repro-ckpt"
+
+    def test_blank_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CKPT_DIR", "   ")
+        assert checkpoint_dir().name == "repro-ckpt"
+
+    def test_explicit_dir_is_created(self, tmp_path, monkeypatch):
+        target = tmp_path / "deep" / "nest"
+        monkeypatch.setenv("REPRO_CKPT_DIR", str(target))
+        assert checkpoint_dir() == target
+        assert target.is_dir()
+
+    def test_non_directory_rejected(self, tmp_path, monkeypatch):
+        target = tmp_path / "afile"
+        target.write_text("not a dir")
+        monkeypatch.setenv("REPRO_CKPT_DIR", str(target))
+        with pytest.raises(ValueError, match="REPRO_CKPT_DIR.*non-directory"):
+            checkpoint_dir()
+
+    def test_uncreatable_path_rejected(self, tmp_path, monkeypatch):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        monkeypatch.setenv("REPRO_CKPT_DIR", str(blocker / "child"))
+        with pytest.raises(ValueError, match="REPRO_CKPT_DIR.*not a usable"):
+            checkpoint_dir()
+
+    @pytest.mark.skipif(os.geteuid() == 0, reason="root ignores modes")
+    def test_unwritable_dir_rejected(self, tmp_path, monkeypatch):
+        target = tmp_path / "ro"
+        target.mkdir()
+        target.chmod(stat.S_IRUSR | stat.S_IXUSR)
+        monkeypatch.setenv("REPRO_CKPT_DIR", str(target))
+        try:
+            with pytest.raises(ValueError, match="REPRO_CKPT_DIR.*not writable"):
+                checkpoint_dir()
+        finally:
+            target.chmod(stat.S_IRWXU)
