@@ -46,11 +46,12 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "branch": frozenset({"isa"}),
     "workloads": frozenset({"isa", "exceptions"}),
     "exceptions": frozenset({"isa", "memory", "branch", "pipeline"}),
-    # pipeline -> analysis is the lazily-imported sanitizer hookup;
-    # pipeline -> sim is config/stats plumbing.  The event bus needs no
-    # import at all from pipeline (core.listeners is a plain attribute).
+    # pipeline -> analysis is the lazily-imported sanitizer hookup and
+    # pipeline -> faults the lazily-imported fault injector; pipeline ->
+    # sim is config/stats plumbing.  The event bus needs no import at
+    # all from pipeline (core.listeners is a plain attribute).
     "pipeline": frozenset(
-        {"isa", "memory", "branch", "exceptions", "sim", "analysis"}
+        {"isa", "memory", "branch", "exceptions", "sim", "analysis", "faults"}
     ),
     # obs -> sim is type-only plus the lazily-imported engine
     # fingerprint for manifests; obs -> workloads is the CLI building
@@ -63,6 +64,8 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     ),
     # sim -> checkpoint is lazily imported (warm cells in parallel.py,
     # Simulator.save/restore_checkpoint); checkpoint imports sim eagerly.
+    # sim -> faults is the lazily-imported spec validation in
+    # MachineConfig and the worker-kill hook in parallel.py.
     "sim": frozenset(
         {
             "isa",
@@ -73,6 +76,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "workloads",
             "obs",
             "checkpoint",
+            "faults",
         }
     ),
     "experiments": frozenset(
@@ -99,6 +103,23 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "workloads",
             "sim",
             "experiments",
+            "obs",
+            "checkpoint",
+        }
+    ),
+    # faults sits beside analysis: the injector perturbs the machine
+    # model, the fuzzer drives sim/workloads and uses the guest lint
+    # (analysis) as its validity oracle.
+    "faults": frozenset(
+        {
+            "isa",
+            "memory",
+            "branch",
+            "pipeline",
+            "exceptions",
+            "workloads",
+            "sim",
+            "analysis",
             "obs",
             "checkpoint",
         }
@@ -142,6 +163,7 @@ SNAPSHOT_REQUIRED: dict[str, frozenset[str]] = {
     "exceptions/predictors.py": frozenset(
         {"ExceptionTypePredictor", "HandlerLengthPredictor", "SpawnPredictor"}
     ),
+    "faults/injector.py": frozenset({"FaultInjector"}),
 }
 
 #: Method names that count as the checkpoint protocol.  Plain objects

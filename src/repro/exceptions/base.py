@@ -290,6 +290,19 @@ class ExceptionMechanism:
     def on_uop_squashed(self, uop: "Uop", now: int) -> None:
         """Any uop was squashed; mechanisms reclaim linked resources."""
 
+    # -- fault injection --------------------------------------------------
+    def inject_handler_fault(self, now: int) -> str | None:
+        """Fault one in-flight handler (``repro.faults`` hook).
+
+        Models a transient fault detected inside exception handling: the
+        mechanism must abandon the in-progress handling and re-raise it
+        through its normal recovery machinery, preserving architectural
+        state.  Returns a short description of what was faulted, or
+        ``None`` when nothing is in flight (the injection is a no-op).
+        The base mechanism has no handler state, so: ``None``.
+        """
+        return None
+
     # -- autonomous activity ---------------------------------------------
     def tick(self, now: int) -> None:
         """Called at the top of every cycle."""

@@ -179,6 +179,48 @@ class HardwareWalkerMechanism(ExceptionMechanism):
                 self._start_walk(uop, va, vpn, now)
         self._overflow = still_waiting
 
+    def inject_handler_fault(self, now: int) -> str | None:
+        """Fault the oldest in-flight page walk: abort and re-raise.
+
+        Models a detected walker FSM fault: the walk (and its granted
+        port) is thrown away and every surviving faulter re-issues, so
+        the miss re-raises and a fresh walk starts -- the same retry
+        discipline as the multithreaded reclaim.  Falls back to faulting
+        a traditional page-fault trap when no walk is in flight.
+
+        Each master's walk is aborted at most once (the retry starts a
+        *new* walk, so the guard keys on the master's sequence number):
+        short injection periods would otherwise abort every retried
+        walk and livelock the machine.
+        """
+        core = self.core
+        refaulted = getattr(self, "_refaulted_masters", None)
+        if refaulted is None:
+            refaulted = self._refaulted_masters = set()
+        vpn = None
+        for candidate in self._walks:
+            master = self._walks[candidate].instance.master_uop
+            if master is not None and master.seq in refaulted:
+                continue  # once per master: guarantees forward progress
+            vpn = candidate
+            break
+        if vpn is not None:
+            walk = self._walks.pop(vpn)
+            instance = walk.instance
+            if instance.master_uop is not None:
+                refaulted.add(instance.master_uop.seq)
+            self.stats.walks_dropped += 1
+            master = instance.master_uop
+            walk_tid = master.thread_id if master is not None else -1
+            instance.squashed = True
+            self._emit_splice(instance, walk_tid, "dropped", now)
+            for uop in [master, *instance.waiters]:
+                if uop is not None and uop.state != UopState.SQUASHED:
+                    uop.waiting_fill = None
+                    core.wake_uop(uop)
+            return f"aborted page walk for vpn {vpn:#x}"
+        return self.traditional.inject_handler_fault(now)
+
     def next_event_cycle(self, now: int) -> int:
         """Next autonomous walker action: a port grant (imminent -- block
         fast-forward) or the earliest in-flight walk completion.

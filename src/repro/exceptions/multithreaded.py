@@ -369,6 +369,51 @@ class MultithreadedMechanism(ExceptionMechanism):
             if self._by_vpn.get(instance.vpn) is instance:
                 del self._by_vpn[instance.vpn]
 
+    def inject_handler_fault(self, now: int) -> str | None:
+        """Fault the oldest live handler thread: squash and respawn.
+
+        The same recovery path as the page-table-write check
+        (:meth:`on_store_retired`): reclaim the exception context, then
+        re-raise the master's exception so handling restarts from
+        scratch.  Buffered secondary misses re-raise themselves on their
+        next issue attempt (``waiting_fill`` cleared by ``_reclaim``).
+
+        Each master instruction's exception is faulted at most once
+        (the re-raise spawns a *new* instance, so the guard keys on the
+        master's sequence number): short injection periods would
+        otherwise re-fault every respawned handler before it completes
+        and livelock the machine.
+        """
+        refaulted = getattr(self, "_refaulted_masters", None)
+        if refaulted is None:
+            refaulted = self._refaulted_masters = set()
+        for thread in self.core.threads:
+            if thread.state is not ThreadState.EXCEPTION:
+                continue
+            instance = thread.exc_instance
+            if instance is None or instance.squashed:
+                continue
+            if (
+                instance.master_uop is not None
+                and instance.master_uop.seq in refaulted
+            ):
+                continue  # once per master: guarantees forward progress
+            master_uop = instance.master_uop
+            exc_type = instance.exc_type
+            va, vpn, src = instance.va, instance.vpn, instance.src_value
+            if master_uop is not None:
+                refaulted.add(master_uop.seq)
+            self._reclaim(thread, now)
+            if master_uop is not None and master_uop.state != UopState.SQUASHED:
+                if exc_type == "dtlb_miss":
+                    self.on_dtlb_miss(master_uop, va, vpn, now)
+                else:
+                    self.on_emulation(master_uop, src, now)
+            return f"squashed handler thread t{thread.tid} ({exc_type})"
+        # No handler thread in flight: maybe a reverted (traditional)
+        # trap is -- fault that instead.
+        return self.traditional.inject_handler_fault(now)
+
     def _reclaim(self, thread: ThreadContext, now: int) -> None:
         """Squash an exception thread and return it to the idle pool."""
         self.stats.reclaimed_threads += 1

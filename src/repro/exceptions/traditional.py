@@ -143,6 +143,75 @@ class TraditionalMechanism(ExceptionMechanism):
         response to core events, never on a timer."""
         return 1 << 60
 
+    def inject_handler_fault(self, now: int) -> str | None:
+        """Fault an in-flight trap handler: squash it and refetch it.
+
+        The recovery reuses the handler-internal-misprediction path the
+        trap machinery already supports (see :meth:`on_uop_squashed`):
+        the handler's in-flight uops are squashed, any speculative fill
+        rolls back, and fetch restarts at the handler entry with the
+        trap instance still active, so ``tlbwr``/``reti`` re-attach to
+        it.  The latched privileged registers (VA, EXC_PC, EXC_SRC) are
+        architectural and survive, making the re-execution exact.
+
+        Injection requires the ROB tail to be a *pure* handler region
+        whose ``reti`` has not executed yet:
+
+        * Back-to-back traps leave remnants of an earlier handler (its
+          executed ``reti`` plus refetched user uops) ahead of the
+          active handler; squashing from the oldest handler uop would
+          discard user work and replay it against the newer trap's
+          ``EXC_PC``.  Requiring every uop from the first handler uop to
+          the ROB tail to be a handler uop rejects that shape.
+        * Even an all-handler tail can span *two* trap instances: the
+          old handler's executed ``reti`` followed by the new trap's
+          handler (the refetched user uops between them having been
+          squashed by the new trap).  Restarting from the old handler
+          would rename its ``mtdst`` against the *new* trap's latched
+          ``EXC_DST``, silently dropping the old emulation's register
+          write.  The active instance's handler region therefore starts
+          *after* the last executed ``reti``; if nothing follows it,
+          the handler has effectively completed and injection is
+          skipped.
+
+        Each trap instance is faulted at most once (a transient
+        ``fault_injected`` marker): with a short enough injection
+        period the restarted handler would otherwise be re-faulted
+        before its ``reti`` can ever retire, livelocking the machine.
+        """
+        core = self.core
+        for tid in sorted(self._active):
+            instance = self._active[tid]
+            if getattr(instance, "fault_injected", False):
+                continue  # once per instance: guarantees forward progress
+            thread = core.threads[tid]
+            rob = list(thread.rob)
+            start = next(
+                (i for i, u in enumerate(rob) if u.is_handler), None
+            )
+            if start is None:
+                continue  # stale instance (wrong-path trap): no handler
+            if any(not u.is_handler for u in rob[start:]):
+                continue  # previous trap's remnants ahead of the handler
+            for index in range(start, len(rob)):
+                uop = rob[index]
+                if uop.inst.op is Opcode.RETI and uop.issued:
+                    start = index + 1  # older handler: redirect already done
+            if start >= len(rob):
+                continue  # active handler finished executing: nothing to fault
+            instance.fault_injected = True
+            boundary = rob[start]
+            core.squash_from(thread, boundary.seq - 1, now)
+            entry = core.pal_entries[instance.exc_type]
+            thread.pc = entry
+            thread.fetch_priv = True
+            thread.fetch_stall_until = now + 1
+            thread.fetch_wait_uop = None
+            thread.fetch_done = False
+            thread.overfetch_after_reti = False
+            return f"re-trapped handler on t{tid} ({instance.exc_type})"
+        return None
+
     # -- checkpoint protocol --------------------------------------------
     def snapshot_state(self, ctx) -> dict:
         state = super().snapshot_state(ctx)

@@ -1,0 +1,35 @@
+"""Deterministic fault injection and differential fuzzing.
+
+The paper's argument is that exception handling must survive adversity:
+nested, mispredicted, and back-to-back TLB misses.  This package makes
+adversity a first-class, *reproducible* machine input:
+
+* :mod:`repro.faults.config` parses ``REPRO_FAULTS`` /
+  ``MachineConfig.faults`` specs into a :class:`~repro.faults.config.FaultPlan`;
+* :mod:`repro.faults.injector` perturbs a running :class:`SMTCore`
+  (forced TLB misses, TLB eviction, PTE valid-bit corruption,
+  handler-thread faults, delayed memory responses, branch-predictor
+  poisoning) on deterministic, seeded schedules;
+* :mod:`repro.faults.progen` generates seeded random-but-lintable guest
+  programs (validity oracle: :func:`repro.analysis.analyze_program`);
+* :mod:`repro.faults.fuzz` runs every mechanism on each generated
+  program, compares architectural digests, and shrinks divergences to
+  minimal reproducers (``python -m repro.faults`` / ``repro-fuzz``).
+
+Every injected fault is architecture-preserving by construction (see
+``docs/ROBUSTNESS.md``): a faulted run retires the same architectural
+state as a fault-free run, only slower.  That is what lets the
+differential fuzzer assert bit-identical results across mechanisms even
+while faults fire.
+"""
+
+from repro.faults.config import FAULT_KINDS, FaultPlan, FaultRule, parse_faults
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "parse_faults",
+]

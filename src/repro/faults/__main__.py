@@ -1,0 +1,7 @@
+"""``python -m repro.faults`` runs the differential fuzzer CLI."""
+
+import sys
+
+from repro.faults.cli import main
+
+sys.exit(main())

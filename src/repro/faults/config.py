@@ -1,0 +1,154 @@
+"""Fault-plan specification: the ``REPRO_FAULTS`` mini-language.
+
+A spec is a comma-separated list of clauses::
+
+    seed:42,force_miss:50,mem_delay:20:60,bp_poison:100
+
+``seed:N`` seeds every schedule (default 0); every other clause is
+``kind:period`` or ``kind:period:arg`` and arms one fault kind to fire
+every ``period``-th event of its trigger stream, at a seeded phase.  The
+streams are event *counters*, not cycle numbers, so schedules are
+immune to the idle-cycle fast-forward (which skips quiet cycles) and
+identical between the serial and parallel runners.
+
+Kinds (full taxonomy and semantics in ``docs/ROBUSTNESS.md``):
+
+=================== stream ============== arg =========================
+``force_miss``      user DTLB lookups     --  (drop the looked-up entry)
+``tlb_evict``       retirements           --  (drop a seeded-random entry)
+``pte_corrupt``     retirements           --  (clear a PTE valid bit)
+``handler_fault``   retirements           --  (fault the in-flight handler)
+``mem_delay``       issued loads          extra cycles (default 50)
+``bp_poison``       cond-branch predicts  --  (flip the prediction)
+=================== ==================== ============================
+
+Parsing is strict: unknown kinds, non-positive periods, duplicate
+clauses, and malformed integers all raise :class:`ValueError` at
+configuration time rather than deep inside a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "parse_faults",
+    "splitmix64",
+]
+
+#: Every injectable fault kind, in documentation order.  The index of a
+#: kind in this tuple salts its schedule hash, so two kinds with the
+#: same period and seed still fire at different phases.
+FAULT_KINDS = (
+    "force_miss",
+    "tlb_evict",
+    "pte_corrupt",
+    "handler_fault",
+    "mem_delay",
+    "bp_poison",
+)
+
+#: Default extra latency (cycles) for ``mem_delay`` without an arg.
+DEFAULT_MEM_DELAY = 50
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """One splitmix64 scramble: the seeded-hash primitive for schedules.
+
+    Pure integer arithmetic (no :mod:`random`), so fault schedules are
+    bit-reproducible across processes and platforms.
+    """
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One armed fault kind: fire every ``period`` events, seeded phase."""
+
+    kind: str
+    period: int
+    arg: int = 0
+
+    def phase(self, seed: int) -> int:
+        """Deterministic firing phase within ``[0, period)``."""
+        salt = FAULT_KINDS.index(self.kind) + 1
+        return splitmix64(seed * 0x100000001B3 + salt) % self.period
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed fault spec: the seed plus every armed rule."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+    #: The original spec text (diagnostics and manifests).
+    spec: str = field(default="", compare=False)
+
+    def rule(self, kind: str) -> FaultRule | None:
+        for rule in self.rules:
+            if rule.kind == kind:
+                return rule
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+
+def parse_faults(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`."""
+    seed = 0
+    rules: list[FaultRule] = []
+    seen: set[str] = set()
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.split(":")
+        kind = parts[0].strip()
+        if kind == "seed":
+            if len(parts) != 2:
+                raise ValueError(f"bad seed clause {clause!r} (want seed:N)")
+            seed = _int_field(parts[1], clause)
+            continue
+        if kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r} in {clause!r}; "
+                f"pick one of {FAULT_KINDS}"
+            )
+        if kind in seen:
+            raise ValueError(f"duplicate fault clause for {kind!r}")
+        seen.add(kind)
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"bad fault clause {clause!r} (want kind:period[:arg])"
+            )
+        period = _int_field(parts[1], clause)
+        if period <= 0:
+            raise ValueError(f"fault period must be positive in {clause!r}")
+        arg = _int_field(parts[2], clause) if len(parts) == 3 else 0
+        if kind == "mem_delay":
+            if len(parts) == 2:
+                arg = DEFAULT_MEM_DELAY
+            elif arg <= 0:
+                raise ValueError(f"mem_delay cycles must be positive in {clause!r}")
+        elif len(parts) == 3:
+            raise ValueError(f"fault kind {kind!r} takes no arg ({clause!r})")
+        rules.append(FaultRule(kind=kind, period=period, arg=arg))
+    return FaultPlan(seed=seed, rules=tuple(rules), spec=spec)
+
+
+def _int_field(text: str, clause: str) -> int:
+    try:
+        return int(text.strip())
+    except ValueError:
+        raise ValueError(
+            f"non-integer field {text.strip()!r} in fault clause {clause!r}"
+        ) from None

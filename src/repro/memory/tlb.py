@@ -122,6 +122,14 @@ class TLB:
         """Drop every entry (context-switch semantics)."""
         self._entries.clear()
 
+    def resident_vpns(self) -> list[int]:
+        """Every resident VPN in LRU order (oldest first).
+
+        Side-effect-free; used by the fault injector to pick eviction
+        victims deterministically.
+        """
+        return list(self._entries)
+
     def rollback_all_speculative(self) -> int:
         """Remove every speculative entry regardless of producer.
 
@@ -205,6 +213,10 @@ class PerfectTLB:
 
     def rollback_all_speculative(self) -> int:
         return 0
+
+    def resident_vpns(self) -> list[int]:
+        """No storage to corrupt: TLB faults are no-ops on a perfect TLB."""
+        return []
 
     # -- checkpoint protocol --------------------------------------------
     def snapshot_state(self, ctx) -> dict:

@@ -20,6 +20,11 @@ Event kinds and their populated fields (every event carries ``kind``,
                 says how (``thread`` / ``trap`` / ``walk`` retired
                 cleanly, ``reclaimed`` / ``dropped`` / ``fault``
                 aborted)
+``fault``       ``seq``, ``pc``, ``exc_type`` (the injected fault
+                kind, e.g. ``force_miss``), ``path`` (free-form
+                detail) -- the fault injector perturbed the machine
+                (docs/ROBUSTNESS.md); emitted at the injection site so
+                every perturbation is attributable
 =============== ====================================================
 
 Within one cycle events arrive in stage order (retire before issue
@@ -46,6 +51,7 @@ EVENT_KINDS = (
     "exception",
     "spawn",
     "splice",
+    "fault",
 )
 
 
@@ -147,6 +153,15 @@ class EventBus:
             ObsEvent(
                 "splice", cycle, tid, exc_id=exc_id, exc_type=exc_type,
                 master_tid=master_tid, master_seq=master_seq, path=path,
+            )
+        )
+
+    def fault(self, cycle: int, tid: int, seq: int, pc: int, fault_kind: str,
+              detail: str) -> None:
+        self.emit(
+            ObsEvent(
+                "fault", cycle, tid, seq, pc, exc_type=fault_kind,
+                path=detail,
             )
         )
 

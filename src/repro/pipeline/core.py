@@ -145,6 +145,16 @@ class SMTCore:
 
             self._sanitizer = PipelineSanitizer(self)
             self.window.sanitizer = self._sanitizer
+        #: Opt-in deterministic fault injector (docs/ROBUSTNESS.md).
+        #: ``None`` when no faults are armed; each hook site costs one
+        #: ``is not None`` check, so a fault-free machine is bit-identical
+        #: to one built before the injector existed.
+        self.faults = None
+        fault_spec = config.faults or os.environ.get("REPRO_FAULTS", "")
+        if fault_spec:
+            from repro.faults.injector import FaultInjector
+
+            self.faults = FaultInjector(self, fault_spec)
         #: PAL entries by handler name, set when programs load; lengths
         #: (per handler) drive window reservations and fetch stop.
         self.pal_entries: dict[str, int] = {}
@@ -433,6 +443,8 @@ class SMTCore:
             uop.checkpoint = pred.checkpoint
             uop.pred_taken = pred.taken
             uop.pred_target = pred.target
+            if self.faults is not None and inst.is_cond_branch:
+                self.faults.poison_branch(uop, now)
             if op is Opcode.RETI:
                 if thread.is_exception_thread:
                     if self.config.predict_handler_length:
@@ -445,7 +457,7 @@ class SMTCore:
                     return True
                 thread.fetch_wait_uop = uop
                 return False
-            thread.pc = pred.target if pred.taken else pc + 1
+            thread.pc = uop.pred_target if uop.pred_taken else pc + 1
             return True
         thread.pc = pc + 1
         return True
@@ -917,7 +929,10 @@ class SMTCore:
     ) -> bool:
         addr = (int(a) + inst.imm0) & _EA_ALIGN_MASK
         uop.eff_addr = addr
+        faults = self.faults
         if not inst.privileged:
+            if faults is not None:
+                faults.on_mem_access(uop, addr, now)
             entry = self.dtlb.lookup(vpn_of(addr))
             if entry is None:
                 self.stats.dtlb_miss_events += 1
@@ -942,6 +957,8 @@ class SMTCore:
             else:
                 uop.value = self.memory.read_word(addr)
                 ready = self.hierarchy.load(addr, now)
+                if faults is not None:
+                    ready += faults.load_delay(uop, addr, now)
             if inst.op is Opcode.FLD:
                 uop.value = float(uop.value)
             else:
@@ -1193,6 +1210,9 @@ class SMTCore:
             thread.retired_user += 1
             self.stats.retired_user += 1
 
+        if self.faults is not None:
+            self.faults.on_retire(thread, uop, now)
+
     # ------------------------------------------------------------------
     # Checkpoint support.
     # ------------------------------------------------------------------
@@ -1280,6 +1300,11 @@ class SMTCore:
                 for cyc in sorted(self._wake_buckets)
             ],
             "retry": [ctx.uop_ref(u) for u in self._retry],
+            "faults": (
+                self.faults.snapshot_state(ctx)
+                if self.faults is not None
+                else None
+            ),
         }
 
     def restore_state(self, state: dict, ctx) -> None:
@@ -1304,5 +1329,11 @@ class SMTCore:
             for cyc, seqs in state["wake_buckets"]
         }
         self._retry = [ctx.resolve_uop(s) for s in state["retry"]]
+        # Older checkpoints predate the fault injector; a snapshot taken
+        # with faults off restores cleanly into a faulted machine (the
+        # injector simply starts its streams from zero).
+        fault_state = state.get("faults")
+        if fault_state is not None and self.faults is not None:
+            self.faults.restore_state(fault_state, ctx)
         self._exec_heap = None
         self._exec_seq = -1

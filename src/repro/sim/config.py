@@ -114,6 +114,11 @@ class MachineConfig:
     #: ordering, retirement order, uop lifecycle, window occupancy.  Off
     #: by default and free when off; ``REPRO_SANITIZE=1`` also enables it.
     sanitize: bool = False
+    #: Deterministic fault-injection spec (docs/ROBUSTNESS.md), e.g.
+    #: ``"seed:42,force_miss:50,mem_delay:20:60"``.  Empty string means
+    #: no injector is built and the machine is bit-identical to one
+    #: without the faults package; ``REPRO_FAULTS`` also enables it.
+    faults: str = ""
 
     def __post_init__(self) -> None:
         if self.fu_pool is None:
@@ -122,6 +127,13 @@ class MachineConfig:
             raise ValueError(
                 f"unknown mechanism {self.mechanism!r}; pick one of {MECHANISMS}"
             )
+        if self.faults:
+            # Validate eagerly so a bad spec fails at configuration time,
+            # not mid-simulation (lazy import keeps layering: sim does not
+            # need repro.faults unless faults are actually armed).
+            from repro.faults.config import parse_faults
+
+            parse_faults(self.faults)
         if self.chooser not in ("icount", "round_robin"):
             raise ValueError(f"unknown chooser {self.chooser!r}")
         if self.width < 1 or self.window_size < 4:

@@ -20,6 +20,16 @@ Environment knobs:
     in spec order either way, and are bit-identical between the serial
     and parallel paths (each simulation is deterministic and fully
     isolated in its own process).
+``REPRO_JOB_TIMEOUT``
+    Per-cell wall-clock budget in seconds for pool workers.  A wave of
+    cells that exceeds its collective budget is treated as hung: the
+    pool is killed and the unfinished cells are retried (see
+    ``REPRO_RETRIES``).  ``0``/unset disables the timeout.  The serial
+    path never times out -- a cell that must finish always can.
+``REPRO_RETRIES``
+    How many times a cell lost to a crashed or hung worker is re-run in
+    a fresh pool (default ``2``) before degrading to the in-process
+    serial path.  Retries back off linearly (0.25 s per attempt).
 ``REPRO_CACHE``
     Set to ``0`` to disable the on-disk result cache.
 ``REPRO_CACHE_DIR``
@@ -43,7 +53,8 @@ import dataclasses
 import hashlib
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
@@ -96,8 +107,35 @@ class CellSpec:
         )
 
 
+def _test_fault_hook() -> None:
+    """Test-only worker sabotage, armed via ``REPRO_TEST_WORKER_FAULT``.
+
+    The variable holds ``kill:<latch>`` or ``hang:<latch>``, where
+    ``<latch>`` is a file path acting as a one-shot claim: the first
+    cell to unlink it dies (``os._exit``) or hangs (sleeps past any
+    job timeout).  Robustness tests use this to crash or wedge a real
+    pool worker mid-grid and assert the runner recovers with identical
+    results.  Unset in normal operation; never set this outside tests.
+    """
+    armed = os.environ.get("REPRO_TEST_WORKER_FAULT", "")
+    if not armed:
+        return
+    action, _, latch = armed.partition(":")
+    if not latch:
+        return
+    try:
+        os.unlink(latch)
+    except OSError:
+        return  # latch already claimed (or never created): run normally
+    if action == "kill":
+        os._exit(43)
+    if action == "hang":
+        time.sleep(3600)
+
+
 def run_cell(spec: CellSpec) -> SimResult:
     """Run one cell to completion (in the current process)."""
+    _test_fault_hook()
     sim = Simulator(spec.build_programs(), spec.config)
     if spec.warm_from is not None:
         # Attach the shared warm state and measure from there; the
@@ -184,7 +222,11 @@ class ResultCache:
         return os.environ.get("REPRO_CACHE", "1") != "0"
 
     def _path(self, spec: CellSpec) -> Path:
-        token = f"{engine_fingerprint()}|{spec.cache_token()}"
+        # REPRO_FAULTS changes results without touching the spec (the
+        # core falls back to it when config.faults is empty), so it must
+        # key the cache too or faulted runs would be served clean cells.
+        faults_env = os.environ.get("REPRO_FAULTS", "")
+        token = f"{engine_fingerprint()}|{faults_env}|{spec.cache_token()}"
         name = hashlib.sha256(token.encode()).hexdigest()[:40]
         return self.directory / f"{name}.pkl"
 
@@ -197,16 +239,49 @@ class ResultCache:
             return None
 
     def put(self, spec: CellSpec, result: SimResult) -> None:
+        """Durable atomic publish: a cell is either fully cached or
+        absent.
+
+        The pickle is written to a pid-suffixed temp file, fsynced, and
+        renamed into place, so a worker killed mid-write (or mid-crash
+        of the whole machine) can never leave a truncated pickle under
+        the final name -- :meth:`get` would deserialize garbage as a
+        result.  Temp files orphaned by dead writers are pruned here.
+        """
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
+            self._prune_stale_tmps()
             path = self._path(spec)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
             with tmp.open("wb") as fh:
                 pickle.dump(result, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
             tmp.replace(path)  # atomic: concurrent writers race benignly
             self._write_manifest(spec, result, path)
         except OSError:
             pass  # a read-only cache dir degrades to "no cache"
+
+    def _prune_stale_tmps(self) -> None:
+        """Remove temp files whose writer process is gone.
+
+        A worker killed between open and rename leaks one
+        ``*.tmp.<pid>`` file; the pid suffix makes ownership checkable,
+        so any tmp whose pid is dead is garbage by construction."""
+        try:
+            for tmp in self.directory.glob("*.tmp.*"):
+                pid_text = tmp.name.rsplit(".", 1)[-1]
+                if not pid_text.isdigit():
+                    continue
+                pid = int(pid_text)
+                if pid == os.getpid() or _pid_alive(pid):
+                    continue
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        except OSError:
+            pass
 
     def _write_manifest(self, spec: CellSpec, result: SimResult, path: Path) -> None:
         """Audit trail: a human-readable manifest beside each pickle."""
@@ -254,18 +329,142 @@ def default_jobs() -> int:
     return jobs
 
 
-def _worker_init(sanitize: str | None) -> None:
-    """Reproduce the parent's ``REPRO_SANITIZE`` in a pool worker.
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` currently exists (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+#: Environment the parent must reproduce inside pool workers.
+_WORKER_ENV_KEYS = ("REPRO_SANITIZE", "REPRO_FAULTS", "REPRO_TEST_WORKER_FAULT")
+
+
+def _worker_env() -> dict[str, str]:
+    return {
+        key: os.environ[key] for key in _WORKER_ENV_KEYS if key in os.environ
+    }
+
+
+def _worker_init(env: dict[str, str]) -> None:
+    """Reproduce the parent's behavioural environment in a pool worker.
 
     Spawn-based pools on some platforms start workers without the
     parent's (post-launch) environment mutations; cells must run under
-    the same sanitizer setting either way, or sanitized parallel runs
-    would silently check nothing.
+    the same sanitizer and fault-injection settings either way, or
+    sanitized (or faulted) parallel runs would silently check nothing.
     """
-    if sanitize is None:
-        os.environ.pop("REPRO_SANITIZE", None)
-    else:
-        os.environ["REPRO_SANITIZE"] = sanitize
+    for key in _WORKER_ENV_KEYS:
+        if key in env:
+            os.environ[key] = env[key]
+        else:
+            os.environ.pop(key, None)
+
+
+def job_timeout() -> float:
+    """Per-cell timeout in seconds from ``REPRO_JOB_TIMEOUT`` (0 = off)."""
+    raw = os.environ.get("REPRO_JOB_TIMEOUT", "").strip()
+    if not raw:
+        return 0.0
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOB_TIMEOUT must be a number of seconds, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"REPRO_JOB_TIMEOUT must be non-negative, got {value}")
+    return value
+
+
+def max_retries() -> int:
+    """Pool retry budget from ``REPRO_RETRIES`` (default 2)."""
+    raw = os.environ.get("REPRO_RETRIES", "").strip()
+    if not raw:
+        return 2
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_RETRIES must be a non-negative integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"REPRO_RETRIES must be non-negative, got {value}")
+    return value
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, including any wedged workers.
+
+    ``shutdown(wait=True)`` would block behind a hung cell forever, so
+    the workers are terminated first; ``cancel_futures`` stops queued
+    work from restarting on them."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except OSError:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_pool_attempt(
+    todo: list[CellSpec],
+    pending: list[int],
+    out: list[SimResult | None],
+    workers: int,
+    timeout: float,
+) -> list[int]:
+    """One pool generation: run ``pending`` cells, fill ``out``, and
+    return the indices still unfinished (crashed or hung).
+
+    A worker crash surfaces as ``BrokenProcessPool`` on every
+    outstanding future -- those cells stay pending and the *caller*
+    decides whether another generation is allowed.  With a timeout, the
+    wave's collective deadline is ``timeout`` per cell-slot batch; when
+    it passes, whatever is still running is treated as hung and the
+    whole pool is killed (there is no portable way to kill one worker's
+    job without killing the worker).
+    """
+    deadline = None
+    if timeout > 0:
+        waves = (len(pending) + workers - 1) // workers
+        deadline = time.monotonic() + timeout * waves
+    pool = ProcessPoolExecutor(
+        max_workers=min(workers, len(pending)),
+        initializer=_worker_init,
+        initargs=(_worker_env(),),
+    )
+    try:
+        futures = {pool.submit(run_cell, todo[i]): i for i in pending}
+        not_done = set(futures)
+        while not_done:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break  # hung wave: unfinished cells stay pending
+            done, not_done = wait(
+                not_done, timeout=remaining, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                break  # timed out inside wait()
+            for future in done:
+                idx = futures[future]
+                try:
+                    out[idx] = future.result()
+                except Exception:
+                    # This cell's worker died (or the pool broke under
+                    # it); leave it unfinished for the retry loop.
+                    pass
+    finally:
+        _kill_pool(pool)
+    return [i for i in pending if out[i] is None]
 
 
 def run_cells(
@@ -278,9 +477,15 @@ def run_cells(
 
     Cached results are returned without running anything; the rest fan
     out over ``jobs`` worker processes (serially for ``jobs <= 1`` or a
-    single missing cell).  Any failure to parallelise -- exec-based
-    platforms that cannot pickle, a crashed worker pool -- falls back to
-    the serial path rather than failing the experiment.
+    single missing cell).  The pool path is self-healing: cells lost to
+    a crashed worker or a hung wave (``REPRO_JOB_TIMEOUT``) are retried
+    in a fresh pool up to ``REPRO_RETRIES`` times with linear backoff,
+    and whatever still isn't done -- or any failure to parallelise at
+    all, e.g. exec-based platforms that cannot pickle -- degrades to
+    the in-process serial path rather than failing the experiment.
+    Results are bit-identical across all of these paths: every cell is
+    a deterministic, isolated simulation, so *where* it runs (first
+    pool, retry pool, or serial) cannot change *what* it computes.
     """
     if jobs is None:
         # Cells are pure CPU: more workers than cores is pure overhead,
@@ -306,20 +511,27 @@ def run_cells(
 
     if missing:
         todo = [specs[idx] for idx in missing]
-        fresh: list[SimResult] | None = None
+        fresh: list[SimResult | None] = [None] * len(todo)
         workers = min(jobs, len(todo))
         if workers > 1:
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_worker_init,
-                    initargs=(os.environ.get("REPRO_SANITIZE"),),
-                ) as pool:
-                    fresh = list(pool.map(run_cell, todo))
-            except Exception:
-                fresh = None  # fall back to the serial path below
-        if fresh is None:
-            fresh = [run_cell(spec) for spec in todo]
+            pending = list(range(len(todo)))
+            timeout = job_timeout()
+            for attempt in range(max_retries() + 1):
+                if not pending:
+                    break
+                if attempt:
+                    time.sleep(0.25 * attempt)  # linear backoff
+                try:
+                    pending = _run_pool_attempt(
+                        todo, pending, fresh, workers, timeout
+                    )
+                except Exception:
+                    break  # cannot parallelise at all: go serial
+        # Serial completion: anything the pool never produced (no pool,
+        # retries exhausted, or an unparallelisable platform).
+        for pos, spec in enumerate(todo):
+            if fresh[pos] is None:
+                fresh[pos] = run_cell(spec)
         for idx, spec, result in zip(missing, todo, fresh):
             results[idx] = result
             if use_cache:

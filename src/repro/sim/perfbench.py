@@ -104,6 +104,57 @@ def run(reps: int = 3) -> dict:
     return report
 
 
+def check_gate(
+    report: dict, baseline: dict, max_drop: float
+) -> tuple[list[tuple[str, float, float, float, bool]], bool]:
+    """Compare a fresh report against a committed baseline.
+
+    Returns ``(rows, ok)`` where each row is ``(name, baseline_ips,
+    measured_ips, delta_fraction, within_gate)``.  The gate trips when
+    any mechanism -- or the aggregate -- drops by more than ``max_drop``
+    (a fraction, e.g. ``0.15``).  Improvements never trip it.
+    """
+    rows = []
+    ok = True
+    base_ips = baseline.get("instrs_per_sec", {})
+    for mech, now in report["instrs_per_sec"].items():
+        base = base_ips.get(mech)
+        if not base:
+            continue
+        delta = now / base - 1.0
+        within = delta >= -max_drop
+        ok = ok and within
+        rows.append((mech, base, now, delta, within))
+    base_agg = baseline.get("aggregate")
+    if base_agg:
+        delta = report["aggregate"] / base_agg - 1.0
+        within = delta >= -max_drop
+        ok = ok and within
+        rows.append(("aggregate", base_agg, report["aggregate"], delta, within))
+    return rows, ok
+
+
+def format_gate_summary(
+    rows: list[tuple[str, float, float, float, bool]],
+    ok: bool,
+    max_drop: float,
+) -> str:
+    """Render gate rows as a GitHub-flavored markdown table."""
+    lines = [
+        f"### Engine perf gate ({'PASS' if ok else 'FAIL'}, "
+        f"max drop {max_drop:.0%})",
+        "",
+        "| mechanism | baseline (instrs/s) | measured (instrs/s) | delta | gate |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name, base, now, delta, within in rows:
+        lines.append(
+            f"| {name} | {base:.1f} | {now:.1f} | {delta:+.1%} "
+            f"| {'ok' if within else '**REGRESSION**'} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.sim.perfbench",
@@ -117,14 +168,42 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_engine.json",
         help="output path (default BENCH_engine.json)",
     )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="committed BENCH_engine.json to gate against; exit 1 when "
+        "any mechanism (or the aggregate) regresses past --max-drop",
+    )
+    parser.add_argument(
+        "--max-drop", type=float, default=0.15, metavar="FRACTION",
+        help="largest tolerated throughput drop vs the baseline "
+        "(default 0.15)",
+    )
+    parser.add_argument(
+        "--summary", metavar="FILE", default=None,
+        help="append a markdown delta table here (defaults to "
+        "$GITHUB_STEP_SUMMARY when set)",
+    )
     args = parser.parse_args(argv)
+    if not 0 <= args.max_drop < 1:
+        parser.error(f"--max-drop must be in [0, 1), got {args.max_drop}")
     report = run(reps=args.reps)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"\naggregate {report['aggregate']:.1f} instrs/sec "
           f"({report['aggregate_speedup']:.2f}x baseline) -> {args.output}")
-    return 0
+    if args.baseline is None:
+        return 0
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    rows, ok = check_gate(report, baseline, args.max_drop)
+    summary = format_gate_summary(rows, ok, args.max_drop)
+    print("\n" + summary, end="")
+    summary_path = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(summary + "\n")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,68 @@
+"""End-to-end differential-fuzzer tests: clean machines agree, a broken
+machine is caught and shrunk, artifacts land on disk."""
+
+import json
+
+from repro.faults.cli import main as fuzz_main
+from repro.faults.fuzz import fuzz, make_case, run_case, shrink_case
+
+
+def test_clean_machine_has_no_divergence():
+    result = run_case(make_case(1, length=20, iters=8), max_cycles=600_000)
+    assert result.ok, result.divergences
+
+
+def test_lost_store_defect_is_caught_and_shrunk(tmp_path):
+    artifacts = tmp_path / "artifacts"
+    report = fuzz(
+        seed=7,
+        max_programs=4,
+        artifacts=artifacts,
+        defect="lost-store",
+        log=lambda msg: None,
+    )
+    assert report.failures, "the oracle self-test defect went undetected"
+    failure = report.failures[0]
+    assert failure["divergences"]
+    # Shrinking must actually shrink: fewer ops or fewer iterations.
+    assert (
+        failure["shrunken_ops"] < failure["original_ops"]
+        or failure["shrunken_iters"] < failure["original_iters"]
+    )
+    case_dir = artifacts / f"case_{failure['seed']}"
+    manifest = json.loads((case_dir / "manifest.json").read_text())
+    assert manifest["defect"] == "lost-store"
+    assert (case_dir / "program.s").exists()
+    assert (case_dir / "shrunken.s").exists()
+
+
+def test_shrunken_case_still_fails():
+    case = make_case(7, length=20, iters=8)
+    result = run_case(case, defect="lost-store", max_cycles=600_000)
+    if result.ok:
+        return  # this small slice didn't trip the defect; nothing to shrink
+    shrunk, attempts = shrink_case(case, defect="lost-store",
+                                   max_cycles=600_000)
+    assert attempts > 0
+    assert not run_case(shrunk, defect="lost-store", max_cycles=600_000).ok
+
+
+def test_cli_round_trip(tmp_path, capsys):
+    stats = tmp_path / "stats.json"
+    status = fuzz_main(
+        ["--programs", "2", "--seed", "1", "--stats-out", str(stats),
+         "--quiet"]
+    )
+    assert status == 0
+    report = json.loads(stats.read_text())
+    assert report["programs"] == 2
+    assert report["failures"] == []
+    assert sum(report["fault_counts"].values()) > 0
+    out = capsys.readouterr().out
+    assert "0 failure(s)" in out
+
+
+def test_cli_rejects_bad_usage(capsys):
+    assert fuzz_main(["--budget", "0"]) == 2
+    assert fuzz_main(["--programs", "-1"]) == 2
+    capsys.readouterr()

@@ -1,0 +1,69 @@
+"""The generated-program contract: deterministic, lint-clean, halting."""
+
+import pytest
+
+from repro.analysis.guest import analyze_source
+from repro.analysis.diagnostics import Severity
+from repro.faults.fuzz import make_case, run_program
+from repro.faults.progen import (
+    DATA_BASE,
+    OFF_MASK,
+    REGION_BYTES,
+    generate_ops,
+    generate_program,
+    render_program,
+)
+
+
+def _errors(source):
+    diags = analyze_source(source, unit="progen-test")
+    return [d for d in diags if d.severity is Severity.ERROR]
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_generated_programs_are_lint_clean(seed):
+    program = generate_program(seed)
+    assert _errors(program.source) == []
+
+
+def test_generation_is_deterministic():
+    a = generate_program(77)
+    b = generate_program(77)
+    assert a.source == b.source
+    assert a.ops == b.ops
+    assert generate_program(78).source != a.source
+
+
+def test_rendering_survives_op_deletion():
+    """Shrinking deletes arbitrary ops; any subset must still render to
+    a lint-clean program (skip labels are re-placed at render time)."""
+    ops = generate_ops(5, 30)
+    for keep in (ops[::2], ops[:5], ops[10:], []):
+        source = render_program(list(keep), 5, 4)
+        assert _errors(source) == []
+
+
+@pytest.mark.parametrize("seed", [0, 6])
+def test_generated_programs_halt(seed):
+    case = make_case(seed, length=20, iters=6)
+    outcome = run_program(case, "perfect", "", None, 400_000)
+    assert outcome.ok, (outcome.reason, outcome.detail)
+
+
+def test_region_overflows_the_dtlb():
+    # The region must hold more pages than the 64-entry DTLB, or the
+    # fuzzer would stop exercising capacity misses.
+    assert REGION_BYTES // 8192 > 64
+    assert OFF_MASK & 0x7 == 0
+    assert DATA_BASE % 8192 == 0
+
+
+def test_memory_ops_stay_in_region():
+    """Every rendered memory operand is masked into the data region."""
+    program = generate_program(11, length=48, iters=2)
+    for line in program.source.splitlines():
+        text = line.strip()
+        if text.startswith(("ld ", "st ")):
+            # Operand form is always `0(rN)`: offsets never escape the
+            # masked address register.
+            assert "0(r" in text

@@ -116,12 +116,12 @@ class TestJobs:
 class TestSanitizePropagation:
     def test_worker_init_sets_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_SANITIZE", raising=False)
-        _worker_init("1")
+        _worker_init({"REPRO_SANITIZE": "1"})
         assert os.environ["REPRO_SANITIZE"] == "1"
 
     def test_worker_init_clears_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SANITIZE", "1")
-        _worker_init(None)
+        _worker_init({})
         assert "REPRO_SANITIZE" not in os.environ
 
     def test_sanitized_parallel_run_matches_serial(

@@ -1,0 +1,157 @@
+"""Robustness tests for the parallel runner: crashed workers, hung
+workers, cache atomicity, and environment propagation."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.parallel import (
+    CellSpec,
+    ResultCache,
+    job_timeout,
+    max_retries,
+    run_cell,
+    run_cells,
+)
+
+
+def _specs(n=3):
+    mechanisms = ("perfect", "traditional", "multithreaded", "quickstart")
+    return [
+        CellSpec("compress", MachineConfig(mechanism=mechanisms[i]),
+                 2000, 400, 150_000)
+        for i in range(n)
+    ]
+
+
+def _same(a, b):
+    return all(
+        x.cycles == y.cycles
+        and x.retired_user == y.retired_user
+        and x.committed_fills == y.committed_fills
+        for x, y in zip(a, b)
+    )
+
+
+@pytest.fixture
+def no_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+
+
+@pytest.fixture
+def serial_reference(no_cache):
+    return run_cells(_specs(), jobs=1)
+
+
+def test_killed_worker_is_retried_with_identical_results(
+    tmp_path, monkeypatch, serial_reference
+):
+    latch = tmp_path / "kill.latch"
+    latch.touch()
+    monkeypatch.setenv("REPRO_TEST_WORKER_FAULT", f"kill:{latch}")
+    results = run_cells(_specs(), jobs=3)
+    assert not latch.exists(), "the sabotage never fired"
+    assert _same(results, serial_reference)
+
+
+def test_hung_worker_is_killed_and_retried(
+    tmp_path, monkeypatch, serial_reference
+):
+    latch = tmp_path / "hang.latch"
+    latch.touch()
+    monkeypatch.setenv("REPRO_TEST_WORKER_FAULT", f"hang:{latch}")
+    monkeypatch.setenv("REPRO_JOB_TIMEOUT", "15")
+    results = run_cells(_specs(), jobs=3)
+    assert not latch.exists(), "the sabotage never fired"
+    assert _same(results, serial_reference)
+
+
+def test_retries_exhausted_degrades_to_serial(monkeypatch, serial_reference):
+    # Arm an inexhaustible kill (the latch regenerates): every pool
+    # generation dies, so only the serial completion path can finish.
+    monkeypatch.setenv("REPRO_RETRIES", "1")
+    calls = {"n": 0}
+
+    import repro.sim.parallel as parallel
+
+    real_attempt = parallel._run_pool_attempt
+
+    def broken_attempt(todo, pending, out, workers, timeout):
+        calls["n"] += 1
+        return pending  # pool produced nothing
+
+    monkeypatch.setattr(parallel, "_run_pool_attempt", broken_attempt)
+    results = run_cells(_specs(), jobs=3)
+    assert calls["n"] == 2  # first attempt + one retry
+    assert _same(results, serial_reference)
+    monkeypatch.setattr(parallel, "_run_pool_attempt", real_attempt)
+
+
+def test_cache_put_is_atomic_and_prunes_dead_writers(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _specs(1)[0]
+    result = run_cell(spec)
+
+    # A tmp file from a dead writer pid must be swept on the next put.
+    stale = tmp_path / "deadbeef.pkl.tmp.999999999"
+    tmp_path.mkdir(exist_ok=True)
+    stale.write_bytes(b"partial")
+    # Our own (live) tmp files are left alone.
+    own = tmp_path / f"cafef00d.pkl.tmp.{os.getpid()}"
+    own.write_bytes(b"in-flight")
+
+    cache.put(spec, result)
+    assert not stale.exists()
+    assert own.exists()
+    hit = cache.get(spec)
+    assert hit is not None and hit.cycles == result.cycles
+
+    # A truncated pickle under the final name is treated as a miss, not
+    # an error.
+    path = cache._path(spec)
+    path.write_bytes(pickle.dumps(result)[:10])
+    assert cache.get(spec) is None
+
+
+def test_worker_env_propagates_fault_spec(monkeypatch):
+    import repro.sim.parallel as parallel
+
+    monkeypatch.setenv("REPRO_FAULTS", "seed:1,mem_delay:40")
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    env = parallel._worker_env()
+    assert env["REPRO_FAULTS"] == "seed:1,mem_delay:40"
+    assert "REPRO_SANITIZE" not in env
+
+    # A worker initialised from that env reproduces it exactly.
+    monkeypatch.setenv("REPRO_FAULTS", "stale-value")
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    parallel._worker_init(env)
+    assert os.environ["REPRO_FAULTS"] == "seed:1,mem_delay:40"
+    assert "REPRO_SANITIZE" not in os.environ
+
+
+def test_fault_spec_keys_the_cache(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    spec = _specs(1)[0]
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    clean_path = cache._path(spec)
+    monkeypatch.setenv("REPRO_FAULTS", "seed:1,mem_delay:40")
+    assert cache._path(spec) != clean_path
+
+
+def test_knob_validation():
+    for env, getter in (("REPRO_JOB_TIMEOUT", job_timeout),
+                        ("REPRO_RETRIES", max_retries)):
+        os.environ[env] = "nonsense"
+        try:
+            with pytest.raises(ValueError):
+                getter()
+            os.environ[env] = "-1"
+            with pytest.raises(ValueError):
+                getter()
+        finally:
+            del os.environ[env]
+    assert job_timeout() == 0.0
+    assert max_retries() == 2

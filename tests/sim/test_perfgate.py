@@ -1,0 +1,68 @@
+"""Gate logic tests for the engine perf-regression check."""
+
+from repro.sim.perfbench import check_gate, format_gate_summary
+
+
+def _report(scale=1.0):
+    ips = {"perfect": 16000.0, "traditional": 14000.0}
+    return {
+        "instrs_per_sec": {k: v * scale for k, v in ips.items()},
+        "aggregate": 14933.3 * scale,
+    }
+
+
+BASELINE = _report()
+
+
+def test_equal_throughput_passes():
+    rows, ok = check_gate(_report(), BASELINE, max_drop=0.15)
+    assert ok
+    assert {name for name, *_ in rows} == {
+        "perfect", "traditional", "aggregate"
+    }
+    assert all(within for *_, within in rows)
+
+
+def test_small_drop_within_tolerance_passes():
+    rows, ok = check_gate(_report(0.90), BASELINE, max_drop=0.15)
+    assert ok
+
+
+def test_large_drop_fails():
+    rows, ok = check_gate(_report(0.80), BASELINE, max_drop=0.15)
+    assert not ok
+    assert all(not within for *_, within in rows)
+
+
+def test_single_mechanism_regression_fails():
+    report = _report()
+    report["instrs_per_sec"]["traditional"] = 10000.0
+    rows, ok = check_gate(report, BASELINE, max_drop=0.15)
+    assert not ok
+    bad = {name for name, *_, within in rows if not within}
+    assert "traditional" in bad
+    assert "perfect" not in bad
+
+
+def test_improvement_never_trips_the_gate():
+    rows, ok = check_gate(_report(2.0), BASELINE, max_drop=0.15)
+    assert ok
+
+
+def test_unknown_mechanisms_in_baseline_are_ignored():
+    baseline = {
+        "instrs_per_sec": {"perfect": 16000.0, "retired_mech": 1.0},
+        "aggregate": 14933.3,
+    }
+    rows, ok = check_gate(_report(), baseline, max_drop=0.15)
+    assert ok
+    assert "retired_mech" not in {name for name, *_ in rows}
+
+
+def test_summary_is_markdown_with_deltas():
+    rows, ok = check_gate(_report(0.80), BASELINE, max_drop=0.15)
+    text = format_gate_summary(rows, ok, 0.15)
+    assert "FAIL" in text
+    assert "**REGRESSION**" in text
+    assert "| mechanism |" in text
+    assert "-20.0%" in text
