@@ -54,18 +54,31 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
         {"isa", "memory", "branch", "exceptions", "sim", "analysis", "faults"}
     ),
     # obs -> sim is type-only plus the lazily-imported engine
-    # fingerprint for manifests; obs -> workloads is the CLI building
-    # the programs it traces.
-    "obs": frozenset({"pipeline", "sim", "workloads"}),
+    # fingerprint for manifests; obs -> engine is the lazily-imported
+    # backend name manifests record; obs -> workloads is the CLI
+    # building the programs it traces.
+    "obs": frozenset({"pipeline", "sim", "workloads", "engine"}),
     # checkpoint sits above the whole machine model (it serializes every
     # layer) but below the experiment/analysis tooling that consumes it.
     "checkpoint": frozenset(
         {"isa", "memory", "branch", "pipeline", "exceptions", "sim", "workloads"}
     ),
+    # engine sits beside checkpoint: backends drive the whole machine
+    # model (core subclasses, batch loading via checkpoint warm state,
+    # the arch-digest oracle from faults.fuzz) but stay below the
+    # experiment/analysis tooling.  Everything below engine reaches it
+    # only through lazy imports of the registry (resolve_engine /
+    # core_class / get_backend).
+    "engine": frozenset(
+        {"isa", "memory", "branch", "pipeline", "exceptions", "sim",
+         "checkpoint", "faults"}
+    ),
     # sim -> checkpoint is lazily imported (warm cells in parallel.py,
     # Simulator.save/restore_checkpoint); checkpoint imports sim eagerly.
     # sim -> faults is the lazily-imported spec validation in
-    # MachineConfig and the worker-kill hook in parallel.py.
+    # MachineConfig and the worker-kill hook in parallel.py.  sim ->
+    # engine is the lazily-imported backend registry (run_cell,
+    # run_cell_batch, the cache key, perfbench).
     "sim": frozenset(
         {
             "isa",
@@ -77,6 +90,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "obs",
             "checkpoint",
             "faults",
+            "engine",
         }
     ),
     "experiments": frozenset(
@@ -91,6 +105,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "analysis",
             "obs",
             "checkpoint",
+            "engine",
         }
     ),
     "analysis": frozenset(
@@ -109,7 +124,8 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     ),
     # faults sits beside analysis: the injector perturbs the machine
     # model, the fuzzer drives sim/workloads and uses the guest lint
-    # (analysis) as its validity oracle.
+    # (analysis) as its validity oracle; faults -> engine is the
+    # engine-diff oracle running both backend kernels.
     "faults": frozenset(
         {
             "isa",
@@ -122,6 +138,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "analysis",
             "obs",
             "checkpoint",
+            "engine",
         }
     ),
 }
@@ -187,7 +204,10 @@ def _is_deterministic_scope(rel: Path) -> bool:
     parts = rel.parts
     if not parts:
         return False
-    if parts[0] == "pipeline":
+    # Engine backends are alternate cycle kernels: anything
+    # nondeterministic there breaks the bit-identity contract with the
+    # reference core (see docs/PERFORMANCE.md).
+    if parts[0] in ("pipeline", "engine"):
         return True
     return parts[0] == "sim" and parts[-1] in _DETERMINISTIC_SIM
 

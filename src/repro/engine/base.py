@@ -1,0 +1,92 @@
+"""The engine backend seam: a first slice of the ``Machine`` facade.
+
+An :class:`EngineBackend` owns a *batch* of independent sweep cells and
+advances them behind a narrow surface::
+
+    backend = get_backend("batched")
+    backend.configure(specs)       # describe the cells (picklable specs)
+    backend.load()                 # build the simulators
+    while backend.step_batch():    # advance every live cell in lockstep
+        ...
+    results = backend.results()    # SimResult per cell, in spec order
+
+plus ``digest()`` (the fuzzer's perfect-machine oracle over one cell's
+architectural state) and ``snapshot()`` (a checkpoint of one cell).
+Backends differ only in *how* they advance cells -- the reference
+backend steps one plain :class:`~repro.pipeline.core.SMTCore` per cell,
+the batched backend drives dispatch-fused cores over
+structure-of-arrays progress columns -- never in *what* they compute:
+every backend must produce bit-identical digests and stats.
+
+A cell spec is anything shaped like :class:`repro.sim.parallel.CellSpec`
+(``workload`` / ``config`` / ``user_insts`` / ``warmup_insts`` /
+``max_cycles`` / ``warm_from`` plus ``build_programs()``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import SimResult, Simulator
+
+__all__ = ["EngineBackend"]
+
+
+class EngineBackend:
+    """Abstract engine backend (see module docstring)."""
+
+    #: Registry name; also what cache keys and manifests record.
+    name = "abstract"
+
+    #: Default cycles each ``step_batch()`` call advances a live cell.
+    quantum = 4096
+
+    def __init__(self) -> None:
+        self._specs: list = []
+        self._loaded = False
+
+    # -- facade ---------------------------------------------------------
+    def configure(self, specs: Sequence) -> None:
+        """Describe the batch.  Resets any previously loaded state."""
+        self._specs = list(specs)
+        self._loaded = False
+
+    def load(self) -> None:
+        """Build the simulators for every configured cell."""
+        raise NotImplementedError
+
+    def step_batch(self, cycles: int | None = None) -> int:
+        """Advance every unfinished cell by up to ``cycles`` cycles
+        (default :attr:`quantum`); returns how many cells are still
+        live.  Finished cells retire from the batch and are never
+        touched again (ragged completion)."""
+        raise NotImplementedError
+
+    def simulator(self, index: int = 0) -> "Simulator":
+        """The live :class:`Simulator` behind cell ``index``."""
+        raise NotImplementedError
+
+    def results(self) -> "list[SimResult]":
+        """Per-cell results in spec order; every cell must be done."""
+        raise NotImplementedError
+
+    # -- conveniences built on the facade -------------------------------
+    def run(self) -> "list[SimResult]":
+        """Load (if needed) and drive the batch to completion."""
+        if not self._loaded:
+            self.load()
+        while self.step_batch():
+            pass
+        return self.results()
+
+    def digest(self, index: int = 0) -> str:
+        """Architectural digest of cell ``index`` (the differential
+        oracle from :func:`repro.faults.fuzz.arch_digest`)."""
+        from repro.faults.fuzz import arch_digest
+
+        return arch_digest(self.simulator(index))
+
+    def snapshot(self, path, index: int = 0, kind: str = "exact") -> str:
+        """Checkpoint cell ``index`` to ``path``; returns the hash."""
+        return self.simulator(index).save_checkpoint(path, kind=kind)

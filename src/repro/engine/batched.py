@@ -1,0 +1,274 @@
+"""The batched structure-of-arrays sweep engine.
+
+:class:`SweepBatch` advances many independent sweep cells in lockstep:
+one :meth:`SweepBatch.step` call walks the *batch* and moves every live
+cell forward by a quantum of cycles, so a single Python-level driver
+iteration advances N machines -- the in-process analogue of how
+``repro.sim.parallel`` amortizes interpreter overhead across worker
+processes.  Per-cell progress state lives in structure-of-arrays
+columns (``array('q')`` integer columns for phase / stop-cycle / the
+measurement-window anchors, parallel lists for the object-typed
+columns), with :class:`_CellView` providing a ``__slots__`` row view
+for inspection and tests.
+
+Cells complete *raggedly*: a cell whose watch targets are met retires
+from the live list immediately and is never stepped again, without
+perturbing the surviving cells (each cell is a fully isolated machine;
+the columns are append-only per batch).
+
+Equivalence to the one-cell-at-a-time path is exact, not approximate:
+the driver advances each cell through the very same
+``SMTCore.run_to(watch, stop)`` loop that :meth:`Simulator.run` uses,
+merely in bounded chunks -- and chunking is bit-identical to one
+straight call (the invariant documented on ``run_to`` that the
+checkpoint autosave runner already relies on).  The batched backend
+swaps in :class:`repro.engine.core.BatchedSMTCore`, whose fused cycle
+kernel is itself a line-for-line transcription of the reference stages.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.engine.base import EngineBackend
+from repro.engine.core import BatchedSMTCore
+from repro.pipeline.thread import ThreadState
+from repro.sim.simulator import SimResult, Simulator
+
+__all__ = ["SweepBatch", "SweepEngine", "BatchedEngine"]
+
+#: Phase column values.
+PHASE_WARMUP = 0
+PHASE_MEASURE = 1
+PHASE_DONE = 2
+
+
+class _CellView:
+    """A ``__slots__`` row view over one cell's batch columns."""
+
+    __slots__ = ("_batch", "index")
+
+    def __init__(self, batch: "SweepBatch", index: int) -> None:
+        self._batch = batch
+        self.index = index
+
+    @property
+    def phase(self) -> int:
+        return self._batch.phase[self.index]
+
+    @property
+    def stop_cycle(self) -> int:
+        return self._batch.stop_cycle[self.index]
+
+    @property
+    def start_cycle(self) -> int:
+        return self._batch.start_cycle[self.index]
+
+    @property
+    def cycle(self) -> int:
+        return self._batch.cores[self.index].cycle
+
+    @property
+    def live(self) -> bool:
+        return self.index in self._batch.live
+
+    @property
+    def spec(self):
+        return self._batch.specs[self.index]
+
+    @property
+    def sim(self) -> Simulator:
+        return self._batch.sims[self.index]
+
+    @property
+    def result(self) -> SimResult | None:
+        return self._batch.cell_results[self.index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<cell {self.index} phase={self.phase} cycle={self.cycle}"
+            f" live={self.live}>"
+        )
+
+
+class SweepBatch:
+    """N independent sweep cells advanced in lockstep (see module doc)."""
+
+    def __init__(self, specs, core_cls=None, quantum: int = 4096) -> None:
+        if quantum < 1:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        self.specs = list(specs)
+        self.core_cls = core_cls
+        self.quantum = quantum
+        n = len(self.specs)
+        # Structure-of-arrays progress columns: one entry per cell.
+        self.phase = array("q", [PHASE_WARMUP] * n)
+        self.stop_cycle = array("q", [0] * n)
+        self.start_cycle = array("q", [0] * n)
+        self.start_fills = array("q", [0] * n)
+        self.start_user = array("q", [0] * n)
+        # Object-typed columns, parallel to the arrays above.
+        self.sims: list[Simulator] = []
+        self.cores: list = []
+        self.watches: list[list] = []
+        self.cell_results: list[SimResult | None] = [None] * n
+        #: Indices of unfinished cells, in spec order (ragged completion
+        #: removes an index the moment its cell's measurement is done).
+        self.live: list[int] = []
+        self._loaded = False
+
+    def row(self, index: int) -> _CellView:
+        return _CellView(self, index)
+
+    # ------------------------------------------------------------------
+    def load(self) -> None:
+        """Build one simulator per cell and anchor its first phase."""
+        if self._loaded:
+            raise RuntimeError("batch already loaded")
+        normal = ThreadState.NORMAL
+        for i, spec in enumerate(self.specs):
+            sim = Simulator(
+                spec.build_programs(), spec.config, core_cls=self.core_cls
+            )
+            core = sim.core
+            self.sims.append(sim)
+            self.cores.append(core)
+            self.stop_cycle[i] = spec.max_cycles
+            warm_from = getattr(spec, "warm_from", None)
+            if warm_from is not None:
+                # Attach the shared warm state and measure from there
+                # (exactly the run_cell warm path).
+                from repro.checkpoint.warm import attach_warm
+
+                attach_warm(sim, warm_from)
+                self._anchor_measurement(i)
+            elif spec.warmup_insts:
+                self.phase[i] = PHASE_WARMUP
+                self.watches.append(
+                    [
+                        (t, t.retired_user + spec.warmup_insts)
+                        for t in core.threads
+                        if t.state is normal
+                    ]
+                )
+                self.live.append(i)
+                continue
+            else:
+                self._anchor_measurement(i)
+            self.live.append(i)
+        self._loaded = True
+
+    def _anchor_measurement(self, i: int) -> None:
+        """Record the measurement-window anchors and arm the measure
+        watch for cell ``i`` (what ``Simulator.run`` does between its
+        warmup and measurement calls)."""
+        sim = self.sims[i]
+        core = self.cores[i]
+        self.start_cycle[i] = core.cycle
+        self.start_fills[i] = (
+            sim.mechanism.stats.committed_fills if sim.mechanism else 0
+        )
+        self.start_user[i] = core.stats.retired_user
+        self.phase[i] = PHASE_MEASURE
+        watch = [
+            (t, t.retired_user + self.specs[i].user_insts)
+            for t in core.threads
+            if t.state is ThreadState.NORMAL
+        ]
+        if i < len(self.watches):
+            self.watches[i] = watch
+        else:
+            self.watches.append(watch)
+
+    # ------------------------------------------------------------------
+    def step(self, cycles: int | None = None) -> int:
+        """Advance every live cell by up to ``cycles`` cycles; returns
+        the number of cells still live afterwards."""
+        if not self._loaded:
+            raise RuntimeError("load() the batch before stepping it")
+        quantum = self.quantum if cycles is None else cycles
+        if quantum < 1:
+            raise ValueError(f"cycles must be positive, got {quantum}")
+        cores = self.cores
+        watches = self.watches
+        phase = self.phase
+        stop_col = self.stop_cycle
+        survivors = []
+        for i in self.live:
+            core = cores[i]
+            stop = stop_col[i]
+            target = core.cycle + quantum
+            if target > stop:
+                target = stop
+            done = core.run_to(watches[i], target)
+            if done:
+                if phase[i] == PHASE_WARMUP:
+                    self._anchor_measurement(i)
+                    survivors.append(i)
+                else:
+                    phase[i] = PHASE_DONE
+                    sim = self.sims[i]
+                    self.cell_results[i] = sim.result(
+                        since=(
+                            self.start_cycle[i],
+                            self.start_fills[i],
+                            self.start_user[i],
+                        )
+                    )
+                continue
+            if core.cycle >= stop:
+                # Same failure surface as SMTCore.run on the single-cell
+                # path, so callers see one error shape per outcome.
+                raise RuntimeError(
+                    f"simulation exceeded {stop} cycles "
+                    f"(retired: {[t.retired_user for t in core.threads]})"
+                )
+            survivors.append(i)
+        self.live = survivors
+        return len(survivors)
+
+    def results(self) -> list[SimResult]:
+        if any(p != PHASE_DONE for p in self.phase):
+            unfinished = [i for i, p in enumerate(self.phase) if p != PHASE_DONE]
+            raise RuntimeError(f"batch cells not finished: {unfinished}")
+        return list(self.cell_results)  # type: ignore[arg-type]
+
+
+class SweepEngine(EngineBackend):
+    """Driver-backed backend: :class:`SweepBatch` over a core class."""
+
+    #: ``SMTCore`` subclass injected into each cell's Simulator
+    #: (``None`` selects the reference cycle kernel).
+    core_cls = None
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._batch: SweepBatch | None = None
+
+    def load(self) -> None:
+        self._batch = SweepBatch(
+            self._specs, core_cls=self.core_cls, quantum=self.quantum
+        )
+        self._batch.load()
+        self._loaded = True
+
+    def _live_batch(self) -> SweepBatch:
+        if self._batch is None:
+            raise RuntimeError("configure() and load() the backend first")
+        return self._batch
+
+    def step_batch(self, cycles: int | None = None) -> int:
+        return self._live_batch().step(cycles)
+
+    def simulator(self, index: int = 0) -> Simulator:
+        return self._live_batch().sims[index]
+
+    def results(self) -> list[SimResult]:
+        return self._live_batch().results()
+
+
+class BatchedEngine(SweepEngine):
+    """The batched SoA backend: fused cores under the lockstep driver."""
+
+    name = "batched"
+    core_cls = BatchedSMTCore

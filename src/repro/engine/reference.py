@@ -1,0 +1,21 @@
+"""The reference engine backend.
+
+The unmodified :class:`~repro.pipeline.core.SMTCore` cycle kernel
+behind the same backend facade: cells advance through the identical
+lockstep driver as the batched backend (chunked ``run_to`` is
+bit-identical to one straight call), so backend-to-backend comparisons
+isolate exactly one variable -- the cycle kernel.
+"""
+
+from __future__ import annotations
+
+from repro.engine.batched import SweepEngine
+
+__all__ = ["ReferenceEngine"]
+
+
+class ReferenceEngine(SweepEngine):
+    """Plain reference cores under the lockstep batch driver."""
+
+    name = "reference"
+    core_cls = None

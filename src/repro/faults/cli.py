@@ -46,6 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(oracle self-test: the fuzzer must catch it)",
     )
     parser.add_argument(
+        "--engine-diff", action="store_true",
+        help="fuzz the batched engine kernel against the reference "
+        "kernel: every faulted run executes under both and must agree "
+        "exactly (digest, cycles, every counter)",
+    )
+    parser.add_argument(
         "--stats-out", type=Path, default=None, metavar="FILE",
         help="write corpus statistics (JSON) here, pass or fail",
     )
@@ -88,6 +94,7 @@ def main(argv: list[str] | None = None) -> int:
         artifacts=args.artifacts,
         defect=args.defect,
         shrink=not args.no_shrink,
+        engine_diff=args.engine_diff,
         log=log,
         **kwargs,
     )

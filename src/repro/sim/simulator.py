@@ -86,6 +86,7 @@ class Simulator:
         programs: Program | list[Program],
         config: MachineConfig | None = None,
         listeners: "EventBus | None" = None,
+        core_cls: type[SMTCore] | None = None,
     ) -> None:
         if isinstance(programs, Program):
             programs = [programs]
@@ -105,7 +106,9 @@ class Simulator:
             self.dtlb = TLB(self.config.dtlb_entries)
         self.bpu = BranchPredictionUnit()
         self.mechanism = make_mechanism(self.config.mechanism)
-        self.core = SMTCore(
+        # The engine seam: backends (repro.engine) inject their own core
+        # class here; the default is the reference cycle kernel.
+        self.core = (core_cls or SMTCore)(
             self.config,
             self.memory,
             self.hierarchy,

@@ -1,0 +1,105 @@
+"""SweepBatch driver semantics: lockstep stepping, ragged completion,
+spec-ordered results, and the single-cell failure surface."""
+
+import pytest
+
+from repro.engine import BatchedSMTCore, SweepBatch, get_backend
+from repro.engine.batched import PHASE_DONE, PHASE_MEASURE, PHASE_WARMUP
+from repro.sim.config import MachineConfig
+from repro.sim.parallel import CellSpec, run_cell
+
+
+def _spec(mechanism, user_insts, warmup_insts=200, max_cycles=2_000_000):
+    return CellSpec(
+        workload="compress",
+        config=MachineConfig(mechanism=mechanism, idle_threads=1),
+        user_insts=user_insts,
+        warmup_insts=warmup_insts,
+        max_cycles=max_cycles,
+    )
+
+
+def test_ragged_batch_completes_in_spec_order():
+    # Deliberately unequal run lengths: the short cell retires from the
+    # batch first and the others must be unaffected.
+    specs = [
+        _spec("traditional", 400),
+        _spec("multithreaded", 1600),
+        _spec("quickstart", 900),
+    ]
+    batch = SweepBatch(specs, core_cls=BatchedSMTCore, quantum=256)
+    batch.load()
+    seen_live = []
+    while batch.step():
+        seen_live.append(len(batch.live))
+    results = batch.results()
+    assert len(results) == len(specs)
+    # The batch really thinned out over time, not all at once.
+    assert seen_live and seen_live[-1] < len(specs)
+    for spec, result in zip(specs, results):
+        assert result == run_cell(spec, engine="reference")
+
+
+def test_phase_columns_track_cell_lifecycle():
+    batch = SweepBatch([_spec("traditional", 300)], core_cls=BatchedSMTCore)
+    assert batch.phase[0] == PHASE_WARMUP
+    batch.load()
+    while batch.step():
+        pass
+    assert batch.phase[0] == PHASE_DONE
+    row = batch.row(0)
+    assert not row.live
+    assert row.result is not None
+
+
+def test_no_warmup_cell_anchors_straight_to_measure():
+    batch = SweepBatch(
+        [_spec("traditional", 300, warmup_insts=0)], core_cls=BatchedSMTCore
+    )
+    batch.load()
+    assert batch.phase[0] == PHASE_MEASURE
+
+
+def test_results_before_completion_raises():
+    batch = SweepBatch([_spec("traditional", 400)], core_cls=BatchedSMTCore)
+    batch.load()
+    with pytest.raises(RuntimeError, match="not finished"):
+        batch.results()
+
+
+def test_step_before_load_raises():
+    batch = SweepBatch([_spec("traditional", 400)])
+    with pytest.raises(RuntimeError, match="load"):
+        batch.step()
+
+
+def test_exceeding_max_cycles_matches_single_cell_error_shape():
+    batch = SweepBatch(
+        [_spec("traditional", 10_000, max_cycles=120)],
+        core_cls=BatchedSMTCore,
+        quantum=64,
+    )
+    batch.load()
+    with pytest.raises(RuntimeError, match="exceeded 120 cycles"):
+        while batch.step():
+            pass
+
+
+def test_bad_quantum_rejected():
+    with pytest.raises(ValueError, match="quantum"):
+        SweepBatch([], quantum=0)
+    batch = SweepBatch([_spec("traditional", 300)], core_cls=BatchedSMTCore)
+    batch.load()
+    with pytest.raises(ValueError, match="positive"):
+        batch.step(0)
+
+
+def test_backend_facade_round_trip():
+    spec = _spec("hardware", 600)
+    backend = get_backend("batched")
+    backend.configure([spec])
+    results = backend.run()
+    assert results[0] == run_cell(spec, engine="reference")
+    # The facade exposes the live simulator and the digest convenience.
+    assert backend.simulator(0).core.cycle > 0
+    assert backend.digest(0) == backend.digest(0)

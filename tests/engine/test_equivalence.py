@@ -1,0 +1,65 @@
+"""Batch-of-1 equivalence: the batched engine must be bit-identical to
+the reference path for every mechanism -- same ``SimResult``, same full
+``SimStats`` dict, same architectural digest."""
+
+import pytest
+
+from repro.engine import get_backend
+from repro.sim.config import MECHANISMS, MachineConfig
+from repro.sim.parallel import CellSpec, run_cell
+
+USER_INSTS = 1200
+WARMUP_INSTS = 300
+MAX_CYCLES = 2_000_000
+
+
+def _spec(mechanism, workload="compress"):
+    return CellSpec(
+        workload=workload,
+        config=MachineConfig(mechanism=mechanism, idle_threads=1),
+        user_insts=USER_INSTS,
+        warmup_insts=WARMUP_INSTS,
+        max_cycles=MAX_CYCLES,
+    )
+
+
+def _run_backend(name, spec):
+    backend = get_backend(name)
+    backend.configure([spec])
+    results = backend.run()
+    return backend, results[0]
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_batch_of_one_matches_reference(mechanism):
+    spec = _spec(mechanism)
+    reference = run_cell(spec, engine="reference")
+    backend, batched = _run_backend("batched", spec)
+
+    assert batched == reference
+    assert batched.stats.as_dict() == reference.stats.as_dict()
+
+    ref_backend, _ = _run_backend("reference", spec)
+    assert backend.digest(0) == ref_backend.digest(0)
+
+
+@pytest.mark.parametrize("workload", ["gcc", "murphi", ("compress", "gcc")])
+def test_batch_of_one_matches_reference_across_workloads(workload):
+    spec = _spec("multithreaded", workload=workload)
+    reference = run_cell(spec, engine="reference")
+    _, batched = _run_backend("batched", spec)
+    assert batched == reference
+    assert batched.stats.as_dict() == reference.stats.as_dict()
+
+
+def test_no_warmup_cell_matches_reference():
+    spec = CellSpec(
+        workload="compress",
+        config=MachineConfig(mechanism="traditional", idle_threads=1),
+        user_insts=800,
+        warmup_insts=0,
+        max_cycles=MAX_CYCLES,
+    )
+    reference = run_cell(spec, engine="reference")
+    _, batched = _run_backend("batched", spec)
+    assert batched == reference

@@ -1,0 +1,88 @@
+"""Engine wiring in the parallel runner: cache keys, worker env
+propagation, batch claims, and pool bit-identity across backends."""
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.parallel import (
+    _WORKER_ENV_KEYS,
+    CellSpec,
+    ResultCache,
+    pool_batch_size,
+    run_cell,
+    run_cell_batch,
+    run_cells,
+)
+
+
+def _spec(mechanism="traditional", user_insts=600):
+    return CellSpec(
+        workload="compress",
+        config=MachineConfig(mechanism=mechanism, idle_threads=1),
+        user_insts=user_insts,
+        warmup_insts=150,
+        max_cycles=2_000_000,
+    )
+
+
+class TestCacheKey:
+    def test_engine_keys_the_cache_path(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        reference_path = cache._path(spec)
+        monkeypatch.setenv("REPRO_ENGINE", "batched")
+        batched_path = cache._path(spec)
+        assert reference_path != batched_path
+
+    def test_batched_result_never_serves_reference_request(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        monkeypatch.setenv("REPRO_ENGINE", "batched")
+        cache.put(spec, run_cell(spec))
+        assert cache.get(spec) is not None
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        assert cache.get(spec) is None
+
+
+class TestWorkerEnv:
+    def test_engine_propagates_to_pool_workers(self):
+        assert "REPRO_ENGINE" in _WORKER_ENV_KEYS
+
+
+class TestPoolBatchSize:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "5")
+        assert pool_batch_size(100, 4) == 5
+
+    @pytest.mark.parametrize("raw", ["0", "-3", "lots"])
+    def test_bad_env_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BATCH", raw)
+        with pytest.raises(ValueError, match="REPRO_BATCH"):
+            pool_batch_size(100, 4)
+
+    def test_auto_sizing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        # Few cells: one per claim keeps all workers busy.
+        assert pool_batch_size(3, 8) == 1
+        # Large grids amortize several cells per claim, capped at 16.
+        assert pool_batch_size(100, 4) == 100 // 16
+        assert pool_batch_size(10_000, 4) == 16
+
+
+class TestBatchClaims:
+    def test_run_cell_batch_matches_run_cell(self):
+        specs = [_spec("traditional"), _spec("multithreaded")]
+        expected = [run_cell(s, engine="reference") for s in specs]
+        assert run_cell_batch(specs, engine="batched") == expected
+        assert run_cell_batch(specs, engine="reference") == expected
+
+    def test_pool_is_bit_identical_across_engines(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        specs = [_spec("traditional"), _spec("quickstart"), _spec("hardware")]
+        serial = [run_cell(s, engine="reference") for s in specs]
+        monkeypatch.setenv("REPRO_ENGINE", "batched")
+        monkeypatch.setenv("REPRO_BATCH", "2")
+        assert run_cells(specs, jobs=2) == serial
