@@ -25,6 +25,19 @@ suite cannot see until they have already caused a silent regression):
   ``_SNAPSHOT_TRANSIENT`` tuple.  A field silently added to, say, the
   TLB but never serialized would make restore-then-run diverge from
   straight-through in ways no unit test of the TLB alone can catch.
+* ``layering-static-pass`` — the static kernel passes
+  (:mod:`repro.analysis.parity`, :mod:`repro.analysis.restart`) must
+  analyze the engine/pipeline layers as *source text*, never import
+  them: a linter that imports the code it lints cannot report on a tree
+  that fails to import.
+* ``missing-soa-columns`` / ``soa-declaration`` — batch classes in the
+  :data:`SOA_REQUIRED` table must declare their per-cell
+  structure-of-arrays columns in ``_SOA_COLUMNS`` (the parity pass then
+  verifies allocation/coverage against the digest surface), and every
+  declared column must be a real attribute.
+* ``parity-ledger-syntax`` — ``# parity:`` comments in ``engine/`` must
+  be well-formed ``elided(<fact>, <reason>)`` entries; a malformed one
+  is a dead suppression the parity pass would silently ignore.
 
 Suppression: append ``# lint: ok(rule)`` to the offending line.
 """
@@ -143,6 +156,27 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     ),
 }
 
+#: Per-module forbidden packages, stricter than :data:`ALLOWED_IMPORTS`:
+#: the static kernel passes read these layers as source text (AST) and
+#: must never import them at runtime, even though the ``analysis``
+#: package as a whole may.
+MODULE_FORBIDDEN: dict[str, frozenset[str]] = {
+    "analysis/parity.py": frozenset({"engine", "pipeline"}),
+    "analysis/restart.py": frozenset({"engine", "pipeline"}),
+}
+
+#: Classes (by repo-relative module path) that hold per-cell
+#: structure-of-arrays columns and must declare them in ``_SOA_COLUMNS``
+#: for the snapshot/digest protocol (coverage is verified by the parity
+#: pass; this rule guarantees the declaration exists).
+SOA_REQUIRED: dict[str, frozenset[str]] = {
+    "engine/batched.py": frozenset({"SweepBatch"}),
+}
+
+#: ``# parity:`` comments (the elision ledger in engine/) must parse.
+_LEDGER_COMMENT_RE = re.compile(r"#\s*parity:")
+_LEDGER_OK_RE = re.compile(r"#\s*parity:\s*elided\(\s*[^,()\s]+\s*,\s*[^()]+\)")
+
 #: Classes (by repo-relative module path) that must declare __slots__
 #: because they are allocated in the simulator's hot loop (see
 #: docs/PERFORMANCE.md).
@@ -258,6 +292,16 @@ class _ModuleChecker(ast.NodeVisitor):
         if parts[0] != "repro" or len(parts) < 2:
             return
         target = parts[1]
+        forbidden = MODULE_FORBIDDEN.get(self.rel.as_posix())
+        if forbidden is not None and target in forbidden:
+            self._emit(
+                "layering-static-pass",
+                node.lineno,
+                f"{self.rel.as_posix()} must not import repro.{target}: "
+                "the static kernel passes analyze that layer as source "
+                "text, never at runtime",
+            )
+            return
         if target == self.package or not self.package:
             return
         allowed = ALLOWED_IMPORTS.get(self.package)
@@ -340,7 +384,41 @@ class _ModuleChecker(ast.NodeVisitor):
         snapshot_classes = SNAPSHOT_REQUIRED.get(self.rel.as_posix(), frozenset())
         if node.name in snapshot_classes:
             self._check_snapshot_protocol(node)
+        soa_classes = SOA_REQUIRED.get(self.rel.as_posix(), frozenset())
+        if node.name in soa_classes:
+            self._check_soa_declaration(node)
         self.generic_visit(node)
+
+    # -- SoA column declaration ----------------------------------------
+    def _check_soa_declaration(self, node: ast.ClassDef) -> None:
+        columns: set[str] | None = None
+        lineno = node.lineno
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "_SOA_COLUMNS"
+                    ):
+                        columns = self._string_tuple(stmt.value)
+                        lineno = stmt.lineno
+        if not columns:
+            self._emit(
+                "missing-soa-columns",
+                node.lineno,
+                f"batch class {node.name!r} must declare its per-cell "
+                "structure-of-arrays columns in a _SOA_COLUMNS tuple "
+                "(the parity pass verifies coverage against it)",
+            )
+            return
+        declared, _ = self._declared_attrs(node)
+        for column in sorted(columns - declared):
+            self._emit(
+                "soa-declaration",
+                lineno,
+                f"_SOA_COLUMNS names {column!r} but {node.name} declares "
+                "no such attribute",
+            )
 
     # -- checkpoint protocol coverage ----------------------------------
     @staticmethod
@@ -448,6 +526,23 @@ class _ModuleChecker(ast.NodeVisitor):
                 "_SNAPSHOT_TRANSIENT; restore would silently lose it",
             )
 
+    # -- parity elision ledger syntax ----------------------------------
+    def check_ledger_comments(self, source: str) -> None:
+        """Malformed ``# parity:`` comments in engine/ are dead ledger
+        entries the parity pass would silently skip."""
+        if self.package != "engine":
+            return
+        for line_no, line in enumerate(source.splitlines(), start=1):
+            if _LEDGER_COMMENT_RE.search(line) and not _LEDGER_OK_RE.search(
+                line
+            ):
+                self._emit(
+                    "parity-ledger-syntax",
+                    line_no,
+                    "malformed parity ledger comment; expected "
+                    "'# parity: elided(<fact>, <reason>)'",
+                )
+
     # -- nondeterministic set iteration --------------------------------
     @staticmethod
     def _is_unordered_set(expr: ast.expr) -> str | None:
@@ -510,6 +605,7 @@ def check_file(path: Path, rel: Path) -> list[Diagnostic]:
         ]
     checker = _ModuleChecker(rel, source)
     checker.visit(tree)
+    checker.check_ledger_comments(source)
     return checker.diagnostics
 
 

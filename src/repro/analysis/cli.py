@@ -2,7 +2,9 @@
 
 With no subcommand it lints the shipped tree: every suite benchmark
 program, both PAL handler images, every assembly source embedded in
-``examples/``, and the architecture rules over ``src/repro``.  Exit
+``examples/``, the architecture rules over ``src/repro``, the
+kernel-parity pass over the reference/fused engine pair, and the
+restartability pass over every mechanism's handler images.  Exit
 status is non-zero iff any error-severity finding is reported (or any
 finding at all under ``--strict``).
 
@@ -12,7 +14,18 @@ Subcommands narrow the run::
     repro-lint guest loop.s --priv   # lint an assembly file
     repro-lint guest compress        # lint one suite benchmark
     repro-lint arch                  # architecture lint only
+    repro-lint parity                # reference-vs-fused kernel drift
+    repro-lint parity --selftest     # seeded-drift oracle check
+    repro-lint restart               # handler restartability
+    repro-lint restart handler.s     # ... over your own PAL image
     repro-lint --format json         # machine-readable findings
+    repro-lint --format sarif        # GitHub code-scanning format
+    repro-lint --baseline lint.json  # accept recorded pre-existing
+                                     # findings; new ones still fail
+
+``--baseline`` with ``--update-baseline`` records the current findings
+(by ``pass:code:unit:pc`` fingerprint) instead of reporting them, so a
+new pass can land strict without a flag day.
 
 Example modules may declare ``LINT_OK = ("code", ...)`` to suppress
 specific diagnostics for every program they build; assembly sources use
@@ -173,13 +186,123 @@ def _lint_guest_targets(
     return diagnostics
 
 
+def _lint_restart_targets(targets: Iterable[str]) -> list[Diagnostic]:
+    from repro.analysis.restart import (
+        analyze_handler_source,
+        lint_mechanism_handlers,
+    )
+
+    targets = list(targets)
+    if not targets:
+        return lint_mechanism_handlers()
+    diagnostics: list[Diagnostic] = []
+    for target in targets:
+        path = Path(target)
+        if path.suffix != ".s":
+            raise SystemExit(
+                f"repro-lint: unknown restart target {target!r} "
+                "(expected a .s handler image)"
+            )
+        diagnostics.extend(
+            analyze_handler_source(
+                path.read_text(), unit=f"restart:file:{path.stem}", file=str(path)
+            )
+        )
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# Baselines.
+# ----------------------------------------------------------------------
+def _fingerprint(diag: Diagnostic) -> str:
+    """Stable identity for baseline matching.
+
+    Deliberately coarse (no message text, no file line): a recorded
+    finding stays accepted across message rewording and unrelated file
+    edits, while a finding with a new code, unit, or pc still fails.
+    """
+    return f"{diag.passname}:{diag.code}:{diag.unit}:{diag.pc}"
+
+
+def _load_baseline(path: Path) -> set[str]:
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text())
+    return set(payload.get("fingerprints", ()))
+
+
+def _write_baseline(path: Path, diagnostics: list[Diagnostic]) -> None:
+    payload = {
+        "version": 1,
+        "fingerprints": sorted({_fingerprint(d) for d in diagnostics}),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 # ----------------------------------------------------------------------
 # Reporting.
 # ----------------------------------------------------------------------
+def _sarif_payload(diagnostics: list[Diagnostic]) -> dict:
+    """Minimal SARIF 2.1.0 for GitHub code-scanning upload."""
+    rules: dict[str, dict] = {}
+    results = []
+    for diag in diagnostics:
+        rules.setdefault(
+            diag.code,
+            {
+                "id": diag.code,
+                "shortDescription": {"text": f"{diag.passname}: {diag.code}"},
+            },
+        )
+        result = {
+            "ruleId": diag.code,
+            "level": "error" if diag.is_error else "warning",
+            "message": {"text": f"{diag.unit}: {diag.message}"},
+        }
+        if diag.file:
+            region = {}
+            if diag.line is not None and diag.line >= 1:
+                region = {"region": {"startLine": diag.line}}
+            result["locations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": diag.file},
+                        **region,
+                    }
+                }
+            ]
+        results.append(result)
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": [rules[k] for k in sorted(rules)],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
 def _report(
-    diagnostics: list[Diagnostic], fmt: str, strict: bool, out=None
+    diagnostics: list[Diagnostic],
+    fmt: str,
+    strict: bool,
+    out=None,
+    baseline: set[str] | None = None,
 ) -> int:
     out = out or sys.stdout
+    suppressed = 0
+    if baseline:
+        kept = [d for d in diagnostics if _fingerprint(d) not in baseline]
+        suppressed = len(diagnostics) - len(kept)
+        diagnostics = kept
     errors = sum(1 for d in diagnostics if d.is_error)
     if fmt == "json":
         payload = {
@@ -188,10 +311,15 @@ def _report(
             "warnings": len(diagnostics) - errors,
         }
         print(json.dumps(payload, indent=2), file=out)
+    elif fmt == "sarif":
+        print(json.dumps(_sarif_payload(diagnostics), indent=2), file=out)
     else:
         for diag in diagnostics:
             print(diag.render(), file=out)
-        print(f"repro-lint: {summarize(diagnostics)}", file=out)
+        summary = f"repro-lint: {summarize(diagnostics)}"
+        if suppressed:
+            summary += f" ({suppressed} baselined)"
+        print(summary, file=out)
     if errors:
         return 1
     if strict and diagnostics:
@@ -206,7 +334,7 @@ def main(argv: list[str] | None = None) -> int:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default=argparse.SUPPRESS,
         help="output format (default: text)",
     )
@@ -216,11 +344,25 @@ def main(argv: list[str] | None = None) -> int:
         default=argparse.SUPPRESS,
         help="exit non-zero on warnings too, not just errors",
     )
+    common.add_argument(
+        "--baseline",
+        type=Path,
+        default=argparse.SUPPRESS,
+        help="baseline file of accepted pre-existing findings "
+        "(see --update-baseline)",
+    )
+    common.add_argument(
+        "--update-baseline",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="record the current findings into --baseline and exit 0",
+    )
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         parents=[common],
         description="Static analysis for the simulator: guest-program "
-        "lint and architecture lint (see docs/ANALYSIS.md).",
+        "lint, architecture lint, kernel parity, and handler "
+        "restartability (see docs/ANALYSIS.md).",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -253,9 +395,37 @@ def main(argv: list[str] | None = None) -> int:
         help="package directory to lint (default: the installed repro)",
     )
 
+    parity = sub.add_parser(
+        "parity",
+        parents=[common],
+        help="reference-vs-fused kernel semantic-drift lint",
+    )
+    parity.add_argument(
+        "--selftest",
+        action="store_true",
+        help="seed a drift (delete one fused mutation fact) and fail "
+        "unless the pass flags it",
+    )
+
+    restart = sub.add_parser(
+        "restart",
+        parents=[common],
+        help="handler-image restartability verification",
+    )
+    restart.add_argument(
+        "targets",
+        nargs="*",
+        help=".s handler images to verify (default: every mechanism's "
+        "shipped handler images)",
+    )
+
     args = parser.parse_args(argv)
     fmt = getattr(args, "format", None) or "text"
     strict = bool(getattr(args, "strict", False))
+    baseline_path = getattr(args, "baseline", None)
+    update_baseline = bool(getattr(args, "update_baseline", False))
+    if update_baseline and baseline_path is None:
+        parser.error("--update-baseline requires --baseline")
 
     if args.command == "guest":
         if args.targets:
@@ -264,10 +434,36 @@ def main(argv: list[str] | None = None) -> int:
             diagnostics = _lint_shipped_guests()
     elif args.command == "arch":
         diagnostics = check_tree(args.root or _package_root())
-    else:
-        diagnostics = _lint_shipped_guests() + check_tree(_package_root())
+    elif args.command == "parity":
+        from repro.analysis.parity import run_parity, selftest
 
-    return _report(diagnostics, fmt, strict)
+        if args.selftest:
+            ok, report = selftest()
+            print(f"repro-lint parity --selftest: {report}")
+            return 0 if ok else 1
+        diagnostics = run_parity()
+    elif args.command == "restart":
+        diagnostics = _lint_restart_targets(args.targets)
+    else:
+        from repro.analysis.parity import run_parity
+        from repro.analysis.restart import lint_mechanism_handlers
+
+        diagnostics = (
+            _lint_shipped_guests()
+            + check_tree(_package_root())
+            + run_parity()
+            + lint_mechanism_handlers()
+        )
+
+    if update_baseline:
+        _write_baseline(baseline_path, diagnostics)
+        print(
+            f"repro-lint: recorded {len(diagnostics)} finding(s) into "
+            f"{baseline_path}"
+        )
+        return 0
+    baseline = _load_baseline(baseline_path) if baseline_path else None
+    return _report(diagnostics, fmt, strict, baseline=baseline)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,9 +1,10 @@
 """Shared diagnostic record for every analysis pass.
 
-All three passes (guest-program lint, pipeline sanitizer, architecture
-lint) report through one machine-readable shape so the CLI can render
-them uniformly (``--format text`` / ``--format json``) and CI can gate
-on severity without caring which pass produced a finding.
+All five passes (guest-program lint, pipeline sanitizer, architecture
+lint, kernel parity, handler restartability) report through one
+machine-readable shape so the CLI can render them uniformly
+(``--format text`` / ``--format json`` / ``--format sarif``) and CI
+can gate on severity without caring which pass produced a finding.
 """
 
 from __future__ import annotations

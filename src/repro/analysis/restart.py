@@ -1,0 +1,391 @@
+"""Restartability verification of exception-handler images.
+
+The paper's mechanisms all assume handlers are *restartable*: a handler
+may be squashed at any point (another thread's trap, a page-fault
+reversion, an overfetch squash) and re-fetched from its entry, so every
+prefix of its execution must be harmless to replay.  PR 5's differential
+fuzzer found two violations of this contract dynamically — both
+back-to-back-trap interleavings where a second handler generation ran
+against state the first generation had already committed.  This pass
+rejects the underlying *patterns* statically, before a fuzzer ever has
+to get lucky with an interleaving.
+
+The analysis is a small abstract interpreter over the assembled handler
+image, on top of the PR 2 CFG machinery (:mod:`repro.analysis.cfg`).
+Per basic block it tracks a four-component abstract state:
+
+``reverted``
+    *Must* analysis: has ``hardexc`` executed on **every** path to this
+    point?  Reversion re-arms the traditional mechanism, after which
+    non-idempotent effects (stores, latch writes) are safe — the
+    excepting instruction will restart under a mechanism that rebuilds
+    the state the handler consumed.
+``commits``
+    *May* analysis (capped at 2): the maximum number of commit-point
+    instructions (``tlbwr`` / ``mtdst``) executed on **some** path.  A
+    restartable handler commits exactly once per generation; a second
+    reachable commit is precisely the fuzzer's back-to-back-trap bug
+    class (a retry loop replaying a stale generation's commit, or an
+    old generation's ``mtdst`` renaming against the newer trap's
+    ``EXC_DST`` latch).
+``saved`` / ``restored``
+    ``SCRATCH`` save/restore pairing: ``saved`` is *may* (some path
+    wrote ``SCRATCH``), ``restored`` is *must* (every path since the
+    save read it back).  An exit with an unbalanced save leaks state
+    into the next handler generation.
+
+Diagnostics (all ``passname="restart"``):
+
+========================== ======== ==========================================
+code                       severity meaning
+========================== ======== ==========================================
+restart-clobber-user-reg   error    destination register outside the PAL
+                                    shadow bank (or any FP register, or the
+                                    implicit ``r30`` of ``call``/``calli``) —
+                                    live user state clobbered on replay
+restart-clobber-priv-latch error    ``mtpr`` to a hardware-latched exception
+                                    register (VA/PTBR/EXC_PC/PS/EXC_SRC/
+                                    EXC_DST) before reversion
+restart-store-unreverted   error    memory store reachable where reversion is
+                                    not guaranteed — replay applies it twice
+restart-recommit           error    second ``tlbwr``/``mtdst`` reachable on
+                                    one path (the two PR 5 bug patterns)
+restart-no-reti            error    reachable ``halt`` — the handler never
+                                    returns to the excepting instruction
+restart-save-not-restored  warning  ``reti`` reachable with a ``SCRATCH``
+                                    save not restored on every path
+restart-indirect-flow      warning  ``jmpi``/``calli``/``ret`` — successors
+                                    unbounded, analysis is conservative
+========================== ======== ==========================================
+
+Suppression uses the guest lint's comment syntax: ``; lint: ok(code)``
+on the flagged line.  Drive the pass with ``repro-lint restart`` (or the
+default ``repro-lint`` run, which covers every mechanism's handler
+images from :mod:`repro.exceptions.handler_code`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.guest import _scan_source
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import SRC_FP, SRC_INT, Instruction, Opcode
+from repro.isa.registers import SHADOW_BASE, PrivReg
+
+__all__ = [
+    "MECHANISMS",
+    "analyze_handler_image",
+    "analyze_handler_source",
+    "lint_mechanism_handlers",
+    "mechanism_images",
+]
+
+#: Instructions that commit the handler's work for this generation.
+COMMIT_OPS = frozenset({Opcode.TLBWR, Opcode.MTDST})
+
+#: Privileged registers latched by hardware at trap time.  Overwriting
+#: one before reversion destroys the state a replayed generation (or a
+#: back-to-back second trap) depends on.  ``SCRATCH`` is the one PAL
+#: register handlers may freely use.
+LATCHED_PRIV = frozenset(
+    {
+        PrivReg.VA,
+        PrivReg.PTBR,
+        PrivReg.EXC_PC,
+        PrivReg.PS,
+        PrivReg.EXC_SRC,
+        PrivReg.EXC_DST,
+    }
+)
+
+#: Indirect control flow the abstract interpreter cannot bound (``reti``
+#: is fine: it *exits* the image rather than jumping within it).
+_INDIRECT_UNSUPPORTED = frozenset({Opcode.JMPI, Opcode.CALLI, Opcode.RET})
+
+#: The five mechanism configurations (mirrors ``make_mechanism``).
+MECHANISMS = ("traditional", "multithreaded", "hardware", "quickstart", "perfect")
+
+#: Abstract state: (must_reverted, may_commits, may_saved, must_restored).
+_ENTRY_STATE = (0, 0, 0, 1)
+
+
+def _join(a: tuple[int, int, int, int], b: tuple[int, int, int, int]):
+    # must components meet (min), may components join (max).
+    return (min(a[0], b[0]), max(a[1], b[1]), max(a[2], b[2]), min(a[3], b[3]))
+
+
+def _transfer(state: tuple[int, int, int, int], inst: Instruction):
+    """Abstract effect of one instruction (no diagnostics)."""
+    reverted, commits, saved, restored = state
+    op = inst.op
+    if op is Opcode.HARDEXC:
+        reverted = 1
+    elif op in COMMIT_OPS:
+        commits = min(2, commits + 1)
+    elif op is Opcode.MTPR and inst.imm == PrivReg.SCRATCH:
+        saved, restored = 1, 0
+    elif op is Opcode.MFPR and inst.imm == PrivReg.SCRATCH:
+        restored = 1
+    return (reverted, commits, saved, restored)
+
+
+class _Reporter:
+    """Collects deduplicated diagnostics with line/label attribution."""
+
+    def __init__(
+        self,
+        unit: str,
+        file: str | None,
+        labels: Mapping[str, int],
+        pc_lines: Mapping[int, int],
+        suppress: Mapping[int, frozenset[str]] | Mapping[int, set[str]],
+    ) -> None:
+        self.unit = unit
+        self.file = file
+        self.pc_lines = pc_lines
+        self.suppress = suppress
+        self.diagnostics: list[Diagnostic] = []
+        self._seen: set[tuple[str, int]] = set()
+        self._label_at = sorted((pc, name) for name, pc in labels.items())
+
+    def _label_of(self, pc: int) -> str | None:
+        best = None
+        for start, name in self._label_at:
+            if start > pc:
+                break
+            best = name
+        return best
+
+    def emit(self, severity: Severity, code: str, pc: int, message: str) -> None:
+        if (code, pc) in self._seen:
+            return
+        if code in self.suppress.get(pc, frozenset()):
+            return
+        self._seen.add((code, pc))
+        self.diagnostics.append(
+            Diagnostic(
+                passname="restart",
+                code=code,
+                severity=severity,
+                unit=self.unit,
+                message=message,
+                pc=pc,
+                line=self.pc_lines.get(pc),
+                label=self._label_of(pc),
+                file=self.file,
+            )
+        )
+
+
+def _check_inst(
+    rep: _Reporter, pc: int, inst: Instruction, state: tuple[int, int, int, int]
+) -> None:
+    """Emit diagnostics for ``inst`` given the abstract state *before* it."""
+    reverted, commits, saved, restored = state
+    op = inst.op
+
+    if inst.dest_kind and inst.rd is not None:
+        if inst.dest_kind == SRC_FP:
+            rep.emit(
+                Severity.ERROR,
+                "restart-clobber-user-reg",
+                pc,
+                f"writes f{inst.rd}: FP registers have no PAL shadow bank, "
+                "so a squashed-and-replayed handler clobbers live user state",
+            )
+        elif inst.dest_kind == SRC_INT and 0 < inst.dest_idx < SHADOW_BASE:
+            rep.emit(
+                Severity.ERROR,
+                "restart-clobber-user-reg",
+                pc,
+                f"writes user register r{inst.rd} outside the PAL shadow "
+                "bank (only r1-r7 shadow; see pal_reg)",
+            )
+    if op in (Opcode.CALL, Opcode.CALLI):
+        rep.emit(
+            Severity.ERROR,
+            "restart-clobber-user-reg",
+            pc,
+            f"{op.value} writes the return address to user register r30, "
+            "which has no PAL shadow",
+        )
+
+    if op is Opcode.MTPR and inst.imm in LATCHED_PRIV and not reverted:
+        rep.emit(
+            Severity.ERROR,
+            "restart-clobber-priv-latch",
+            pc,
+            f"mtpr to {PrivReg(inst.imm).name} overwrites a hardware-latched "
+            "exception register before reversion; a back-to-back trap "
+            "re-enters the handler with corrupt latch state",
+        )
+
+    if inst.is_store and not reverted:
+        rep.emit(
+            Severity.ERROR,
+            "restart-store-unreverted",
+            pc,
+            "memory store reachable before the hardexc reversion point; "
+            "a squashed-and-replayed handler generation applies it twice",
+        )
+
+    if op in COMMIT_OPS and commits >= 1:
+        rep.emit(
+            Severity.ERROR,
+            "restart-recommit",
+            pc,
+            f"second {op.value} reachable on one path: a replayed or stale "
+            "handler generation would commit against the newer trap's "
+            "latches (the fuzz-found back-to-back-trap pattern)",
+        )
+
+    if op is Opcode.HALT:
+        rep.emit(
+            Severity.ERROR,
+            "restart-no-reti",
+            pc,
+            "handler terminates with halt instead of reti; the excepting "
+            "instruction never restarts",
+        )
+
+    if op is Opcode.RETI and saved and not restored:
+        rep.emit(
+            Severity.WARNING,
+            "restart-save-not-restored",
+            pc,
+            "reti reachable with SCRATCH saved but not restored on every "
+            "path; the next handler generation inherits a stale save",
+        )
+
+    if op in _INDIRECT_UNSUPPORTED:
+        rep.emit(
+            Severity.WARNING,
+            "restart-indirect-flow",
+            pc,
+            f"{op.value}: indirect control flow inside a handler image; "
+            "restartability is checked conservatively (every label becomes "
+            "an entry)",
+        )
+
+
+def analyze_handler_image(
+    insts: Sequence[Instruction],
+    labels: Mapping[str, int],
+    *,
+    unit: str,
+    file: str | None = None,
+    pc_lines: Mapping[int, int] | None = None,
+    suppress: Mapping[int, frozenset[str]] | None = None,
+) -> list[Diagnostic]:
+    """Run the restartability checks over one assembled handler image."""
+    rep = _Reporter(unit, file, labels, pc_lines or {}, suppress or {})
+    if not insts:
+        return rep.diagnostics
+    cfg = build_cfg(insts, roots=(0,), labels=labels)
+
+    # Fixpoint over reachable blocks.  Non-entry roots (labels promoted
+    # to roots by indirect flow) start from the entry state too — the
+    # accompanying restart-indirect-flow warning flags the imprecision.
+    in_state: dict[int, tuple[int, int, int, int]] = {}
+    worklist: list[int] = []
+    for root in cfg.roots:
+        if root not in in_state:
+            in_state[root] = _ENTRY_STATE
+            worklist.append(root)
+    while worklist:
+        start = worklist.pop()
+        block = cfg.blocks[start]
+        state = in_state[start]
+        for pc in range(block.start, block.end):
+            state = _transfer(state, insts[pc])
+        for succ in block.succs:
+            merged = state if succ not in in_state else _join(in_state[succ], state)
+            if merged != in_state.get(succ):
+                in_state[succ] = merged
+                worklist.append(succ)
+
+    # Reporting sweep with the converged states.
+    for start in sorted(in_state):
+        block = cfg.blocks[start]
+        state = in_state[start]
+        for pc in range(block.start, block.end):
+            _check_inst(rep, pc, insts[pc], state)
+            state = _transfer(state, insts[pc])
+    return rep.diagnostics
+
+
+def analyze_handler_source(
+    text: str, *, unit: str, file: str | None = None
+) -> list[Diagnostic]:
+    """Assemble handler source and verify restartability.
+
+    Honors ``; lint: ok(code)`` suppression comments, mirroring the
+    guest lint.  Assembly errors are reported as ``restart/asm-error``
+    rather than raised, so one broken fixture cannot abort a sweep.
+    """
+    pc_suppress, pc_lines = _scan_source(text)
+    try:
+        insts, labels = assemble(text, privileged=True)
+    except AssemblerError as exc:
+        return [
+            Diagnostic(
+                passname="restart",
+                code="asm-error",
+                severity=Severity.ERROR,
+                unit=unit,
+                message=str(exc),
+                line=exc.line_no if hasattr(exc, "line_no") else None,
+                file=file,
+            )
+        ]
+    return analyze_handler_image(
+        insts,
+        labels,
+        unit=unit,
+        file=file,
+        pc_lines=pc_lines,
+        suppress=pc_suppress,
+    )
+
+
+def mechanism_images(mechanism: str) -> dict[str, str]:
+    """Handler images (name -> source) a mechanism can execute.
+
+    Every trapping mechanism fetches the same PAL images installed by
+    :func:`repro.exceptions.handler_code.install_handlers`; the perfect
+    machine never traps, so it has none.  Discovery mirrors the guest
+    lint: any ``*_SOURCE`` string in :mod:`~repro.exceptions.handler_code`
+    is an image.
+    """
+    if mechanism == "perfect":
+        return {}
+    from repro.exceptions import handler_code
+
+    images: dict[str, str] = {}
+    for name in sorted(dir(handler_code)):
+        if name.endswith("_SOURCE"):
+            value = getattr(handler_code, name)
+            if isinstance(value, str):
+                images[name.removesuffix("_SOURCE").lower()] = value
+    return images
+
+
+def lint_mechanism_handlers(
+    mechanisms: Iterable[str] = MECHANISMS,
+) -> list[Diagnostic]:
+    """Verify restartability of every mechanism's handler images."""
+    import repro.exceptions.handler_code as handler_code
+
+    file = handler_code.__file__
+    diagnostics: list[Diagnostic] = []
+    for mech in mechanisms:
+        for image, source in mechanism_images(mech).items():
+            diagnostics.extend(
+                analyze_handler_source(
+                    source, unit=f"restart:{mech}:{image}", file=file
+                )
+            )
+    return diagnostics

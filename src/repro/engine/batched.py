@@ -94,6 +94,25 @@ class _CellView:
 class SweepBatch:
     """N independent sweep cells advanced in lockstep (see module doc)."""
 
+    #: Every per-cell structure-of-arrays column, declared for the
+    #: snapshot/digest surface.  The parity pass (repro-lint parity)
+    #: checks that __init__ allocates exactly these columns and that
+    #: each is consumed outside __init__ — an undeclared or unread
+    #: column is state the digest oracle could never compare.
+    _SOA_COLUMNS = (
+        "specs",
+        "phase",
+        "stop_cycle",
+        "start_cycle",
+        "start_fills",
+        "start_user",
+        "sims",
+        "cores",
+        "watches",
+        "cell_results",
+        "live",
+    )
+
     def __init__(self, specs, core_cls=None, quantum: int = 4096) -> None:
         if quantum < 1:
             raise ValueError(f"quantum must be positive, got {quantum}")

@@ -1,0 +1,12 @@
+; PR 5 bug pattern (a): stale-generation replay.  The retry loop
+; branches back across the tlbwr, so remnants of an earlier handler
+; generation can re-execute the commit ahead of the active generation
+; after an executed reti -- the first fuzz-found back-to-back-trap bug.
+entry:
+    mfpr  r1, VA
+    mfpr  r2, PTBR
+    ld    r5, 0(r2)
+    and   r6, r5, 1
+    tlbwr r1, r5
+    beq   r6, r0, entry
+    reti

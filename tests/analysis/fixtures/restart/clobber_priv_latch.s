@@ -1,0 +1,7 @@
+; Broken handler: overwrites a hardware-latched exception register
+; (EXC_PC) before reversion.  A back-to-back trap re-enters the handler
+; with a corrupt return PC.
+entry:
+    mfpr  r1, VA
+    mtpr  EXC_PC, r1
+    reti

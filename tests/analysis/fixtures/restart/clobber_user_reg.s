@@ -1,0 +1,8 @@
+; Broken handler: writes registers outside the PAL shadow bank.
+; r1-r7 shadow onto indices 33-39 (pal_reg); r9/r12 pass through, so a
+; squashed-and-replayed handler clobbers live user state.
+entry:
+    mfpr  r1, VA
+    li    r9, 1
+    add   r12, r9, r9
+    reti

@@ -1,0 +1,7 @@
+; Handler with indirect control flow: successors are unbounded, so the
+; restartability analysis is conservative (warning).
+entry:
+    mfpr  r1, VA
+    jmpi  r1
+tail:
+    reti

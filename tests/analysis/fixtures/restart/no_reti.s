@@ -1,0 +1,5 @@
+; Broken handler: terminates with halt, so the excepting instruction
+; never restarts.
+entry:
+    mfpr  r1, VA
+    halt

@@ -1,0 +1,9 @@
+; Suspicious handler: saves into SCRATCH but one exit path skips the
+; restore, leaking state into the next handler generation (warning).
+entry:
+    mfpr  r1, VA
+    mtpr  SCRATCH, r1
+    beq   r1, r0, skip
+    mfpr  r2, SCRATCH
+skip:
+    reti

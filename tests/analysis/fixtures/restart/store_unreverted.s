@@ -1,0 +1,9 @@
+; Broken handler: memory store before the hardexc reversion point.
+; If the handler is squashed after the store retires (back-to-back
+; trap), the replayed generation applies the store a second time.
+entry:
+    mfpr  r1, VA
+    mfpr  r2, PTBR
+    st    r1, 0(r2)
+    hardexc
+    reti

@@ -1,0 +1,6 @@
+; A deliberate latch write, acknowledged with the guest lint's
+; suppression comment syntax -- must lint clean.
+entry:
+    mfpr  r1, VA
+    mtpr  EXC_PC, r1   ; lint: ok(restart-clobber-priv-latch)
+    reti

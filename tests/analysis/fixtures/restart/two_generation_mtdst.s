@@ -1,0 +1,13 @@
+; PR 5 bug pattern (b): two-generation mtdst.  A path exists on which
+; mtdst executes twice, so an old generation's tail renames its result
+; against the *newer* trap's EXC_DST latch -- the second fuzz-found
+; back-to-back-trap bug.
+entry:
+    mfpr  r1, EXC_SRC
+    mtdst r1
+    bne   r1, r0, second_gen
+    reti
+second_gen:
+    mfpr  r2, EXC_SRC
+    mtdst r2
+    reti

@@ -1,0 +1,129 @@
+"""Tests for the restartability pass (``repro.analysis.restart``).
+
+Two halves:
+
+* the shipped handler images for every mechanism must verify clean, and
+* each diagnostic has a broken fixture under
+  ``tests/analysis/fixtures/restart/`` that must trip it -- including the
+  two back-to-back-trap bugs found by the PR 5 fuzzer, which this pass
+  must now reject statically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.restart import (
+    MECHANISMS,
+    analyze_handler_source,
+    lint_mechanism_handlers,
+    mechanism_images,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "restart"
+
+
+def _lint_fixture(name):
+    path = FIXTURES / name
+    return analyze_handler_source(path.read_text(), unit=path.stem, file=str(path))
+
+
+class TestShippedHandlers:
+    def test_all_mechanisms_verify_clean(self):
+        assert lint_mechanism_handlers() == []
+
+    @pytest.mark.parametrize("mechanism", MECHANISMS)
+    def test_each_mechanism_clean(self, mechanism):
+        assert lint_mechanism_handlers([mechanism]) == []
+
+    def test_perfect_has_no_images(self):
+        assert mechanism_images("perfect") == {}
+
+    @pytest.mark.parametrize(
+        "mechanism", [m for m in MECHANISMS if m != "perfect"]
+    )
+    def test_trap_mechanisms_expose_images(self, mechanism):
+        images = mechanism_images(mechanism)
+        assert images, f"{mechanism} should ship at least one handler image"
+        for source in images.values():
+            assert "reti" in source
+
+
+class TestBrokenFixtures:
+    """Each diagnostic code must fire on its dedicated broken handler."""
+
+    @pytest.mark.parametrize(
+        ("fixture", "code", "severity"),
+        [
+            ("clobber_user_reg.s", "restart-clobber-user-reg", Severity.ERROR),
+            ("store_unreverted.s", "restart-store-unreverted", Severity.ERROR),
+            ("clobber_priv_latch.s", "restart-clobber-priv-latch", Severity.ERROR),
+            ("no_reti.s", "restart-no-reti", Severity.ERROR),
+            ("save_not_restored.s", "restart-save-not-restored", Severity.WARNING),
+            ("indirect_flow.s", "restart-indirect-flow", Severity.WARNING),
+        ],
+    )
+    def test_fixture_trips_expected_code(self, fixture, code, severity):
+        diags = _lint_fixture(fixture)
+        assert diags, f"{fixture} should produce diagnostics"
+        assert {d.code for d in diags} == {code}
+        assert all(d.severity is severity for d in diags)
+
+    def test_clobber_flags_every_pass_through_register(self):
+        # r9 and r12 both bypass the PAL shadow bank: two distinct sites.
+        diags = _lint_fixture("clobber_user_reg.s")
+        assert [d.pc for d in diags] == [1, 2]
+
+    def test_store_flagged_only_before_reversion(self):
+        # The store sits before hardexc, so only the store itself fires;
+        # the reversion point is not double-reported.
+        diags = _lint_fixture("store_unreverted.s")
+        assert len(diags) == 1
+        assert diags[0].pc == 2
+
+
+class TestBackToBackTrapRegressions:
+    """The two PR 5 fuzz-found bugs, rejected statically."""
+
+    def test_stale_generation_retry_loop(self):
+        # Pattern (a): a retry branch back across tlbwr lets a stale
+        # handler generation re-commit a TLB write.
+        diags = _lint_fixture("back_to_back_stale.s")
+        assert [d.code for d in diags] == ["restart-recommit"]
+        assert diags[0].is_error
+        assert "tlbwr" in diags[0].message.lower() or "commit" in diags[0].message.lower()
+
+    def test_two_generation_mtdst(self):
+        # Pattern (b): a path exists executing mtdst twice, renaming an
+        # old generation's result against the newer trap's EXC_DST latch.
+        diags = _lint_fixture("two_generation_mtdst.s")
+        assert [d.code for d in diags] == ["restart-recommit"]
+        assert diags[0].is_error
+        # The second mtdst (on the second_gen path) is the flagged site.
+        assert diags[0].pc == 5
+        assert diags[0].label == "second_gen"
+
+
+class TestSuppression:
+    def test_inline_ok_comment_suppresses(self):
+        assert _lint_fixture("suppressed.s") == []
+
+    def test_suppression_is_code_specific(self):
+        source = (
+            "entry:\n"
+            "    mfpr  r1, VA\n"
+            "    mtpr  EXC_PC, r1   ; lint: ok(some-other-code)\n"
+            "    reti\n"
+        )
+        diags = analyze_handler_source(source, unit="t", file="<test>")
+        assert [d.code for d in diags] == ["restart-clobber-priv-latch"]
+
+
+class TestMalformedSource:
+    def test_assembler_error_becomes_diagnostic(self):
+        diags = analyze_handler_source("entry:\n    mtpr r1\n", unit="t", file="<t>")
+        assert [d.code for d in diags] == ["asm-error"]
+        assert diags[0].is_error
