@@ -106,6 +106,26 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "engine",
         }
     ),
+    # serve sits at the top of the runtime stack, beside experiments:
+    # the service drives sim.parallel's cells/batches/cache, derives
+    # warm checkpoints, and embeds store stats in obs manifests.  It
+    # must never import experiments or analysis, and nothing below it
+    # may import serve (their allowed sets simply omit it).
+    "serve": frozenset(
+        {
+            "isa",
+            "memory",
+            "branch",
+            "pipeline",
+            "exceptions",
+            "workloads",
+            "sim",
+            "obs",
+            "checkpoint",
+            "engine",
+        }
+    ),
+    # experiments -> serve is the lazily-imported --server client path.
     "experiments": frozenset(
         {
             "isa",
@@ -119,6 +139,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "obs",
             "checkpoint",
             "engine",
+            "serve",
         }
     ),
     "analysis": frozenset(

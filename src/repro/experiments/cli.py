@@ -68,6 +68,14 @@ def main(argv: list[str] | None = None) -> int:
         "'reference'); backends are verified bit-identical, so this "
         "changes wall-clock only, never results",
     )
+    parser.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="resolve experiment grids against a running repro-serve "
+        "sweep service instead of local worker processes (results are "
+        "bit-identical; see docs/SERVICE.md)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None:
         import os
@@ -85,6 +93,19 @@ def main(argv: list[str] | None = None) -> int:
             os.environ["REPRO_ENGINE"] = resolve_engine(args.engine)
         except ValueError as exc:
             parser.error(str(exc))
+    if args.server is not None:
+        import os
+
+        from repro.serve.client import ServeError, SweepClient
+
+        # Probe up front so a dead or mistyped server is an argparse
+        # error, not a mid-experiment stack trace; the environment then
+        # carries the URL to every grid (experiments.common).
+        try:
+            SweepClient(args.server).stats()
+        except (ServeError, OSError) as exc:
+            parser.error(f"--server {args.server}: {exc}")
+        os.environ["REPRO_SERVER"] = args.server
 
     names = ALL_ORDER if args.experiment == "all" else (args.experiment,)
     for name in names:

@@ -204,7 +204,17 @@ def penalty_table(
         )
         specs = [cell(base.with_mechanism("perfect"))]
         specs += [cell(config) for config in configs.values()]
-        outcomes = run_cells(specs)
+        server = os.environ.get("REPRO_SERVER", "").strip()
+        if server:
+            # Resolve the grid against a sweep service
+            # (repro-experiments --server URL; see docs/SERVICE.md).
+            # Results are bit-identical to the local path: the server
+            # runs the same engine batches under the same cache keys.
+            from repro.serve.client import run_cells_via_server
+
+            outcomes = run_cells_via_server(server, specs)
+        else:
+            outcomes = run_cells(specs)
         perfect = outcomes[0]
         results = dict(zip(labels, outcomes[1:]))
 

@@ -54,6 +54,7 @@ def build_manifest(
     attribution: "AttributionTable | None" = None,
     workload: str | tuple[str, ...] | None = None,
     checkpoint: dict | None = None,
+    cache_stats: dict | None = None,
 ) -> dict:
     """Assemble the manifest for one finished run."""
     # Local import: repro.sim.parallel imports the simulator stack, which
@@ -98,6 +99,11 @@ def build_manifest(
             **attribution.as_dict(),
             "per_miss": attribution.per_miss(result.committed_fills),
         }
+    if cache_stats is not None:
+        # Result-store counters at publish time (hits/misses/evictions/
+        # in-flight dedupes), written by the content-addressed store the
+        # sweep service runs on (docs/SERVICE.md).
+        manifest["cache"] = dict(cache_stats)
     return manifest
 
 
@@ -127,6 +133,17 @@ def validate_manifest(manifest: dict) -> list[str]:
             lineage.get("hash"), str
         ):
             errors.append("checkpoint lineage must be null or carry a hash")
+    cache_stats = manifest.get("cache")
+    if cache_stats is not None:
+        if not isinstance(cache_stats, dict):
+            errors.append("cache stats must be an object")
+        else:
+            for key, value in cache_stats.items():
+                if not isinstance(value, int) or value < 0:
+                    errors.append(
+                        f"cache stat {key!r} must be a non-negative "
+                        f"integer, got {value!r}"
+                    )
     attribution = manifest.get("attribution")
     if attribution is not None:
         table = attribution.get("cycles")

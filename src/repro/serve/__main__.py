@@ -1,0 +1,10 @@
+"""``python -m repro.serve`` -> the ``repro-serve`` CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.serve.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

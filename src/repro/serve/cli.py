@@ -1,0 +1,230 @@
+"""``repro-serve`` / ``python -m repro.serve``: the sweep service CLI.
+
+Subcommands:
+
+``serve``
+    Run the HTTP sweep service in the foreground until interrupted.
+``sweep``
+    Submit one sweep (grid flags or a JSON spec file) to a running
+    server and print its NDJSON stream.
+``stats``
+    Print a running server's ``/stats``.
+``smoke``
+    Self-contained load check (the CI job): start an in-process server
+    on an ephemeral port, fire N concurrent clients over one
+    overlapping grid, and assert the service contract -- in-flight
+    dedupe collapsed the grid (simulated < requested), the store
+    reports hits, every client saw identical cycles, a follow-up sweep
+    is served entirely warm, and payload results are bit-identical to
+    running the cells serially in-process.
+
+Ops knobs (``REPRO_SERVE_*``) are documented in ``docs/SERVICE.md``;
+flags override the environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+import sys
+import tempfile
+
+
+def _add_server_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8712,
+        help="TCP port (0 picks an ephemeral one)",
+    )
+    parser.add_argument(
+        "--pools", type=int, default=None, metavar="N",
+        help="worker-pool shards (default REPRO_SERVE_POOLS or 1; "
+        "0 runs cells inline on threads)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="processes per pool (default REPRO_SERVE_WORKERS or "
+        "cpu_count/pools)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content store location (default REPRO_CACHE_DIR or "
+        "~/.cache/repro-sim)",
+    )
+    parser.add_argument(
+        "--cache-entries", type=int, default=None, metavar="N",
+        help="LRU-evict above N cached cells (default "
+        "REPRO_SERVE_CACHE_ENTRIES; 0 = unlimited)",
+    )
+    parser.add_argument(
+        "--cache-mb", type=int, default=None, metavar="MB",
+        help="LRU-evict above MB of pickles (default "
+        "REPRO_SERVE_CACHE_MB; 0 = unlimited)",
+    )
+
+
+def _build_server(args: argparse.Namespace):
+    from repro.serve.http import SweepHTTPServer
+    from repro.serve.service import SweepService
+    from repro.serve.store import ContentStore
+
+    store = ContentStore(
+        directory=args.cache_dir,
+        max_entries=args.cache_entries,
+        max_bytes=None if args.cache_mb is None else args.cache_mb * 1024 * 1024,
+    )
+    service = SweepService(store=store, pools=args.pools, workers=args.workers)
+    return SweepHTTPServer(service, host=args.host, port=args.port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    async def main() -> int:
+        server = _build_server(args)
+        await server.start()
+        print(
+            f"repro-serve: listening on http://{server.host}:{server.port} "
+            f"(pools={server.service.pools}, workers={server.service.workers}, "
+            f"store={server.service.store.directory})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        print("repro-serve: interrupted, shutting down")
+        return 0
+
+
+def _sweep_payload(args: argparse.Namespace) -> dict:
+    if args.spec:
+        with open(args.spec) as fh:
+            return json.load(fh)
+    return {
+        "workloads": args.workload,
+        "mechanisms": args.mechanism,
+        "user_insts": args.insts,
+        "warmup_insts": args.warmup,
+        "warm": args.warm,
+        "include_results": False,
+    }
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeError, SweepClient
+
+    try:
+        for event in SweepClient(args.server).sweep(_sweep_payload(args)):
+            print(json.dumps(event, sort_keys=True), flush=True)
+    except ServeError as exc:
+        print(f"repro-serve sweep: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeError, SweepClient
+
+    try:
+        print(json.dumps(SweepClient(args.server).stats(), indent=2))
+    except ServeError as exc:
+        print(f"repro-serve stats: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    from repro.serve.smoke import run_smoke
+
+    if args.cache_dir is None:
+        args.cache_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    report = asyncio.run(run_smoke(args))
+    print(json.dumps(dataclasses.asdict(report), indent=2, sort_keys=True))
+    if report.failures:
+        for failure in report.failures:
+            print(f"repro-serve smoke: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"repro-serve smoke: OK ({report.clients} clients, "
+        f"{report.cells_requested} cells requested, "
+        f"{report.cells_simulated} simulated)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Sharded sweep service over the content-addressed "
+        "result store (docs/SERVICE.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the HTTP service")
+    _add_server_args(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    sweep = sub.add_parser("sweep", help="submit one sweep to a server")
+    sweep.add_argument("--server", required=True, metavar="URL")
+    sweep.add_argument("--spec", metavar="FILE", help="JSON sweep spec")
+    sweep.add_argument(
+        "--workload", action="append", default=None,
+        help="grid workload (repeatable; default compress)",
+    )
+    sweep.add_argument(
+        "--mechanism", action="append", default=None,
+        help="grid mechanism (repeatable; default multithreaded)",
+    )
+    sweep.add_argument("--insts", type=int, default=12_000)
+    sweep.add_argument("--warmup", type=int, default=3_000)
+    sweep.add_argument(
+        "--warm", action="store_true",
+        help="share warm checkpoints across the grid's workload families",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    stats = sub.add_parser("stats", help="print a server's /stats")
+    stats.add_argument("--server", required=True, metavar="URL")
+    stats.set_defaults(func=_cmd_stats)
+
+    smoke = sub.add_parser(
+        "smoke", help="self-contained concurrency/dedupe check (CI)"
+    )
+    _add_server_args(smoke)
+    smoke.add_argument(
+        "--clients", type=int, default=100,
+        help="concurrent sweep clients to fire (default 100)",
+    )
+    smoke.add_argument(
+        "--workload", action="append", default=None,
+        help="grid workload (repeatable; default compress+murphi)",
+    )
+    smoke.add_argument(
+        "--mechanism", action="append", default=None,
+        help="grid mechanism (repeatable; default "
+        "traditional+multithreaded)",
+    )
+    smoke.add_argument("--insts", type=int, default=500)
+    smoke.add_argument("--warmup", type=int, default=120)
+    smoke.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "workload", None) is not None and not args.workload:
+        args.workload = None
+    if args.command == "sweep":
+        args.workload = args.workload or ["compress"]
+        args.mechanism = args.mechanism or ["multithreaded"]
+    if args.command == "smoke":
+        args.workload = args.workload or ["compress", "murphi"]
+        args.mechanism = args.mechanism or ["traditional", "multithreaded"]
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

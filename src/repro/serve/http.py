@@ -1,0 +1,275 @@
+"""Asyncio HTTP/1.1 front end for the sweep service (stdlib only).
+
+A deliberately small server -- request line, headers, Content-Length
+body -- because its job is narrow: accept sweep specs as JSON, stream
+newline-delimited JSON back, and expose counters.  Routes:
+
+``POST /sweep``
+    Body: a sweep spec (see :func:`repro.serve.service.expand_sweep`).
+    Response: ``application/x-ndjson``, chunked -- one ``cell`` line per
+    resolved cell *as it completes* (ragged order, ``index`` gives the
+    spec position), then one ``summary`` line.  Cell lines carry
+    headline metrics plus, unless the request set
+    ``"include_results": false``, the full pickled
+    :class:`~repro.sim.simulator.SimResult` (base64) so clients
+    reconstruct bit-identical results.
+``GET /stats``
+    Service + store counters as JSON (hits/misses/evictions/in-flight
+    dedupes, pool shape, uptime).
+``GET /healthz``
+    Liveness probe.
+
+Malformed specs get a 400 with a JSON error body; an internal failure
+mid-stream becomes a terminal ``{"kind": "error"}`` line (the status
+line has already been sent).  One connection handles one request
+(``Connection: close``), which keeps the protocol state machine
+trivial -- concurrency comes from asyncio, not keep-alive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import pickle
+
+from repro.serve.service import (
+    CellOutcome,
+    SweepRequestError,
+    SweepService,
+    expand_sweep,
+    summarize,
+)
+
+#: Largest accepted request body (sweep specs are small; 8 MiB leaves
+#: room for huge explicit cell lists without inviting memory abuse).
+MAX_BODY = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def cell_line(
+    index: int, outcome: CellOutcome, include_results: bool
+) -> dict:
+    """The NDJSON line for one resolved cell."""
+    line = {
+        "kind": "cell",
+        "index": index,
+        "key": outcome.key,
+        "workload": list(outcome.spec.workload)
+        if isinstance(outcome.spec.workload, tuple)
+        else outcome.spec.workload,
+        "mechanism": outcome.spec.config.mechanism,
+        "cycles": outcome.result.cycles,
+        "retired_user": outcome.result.retired_user,
+        "committed_fills": outcome.result.committed_fills,
+        "ipc": round(outcome.result.ipc, 6),
+        "cached": outcome.cached,
+        "deduped": outcome.deduped,
+    }
+    if include_results:
+        line["result_b64"] = base64.b64encode(
+            pickle.dumps(outcome.result)
+        ).decode("ascii")
+    return line
+
+
+class SweepHTTPServer:
+    """Bind a :class:`SweepService` to a TCP port."""
+
+    def __init__(
+        self,
+        service: SweepService | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service if service is not None else SweepService()
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.close()
+
+    # -- one connection, one request ------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+            except _HTTPError as exc:
+                await self._respond_json(
+                    writer, exc.status, {"error": exc.message}
+                )
+                return
+            if target == "/healthz" and method == "GET":
+                await self._respond_json(writer, 200, {"ok": True})
+            elif target == "/stats" and method == "GET":
+                await self._respond_json(
+                    writer, 200, self.service.stats_dict()
+                )
+            elif target == "/sweep":
+                if method != "POST":
+                    await self._respond_json(
+                        writer, 405, {"error": "POST /sweep"}
+                    )
+                else:
+                    await self._handle_sweep(writer, body)
+            else:
+                await self._respond_json(
+                    writer, 404, {"error": f"no route {method} {target}"}
+                )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-stream; nothing to salvage
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        try:
+            request_line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            raise _HTTPError(400, "request line too long") from None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HTTPError(400, "malformed request line")
+        method, target, _version = parts
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HTTPError(400, "bad Content-Length") from None
+        if content_length > MAX_BODY:
+            raise _HTTPError(413, f"body over {MAX_BODY} bytes")
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return method, target, body
+
+    async def _handle_sweep(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await self._respond_json(
+                writer, 400, {"error": f"body is not JSON: {exc}"}
+            )
+            return
+        try:
+            specs, options = expand_sweep(payload)
+        except SweepRequestError as exc:
+            await self._respond_json(writer, 400, {"error": str(exc)})
+            return
+
+        await self._send_headers(
+            writer,
+            200,
+            {
+                "Content-Type": "application/x-ndjson",
+                "Transfer-Encoding": "chunked",
+            },
+        )
+        outcomes: list[CellOutcome | None] = [None] * len(specs)
+        try:
+            async for index, outcome in self.service.stream_cells(
+                specs, warm=options["warm"]
+            ):
+                outcomes[index] = outcome
+                await self._send_chunk(
+                    writer,
+                    cell_line(index, outcome, options["include_results"]),
+                )
+            await self._send_chunk(
+                writer, summarize([o for o in outcomes if o is not None])
+            )
+        except Exception as exc:  # noqa: BLE001 - stream must terminate
+            await self._send_chunk(
+                writer,
+                {"kind": "error", "error": f"{type(exc).__name__}: {exc}"},
+            )
+        await self._end_chunks(writer)
+
+    # -- wire helpers ----------------------------------------------------
+    @staticmethod
+    async def _send_headers(
+        writer: asyncio.StreamWriter, status: int, headers: dict[str, str]
+    ) -> None:
+        lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}"]
+        lines += [f"{k}: {v}" for k, v in headers.items()]
+        lines.append("Connection: close")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+
+    @staticmethod
+    async def _send_chunk(writer: asyncio.StreamWriter, obj: dict) -> None:
+        data = (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+        writer.write(f"{len(data):x}\r\n".encode("latin-1"))
+        writer.write(data)
+        writer.write(b"\r\n")
+        await writer.drain()
+
+    @staticmethod
+    async def _end_chunks(writer: asyncio.StreamWriter) -> None:
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    async def _respond_json(
+        self, writer: asyncio.StreamWriter, status: int, obj: dict
+    ) -> None:
+        data = (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+        await self._send_headers(
+            writer,
+            status,
+            {
+                "Content-Type": "application/json",
+                "Content-Length": str(len(data)),
+            },
+        )
+        writer.write(data)
+        await writer.drain()
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message

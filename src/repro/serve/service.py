@@ -1,0 +1,553 @@
+"""The sweep service: sharded pools, in-flight dedupe, warm lineage.
+
+:class:`SweepService` is the long-running heart of ``repro-serve``.  It
+accepts sweep specs (a suite x mechanism x config grid, or an explicit
+cell list), expands and validates them into
+:class:`~repro.sim.parallel.CellSpec` cells, and resolves every cell
+through three layers, cheapest first:
+
+1. the **content-addressed store** (:mod:`repro.serve.store`) -- a warm
+   cell costs one pickle read;
+2. the **in-flight table** -- a cell some other request is already
+   simulating is awaited, not re-run, so N clients asking for the same
+   cell cost one simulation (the ``inflight_hits`` counter);
+3. the **worker pools** -- remaining cells are sharded by content
+   address across one or more persistent ``ProcessPoolExecutor`` pools
+   and claimed in engine batches
+   (:func:`~repro.sim.parallel.run_cell_batch`), exactly like the
+   one-shot runner, so results are bit-identical to ``run_cells`` by
+   construction.
+
+Warm-checkpoint lineage rides along: a sweep submitted with
+``"warm": true`` is rewritten through
+:func:`~repro.sim.parallel.derive_warm_cells`, so a grid sharing a
+workload-family prefix with anything previously simulated (served or
+local) starts from the saved warm snapshot instead of re-warming, and
+the checkpoint hash keys the cell's content address.
+
+Results are deterministic simulations, so every layer is transparent:
+*where* a cell's result came from (store, another request's in-flight
+run, a pool worker, or the serial fallback) never changes *what* it is.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import AsyncIterator
+
+from repro.serve.store import ContentStore, _env_int
+from repro.sim.config import MECHANISMS, FUPool, MachineConfig
+from repro.sim.parallel import (
+    CellSpec,
+    _worker_env,
+    _worker_init,
+    derive_warm_cells,
+    pool_batch_size,
+    run_cell,
+    run_cell_batch,
+)
+from repro.sim.simulator import SimResult
+from repro.workloads.suite import BENCHMARK_NAMES
+
+
+class SweepRequestError(ValueError):
+    """A malformed or oversized sweep spec (an HTTP 400, not a crash)."""
+
+
+# ----------------------------------------------------------------------
+# Sweep-spec codec: JSON <-> CellSpec, validated for the trust boundary.
+
+def _build_dataclass(cls, data: dict, where: str):
+    if not isinstance(data, dict):
+        raise SweepRequestError(f"{where} must be an object, got {data!r}")
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - names)
+    if unknown:
+        raise SweepRequestError(
+            f"unknown {where} key(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(names))}"
+        )
+    try:
+        return cls(**data)
+    except (TypeError, ValueError) as exc:
+        raise SweepRequestError(f"bad {where}: {exc}") from None
+
+
+def config_to_dict(config: MachineConfig) -> dict:
+    """JSON-able form of a machine configuration (asdict, recursively)."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: dict) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from JSON, rejecting unknown
+    keys and bad values with :class:`SweepRequestError`."""
+    from repro.exceptions.limits import LimitKnobs
+    from repro.memory.hierarchy import HierarchyConfig
+
+    if not isinstance(data, dict):
+        raise SweepRequestError(f"config must be an object, got {data!r}")
+    data = dict(data)
+    if isinstance(data.get("fu_pool"), dict):
+        data["fu_pool"] = _build_dataclass(FUPool, data["fu_pool"], "fu_pool")
+    if isinstance(data.get("hierarchy"), dict):
+        data["hierarchy"] = _build_dataclass(
+            HierarchyConfig, data["hierarchy"], "hierarchy"
+        )
+    if isinstance(data.get("limits"), dict):
+        data["limits"] = _build_dataclass(LimitKnobs, data["limits"], "limits")
+    return _build_dataclass(MachineConfig, data, "config")
+
+
+def _check_workload(workload) -> str | tuple[str, ...]:
+    names = (
+        (workload,) if isinstance(workload, str) else tuple(workload or ())
+    )
+    if not names:
+        raise SweepRequestError("workload must be a name or list of names")
+    for name in names:
+        if name not in BENCHMARK_NAMES:
+            raise SweepRequestError(
+                f"unknown workload {name!r}; known: "
+                f"{', '.join(BENCHMARK_NAMES)}"
+            )
+    return names[0] if isinstance(workload, str) else names
+
+
+def _check_length(value, name: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise SweepRequestError(
+            f"{name} must be a non-negative integer, got {value!r}"
+        )
+    return value
+
+
+def spec_to_dict(spec: CellSpec) -> dict:
+    """JSON-able form of one cell (the client's wire format)."""
+    return {
+        "workload": list(spec.workload)
+        if isinstance(spec.workload, tuple)
+        else spec.workload,
+        "config": config_to_dict(spec.config),
+        "user_insts": spec.user_insts,
+        "warmup_insts": spec.warmup_insts,
+        "max_cycles": spec.max_cycles,
+        "warm_hash": spec.warm_hash,
+    }
+
+
+def spec_from_dict(data: dict) -> CellSpec:
+    """Rebuild one validated :class:`CellSpec` from its wire format.
+
+    ``warm_from`` is deliberately not accepted: a checkpoint *location*
+    is meaningless (and unsafe to trust) across the HTTP boundary.  A
+    client that wants warm sharing sets the sweep-level ``warm`` flag
+    and lets the service derive its own checkpoints.
+    """
+    if not isinstance(data, dict):
+        raise SweepRequestError(f"cell must be an object, got {data!r}")
+    allowed = {
+        "workload", "config", "user_insts", "warmup_insts", "max_cycles",
+        "warm_hash",
+    }
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise SweepRequestError(f"unknown cell key(s) {', '.join(unknown)}")
+    if "workload" not in data:
+        raise SweepRequestError("cell is missing its workload")
+    warm_hash = data.get("warm_hash")
+    if warm_hash is not None and not isinstance(warm_hash, str):
+        raise SweepRequestError(f"warm_hash must be a string, got {warm_hash!r}")
+    return CellSpec(
+        workload=_check_workload(data["workload"]),
+        config=config_from_dict(data.get("config") or {}),
+        user_insts=_check_length(data.get("user_insts", 12_000), "user_insts"),
+        warmup_insts=_check_length(
+            data.get("warmup_insts", 3_000), "warmup_insts"
+        ),
+        max_cycles=_check_length(
+            data.get("max_cycles", 8_000_000), "max_cycles"
+        ),
+        warm_hash=warm_hash,
+    )
+
+
+def max_request_cells() -> int:
+    """Largest grid one request may expand to (``REPRO_SERVE_MAX_CELLS``,
+    default 4096; 0 = unlimited)."""
+    return _env_int("REPRO_SERVE_MAX_CELLS", 4096)
+
+
+def expand_sweep(payload: dict) -> tuple[list[CellSpec], dict]:
+    """Validate a sweep request and expand it into cells.
+
+    Two shapes are accepted: a *grid* (``workloads`` x ``mechanisms`` x
+    ``configs`` with shared run lengths) and an explicit ``cells`` list
+    (the experiment clients' shape).  Returns ``(specs, options)`` where
+    options carries the request-level flags (``warm``,
+    ``include_results``).
+    """
+    if not isinstance(payload, dict):
+        raise SweepRequestError("sweep spec must be a JSON object")
+    allowed = {
+        "cells", "workloads", "mechanisms", "configs",
+        "user_insts", "warmup_insts", "max_cycles",
+        "warm", "include_results",
+    }
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise SweepRequestError(
+            f"unknown sweep key(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(allowed))}"
+        )
+    options = {
+        "warm": bool(payload.get("warm", False)),
+        "include_results": bool(payload.get("include_results", True)),
+    }
+
+    if "cells" in payload:
+        cells = payload["cells"]
+        if not isinstance(cells, list) or not cells:
+            raise SweepRequestError("cells must be a non-empty list")
+        specs = [spec_from_dict(cell) for cell in cells]
+    else:
+        workloads = payload.get("workloads")
+        if not isinstance(workloads, list) or not workloads:
+            raise SweepRequestError(
+                "a grid sweep needs a non-empty workloads list"
+            )
+        mechanisms = payload.get("mechanisms", ["multithreaded"])
+        if not isinstance(mechanisms, list) or not mechanisms:
+            raise SweepRequestError("mechanisms must be a non-empty list")
+        for mech in mechanisms:
+            if mech not in MECHANISMS:
+                raise SweepRequestError(
+                    f"unknown mechanism {mech!r}; known: "
+                    f"{', '.join(MECHANISMS)}"
+                )
+        configs = payload.get("configs", [{}])
+        if not isinstance(configs, list) or not configs:
+            raise SweepRequestError("configs must be a non-empty list")
+        user_insts = _check_length(payload.get("user_insts", 12_000), "user_insts")
+        warmup = _check_length(payload.get("warmup_insts", 3_000), "warmup_insts")
+        max_cycles = _check_length(
+            payload.get("max_cycles", 8_000_000), "max_cycles"
+        )
+        specs = []
+        for workload in workloads:
+            checked = _check_workload(workload)
+            for overrides in configs:
+                for mech in mechanisms:
+                    config = config_from_dict(
+                        {**(overrides or {}), "mechanism": mech}
+                    )
+                    specs.append(
+                        CellSpec(
+                            workload=checked,
+                            config=config,
+                            user_insts=user_insts,
+                            warmup_insts=warmup,
+                            max_cycles=max_cycles,
+                        )
+                    )
+    limit = max_request_cells()
+    if limit and len(specs) > limit:
+        raise SweepRequestError(
+            f"sweep expands to {len(specs)} cells, over the "
+            f"REPRO_SERVE_MAX_CELLS limit of {limit}"
+        )
+    return specs, options
+
+
+# ----------------------------------------------------------------------
+
+@dataclass
+class CellOutcome:
+    """One resolved cell and how it was resolved."""
+
+    spec: CellSpec
+    result: SimResult
+    key: str
+    #: Served straight from the content-addressed store.
+    cached: bool = False
+    #: Shared a simulation another request (or an earlier duplicate in
+    #: this one) already had in flight.
+    deduped: bool = False
+
+
+def default_pools() -> int:
+    """Shard count from ``REPRO_SERVE_POOLS`` (default 1; 0 = inline
+    thread execution, for tests and tiny deployments)."""
+    return _env_int("REPRO_SERVE_POOLS", 1)
+
+
+def default_workers() -> int:
+    """Workers per pool from ``REPRO_SERVE_WORKERS`` (0/unset = CPU
+    count split across pools)."""
+    return _env_int("REPRO_SERVE_WORKERS", 0)
+
+
+class SweepService:
+    """Long-running sweep resolver over persistent worker pools.
+
+    Single-event-loop object: every public coroutine must run on the
+    loop the service was started on.  Simulation and store I/O are
+    pushed off the loop (process pools and the default thread pool), so
+    the loop itself only routes cells and streams results.
+    """
+
+    def __init__(
+        self,
+        store: ContentStore | None = None,
+        pools: int | None = None,
+        workers: int | None = None,
+    ) -> None:
+        self.store = store if store is not None else ContentStore()
+        self.pools = default_pools() if pools is None else pools
+        self.workers = default_workers() if workers is None else workers
+        self.started = time.time()
+        self.requests = 0
+        self.cells_requested = 0
+        self.cells_simulated = 0
+        #: content address -> future resolving to a SimResult.
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._executors: list[Executor | None] | None = None
+
+    # -- pools ----------------------------------------------------------
+    def _shards(self) -> list[Executor | None]:
+        """The persistent executors, one per shard (lazily created).
+        ``None`` entries mean "run on the default thread executor" --
+        the inline mode used when ``pools == 0``."""
+        if self._executors is None:
+            if self.pools <= 0:
+                self._executors = [None]
+            else:
+                per_pool = self.workers or max(
+                    1, (os.cpu_count() or 1) // self.pools
+                )
+                self._executors = [
+                    self._make_pool(per_pool) for _ in range(self.pools)
+                ]
+        return self._executors
+
+    @staticmethod
+    def _make_pool(workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(_worker_env(),),
+        )
+
+    def _shard_for(self, key: str) -> int:
+        """Stable shard of a content address (hex-prefix mod pools)."""
+        shards = self._shards()
+        return int(key[:8], 16) % len(shards)
+
+    def close(self) -> None:
+        """Tear down the worker pools (idempotent)."""
+        if self._executors:
+            for executor in self._executors:
+                if executor is not None:
+                    executor.shutdown(wait=False, cancel_futures=True)
+        self._executors = None
+
+    # -- resolution -----------------------------------------------------
+    async def stream_cells(
+        self, specs: list[CellSpec], warm: bool = False
+    ) -> AsyncIterator[tuple[int, CellOutcome]]:
+        """Resolve ``specs``, yielding ``(index, outcome)`` as each cell
+        completes (ragged order; indices are spec positions)."""
+        loop = asyncio.get_running_loop()
+        if warm:
+            # Warm derivation builds checkpoints (serial simulations);
+            # off the loop.  Existing checkpoints make this a hash probe.
+            specs = await loop.run_in_executor(None, derive_warm_cells, specs)
+        self.requests += 1
+        self.cells_requested += len(specs)
+
+        ready: list[tuple[int, CellOutcome]] = []
+        waiting: list[tuple[int, CellSpec, str, bool, asyncio.Future]] = []
+        to_start: list[tuple[str, CellSpec]] = []
+        for index, spec in enumerate(specs):
+            key = self.store.key(spec)
+            hit = await loop.run_in_executor(None, self.store.get, spec)
+            if hit is not None:
+                ready.append(
+                    (index, CellOutcome(spec, hit, key, cached=True))
+                )
+                continue
+            future = self._inflight.get(key)
+            if future is not None:
+                # Someone (another request, or an earlier duplicate in
+                # this one) is already simulating this exact cell.
+                self.store.stats.inflight_hits += 1
+                waiting.append((index, spec, key, True, future))
+                continue
+            future = loop.create_future()
+            self._inflight[key] = future
+            to_start.append((key, spec))
+            waiting.append((index, spec, key, False, future))
+
+        self._launch(to_start)
+
+        for item in ready:
+            yield item
+        pending = {
+            asyncio.ensure_future(self._await_cell(*entry)): None
+            for entry in waiting
+        }
+        while pending:
+            done, _ = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                del pending[task]
+                yield task.result()
+
+    async def run_cells(
+        self, specs: list[CellSpec], warm: bool = False
+    ) -> list[CellOutcome]:
+        """Resolve ``specs`` and return outcomes in spec order."""
+        outcomes: list[CellOutcome | None] = [None] * len(specs)
+        async for index, outcome in self.stream_cells(specs, warm=warm):
+            outcomes[index] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    @staticmethod
+    async def _await_cell(
+        index: int,
+        spec: CellSpec,
+        key: str,
+        deduped: bool,
+        future: asyncio.Future,
+    ) -> tuple[int, CellOutcome]:
+        result = await asyncio.shield(future)
+        return index, CellOutcome(spec, result, key, deduped=deduped)
+
+    # -- simulation -----------------------------------------------------
+    def _launch(self, to_start: list[tuple[str, CellSpec]]) -> None:
+        """Shard fresh cells and fire one task per engine batch."""
+        if not to_start:
+            return
+        by_shard: dict[int, list[tuple[str, CellSpec]]] = {}
+        for key, spec in to_start:
+            by_shard.setdefault(self._shard_for(key), []).append((key, spec))
+        for shard, group in by_shard.items():
+            workers = self.workers or 1
+            size = pool_batch_size(len(group), workers)
+            for start in range(0, len(group), size):
+                asyncio.ensure_future(
+                    self._run_batch(shard, group[start : start + size])
+                )
+
+    async def _run_batch(
+        self, shard: int, keyed: list[tuple[str, CellSpec]]
+    ) -> None:
+        """Run one claimed batch on its shard and publish every cell.
+
+        Mirrors the one-shot runner's self-healing ladder: a failed
+        batch claim (worker crash, broken pool) rebuilds the shard's
+        pool and retries cells one at a time; cells that still fail run
+        serially on the thread executor, which cannot crash away.
+        """
+        loop = asyncio.get_running_loop()
+        specs = [spec for _, spec in keyed]
+        try:
+            results: list[SimResult | Exception] = list(
+                await loop.run_in_executor(
+                    self._shards()[shard], run_cell_batch, specs
+                )
+            )
+        except Exception:
+            results = await self._retry_cells(shard, specs)
+        for (key, spec), result in zip(keyed, results):
+            future = self._inflight.pop(key, None)
+            if isinstance(result, Exception):
+                # Deterministically failing cell: every waiter gets the
+                # error (re-running it could only fail identically).
+                if future is not None and not future.done():
+                    future.set_exception(result)
+                continue
+            await loop.run_in_executor(None, self.store.put, spec, result)
+            self.cells_simulated += 1
+            if future is not None and not future.done():
+                future.set_result(result)
+
+    async def _retry_cells(
+        self, shard: int, specs: list[CellSpec]
+    ) -> list[SimResult | Exception]:
+        loop = asyncio.get_running_loop()
+        executors = self._shards()
+        old = executors[shard]
+        if isinstance(old, ProcessPoolExecutor):
+            old.shutdown(wait=False, cancel_futures=True)
+            executors[shard] = self._make_pool(
+                self.workers or max(1, (os.cpu_count() or 1) // len(executors))
+            )
+        results: list[SimResult | Exception] = []
+        for spec in specs:
+            try:
+                results.append(
+                    await loop.run_in_executor(
+                        executors[shard], run_cell, spec
+                    )
+                )
+            except Exception:
+                # Terminal degrade: in-process (thread executor) serial
+                # run, like run_cells' serial completion path.  A cell
+                # that *still* raises here fails deterministically; the
+                # error is routed to its waiters, never swallowed.
+                try:
+                    results.append(
+                        await loop.run_in_executor(None, run_cell, spec)
+                    )
+                except Exception as exc:
+                    results.append(exc)
+        return results
+
+    # -- stats ----------------------------------------------------------
+    def stats_dict(self) -> dict:
+        return {
+            "kind": "repro-serve-stats",
+            "uptime_s": round(time.time() - self.started, 3),
+            "pools": self.pools,
+            "workers": self.workers,
+            "requests": self.requests,
+            "cells_requested": self.cells_requested,
+            "cells_simulated": self.cells_simulated,
+            "inflight": len(self._inflight),
+            "cache": self.store.stats_dict(),
+        }
+
+
+def summarize(outcomes: list[CellOutcome]) -> dict:
+    """The final Table-3-style summary line of a sweep response: one row
+    per cell with headline metrics, plus resolution totals."""
+    rows = [
+        {
+            "workload": list(o.spec.workload)
+            if isinstance(o.spec.workload, tuple)
+            else o.spec.workload,
+            "mechanism": o.spec.config.mechanism,
+            "cycles": o.result.cycles,
+            "retired_user": o.result.retired_user,
+            "committed_fills": o.result.committed_fills,
+            "ipc": round(o.result.ipc, 6),
+            "mpki": round(o.result.miss_rate_per_kilo_inst, 6),
+        }
+        for o in outcomes
+    ]
+    return {
+        "kind": "summary",
+        "cells": len(outcomes),
+        "cached": sum(o.cached for o in outcomes),
+        "deduped": sum(o.deduped for o in outcomes),
+        "simulated": sum(
+            not o.cached and not o.deduped for o in outcomes
+        ),
+        "table": rows,
+    }

@@ -1,0 +1,168 @@
+"""The service smoke check: N concurrent clients, one overlapping grid.
+
+This is the executable form of the service's contract (run in CI as
+``python -m repro.serve smoke``):
+
+* **in-flight dedupe** -- every client submits the same grid at once,
+  so the number of cells actually simulated must be the unique grid
+  size, strictly below the number requested;
+* **store effectiveness** -- the follow-up sweep after the storm is
+  served entirely from the store, and ``/stats`` reports the hits;
+* **consistency** -- every client sees identical cycles for identical
+  cells;
+* **bit-identity** -- results reconstructed from the service's pickled
+  payload equal running the same cells serially in-process
+  (:func:`~repro.sim.parallel.run_cell`), the same oracle the parallel
+  runner's determinism tests use.
+
+Everything runs in one process (server on the loop, simulations in its
+worker pools), so the check needs no orchestration beyond asyncio.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SmokeReport:
+    """What the smoke run saw (JSON-printed by the CLI)."""
+
+    clients: int = 0
+    grid_cells: int = 0
+    cells_requested: int = 0
+    cells_simulated: int = 0
+    deduped_total: int = 0
+    cache_hits: int = 0
+    inflight_hits: int = 0
+    warm_sweep_cached: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    def check(self, ok: bool, message: str) -> None:
+        if not ok:
+            self.failures.append(message)
+
+
+async def run_smoke(args) -> SmokeReport:
+    """Start a server, fire ``args.clients`` concurrent sweeps, assert
+    the dedupe/caching/consistency contract, and return the report."""
+    import asyncio
+
+    from repro.serve.cli import _build_server
+    from repro.serve.client import async_sweep, decode_result
+    from repro.sim.parallel import run_cell
+    from repro.serve.service import expand_sweep
+
+    report = SmokeReport(clients=args.clients)
+    payload = {
+        "workloads": args.workload,
+        "mechanisms": args.mechanism,
+        "user_insts": args.insts,
+        "warmup_insts": args.warmup,
+        "max_cycles": 2_000_000,
+        "include_results": False,
+    }
+    specs, _ = expand_sweep(payload)
+    report.grid_cells = len(specs)
+
+    args.port = 0  # always ephemeral: the smoke must not collide
+    server = _build_server(args)
+    await server.start()
+    try:
+        # One reference client carries full payloads for the
+        # bit-identity check; the other clients are metric-only.
+        storm = [
+            async_sweep(
+                server.host,
+                server.port,
+                {**payload, "include_results": i == 0},
+            )
+            for i in range(args.clients)
+        ]
+        streams = await asyncio.gather(*storm)
+
+        stats = server.service.stats_dict()
+        report.cells_requested = stats["cells_requested"]
+        report.cells_simulated = stats["cells_simulated"]
+        report.cache_hits = stats["cache"]["hits"]
+        report.inflight_hits = stats["cache"]["inflight_hits"]
+
+        # Every client finished its whole grid and said so.
+        for i, events in enumerate(streams):
+            cells = [e for e in events if e["kind"] == "cell"]
+            summaries = [e for e in events if e["kind"] == "summary"]
+            report.check(
+                len(cells) == len(specs) and len(summaries) == 1,
+                f"client {i} saw {len(cells)} cells / "
+                f"{len(summaries)} summaries (wanted {len(specs)}/1)",
+            )
+            report.deduped_total += sum(c["deduped"] for c in cells)
+
+        # Dedupe collapsed the storm: the grid was simulated once-ish,
+        # far below clients x cells.
+        report.check(
+            report.cells_simulated < report.cells_requested,
+            f"no dedupe: simulated {report.cells_simulated} of "
+            f"{report.cells_requested} requested",
+        )
+        report.check(
+            report.cells_simulated >= len(specs),
+            f"only {report.cells_simulated} cells simulated for a "
+            f"{len(specs)}-cell grid",
+        )
+        report.check(
+            report.cache_hits + report.inflight_hits > 0,
+            "store reported neither cache hits nor in-flight dedupes",
+        )
+
+        # Identical cells resolved to identical cycles for every client.
+        cycles: dict[tuple, set[int]] = {}
+        for events in streams:
+            for event in events:
+                if event["kind"] != "cell":
+                    continue
+                key = (str(event["workload"]), event["mechanism"])
+                cycles.setdefault(key, set()).add(event["cycles"])
+        for key, seen in sorted(cycles.items()):
+            report.check(
+                len(seen) == 1,
+                f"cell {key} resolved to differing cycles {sorted(seen)}",
+            )
+
+        # Bit-identity: the reference client's payloads equal serial
+        # in-process runs of the same specs.
+        reference = {
+            e["index"]: e
+            for e in streams[0]
+            if e["kind"] == "cell" and "result_b64" in e
+        }
+        report.check(
+            len(reference) == len(specs),
+            f"reference client carried {len(reference)} payloads "
+            f"(wanted {len(specs)})",
+        )
+        for index, spec in enumerate(specs):
+            if index not in reference:
+                continue
+            served = decode_result(reference[index])
+            local = await asyncio.get_running_loop().run_in_executor(
+                None, run_cell, spec
+            )
+            report.check(
+                dataclasses.asdict(served) == dataclasses.asdict(local),
+                f"cell {index} served result differs from serial run_cell",
+            )
+
+        # The storm left the store warm: a fresh sweep is all hits.
+        warm_events = await async_sweep(server.host, server.port, payload)
+        warm_cells = [e for e in warm_events if e["kind"] == "cell"]
+        report.warm_sweep_cached = sum(c["cached"] for c in warm_cells)
+        report.check(
+            report.warm_sweep_cached == len(specs),
+            f"follow-up sweep hit the store on "
+            f"{report.warm_sweep_cached}/{len(specs)} cells",
+        )
+    finally:
+        await server.close()
+    return report

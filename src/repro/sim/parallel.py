@@ -65,9 +65,9 @@ import hashlib
 import os
 import pickle
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from functools import lru_cache
 from pathlib import Path
 
 from repro.sim.config import MachineConfig
@@ -226,25 +226,55 @@ def derive_warm_cells(specs: list[CellSpec]) -> list[CellSpec]:
     return out
 
 
-@lru_cache(maxsize=1)
+#: Source-root -> digest.  Module-level (not ``lru_cache``) so the cache
+#: is keyed by the *root* being hashed and tests can reset it; filled at
+#: most once per root per process.
+_FINGERPRINT_CACHE: dict[Path, str] = {}
+
+#: How many full tree-hash passes this process has actually performed.
+#: ``ResultCache`` consults the fingerprint on every ``get``/``put``
+#: (and the sweep service on every request), so anything above one pass
+#: per source root is a per-cell O(repo) regression; the counter makes
+#: that assertable (see tests/sim/test_parallel.py).
+_fingerprint_passes = 0
+
+
 def engine_fingerprint() -> str:
-    """Hash of the installed ``repro`` sources.
+    """Hash of the installed ``repro`` sources, computed once per process.
 
     Part of every cache key: any source change invalidates all cached
-    results, which keeps the cache trustworthy across engine work.
+    results, which keeps the cache trustworthy across engine work.  The
+    tree walk happens exactly once per source root per process; every
+    subsequent call (one per ``ResultCache.get``/``put``) is a dict hit.
     """
     import repro
 
     root = Path(repro.__file__).resolve().parent
+    cached = _FINGERPRINT_CACHE.get(root)
+    if cached is not None:
+        return cached
+    global _fingerprint_passes
+    _fingerprint_passes += 1
     digest = hashlib.sha256()
     for path in sorted(root.rglob("*.py")):
         digest.update(str(path.relative_to(root)).encode())
         digest.update(path.read_bytes())
-    return digest.hexdigest()[:16]
+    _FINGERPRINT_CACHE[root] = digest.hexdigest()[:16]
+    return _FINGERPRINT_CACHE[root]
 
 
 class ResultCache:
-    """Pickle-per-cell result store keyed by (spec, engine) hashes."""
+    """Pickle-per-cell result store keyed by (spec, engine) hashes.
+
+    ``REPRO_CACHE=0`` is enforced *here*, inside :meth:`get` and
+    :meth:`put` (a disabled cache misses every get and drops every put),
+    so callers never need their own ``enabled()`` guard and can hold a
+    cache object unconditionally.
+    """
+
+    #: Process-wide "manifest write failed" warning latch (once is
+    #: signal, once per cell is noise).
+    _manifest_warned = False
 
     def __init__(self, directory: str | Path | None = None) -> None:
         if directory is None:
@@ -276,6 +306,8 @@ class ResultCache:
         return self.directory / f"{name}.pkl"
 
     def get(self, spec: CellSpec) -> SimResult | None:
+        if not self.enabled():
+            return None
         path = self._path(spec)
         try:
             with path.open("rb") as fh:
@@ -292,7 +324,15 @@ class ResultCache:
         of the whole machine) can never leave a truncated pickle under
         the final name -- :meth:`get` would deserialize garbage as a
         result.  Temp files orphaned by dead writers are pruned here.
+
+        The manifest is strictly an audit trail: once the pickle has
+        been renamed into place the cell *is* published, so no manifest
+        failure -- ``OSError`` or otherwise (say, an unserializable
+        counter surfacing in ``build_manifest``) -- may escape and crash
+        the worker into a pointless retry of a finished cell.
         """
+        if not self.enabled():
+            return
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             self._prune_stale_tmps()
@@ -303,9 +343,20 @@ class ResultCache:
                 fh.flush()
                 os.fsync(fh.fileno())
             tmp.replace(path)  # atomic: concurrent writers race benignly
-            self._write_manifest(spec, result, path)
         except OSError:
-            pass  # a read-only cache dir degrades to "no cache"
+            return  # a read-only cache dir degrades to "no cache"
+        try:
+            self._write_manifest(spec, result, path)
+        except Exception as exc:  # noqa: BLE001 - pickle already published
+            if not isinstance(exc, OSError) and not ResultCache._manifest_warned:
+                ResultCache._manifest_warned = True
+                warnings.warn(
+                    f"result-cache manifest write failed ({exc!r}); the "
+                    "cached result itself is intact and manifest warnings "
+                    "are reported once per process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def _prune_stale_tmps(self) -> None:
         """Remove temp files whose writer process is gone.
@@ -328,22 +379,44 @@ class ResultCache:
         except OSError:
             pass
 
+    def _manifest_cache_stats(self) -> dict | None:
+        """Cache counters to embed in manifests (the content-addressed
+        store in :mod:`repro.serve.store` overrides this); ``None``
+        omits the block."""
+        return None
+
     def _write_manifest(self, spec: CellSpec, result: SimResult, path: Path) -> None:
-        """Audit trail: a human-readable manifest beside each pickle."""
+        """Audit trail: a human-readable manifest beside each pickle.
+
+        Like the pickle, the manifest is published by rename, and the
+        pid-suffixed ``*.json.tmp.<pid>`` intermediate falls under the
+        same liveness rule as pickle temps: :meth:`_prune_stale_tmps`
+        removes it only once this writer is dead.  A failure mid-build
+        unlinks our own tmp immediately rather than leaving it to
+        outlive the process.
+        """
         from repro.obs.manifest import build_manifest, write_manifest
 
         tmp = path.with_suffix(f".json.tmp.{os.getpid()}")
-        with tmp.open("w") as fh:
-            write_manifest(
-                fh,
-                build_manifest(
-                    result,
-                    spec.config,
-                    workload=spec.workload,
-                    checkpoint=getattr(result, "checkpoint", None),
-                ),
-            )
-        tmp.replace(path.with_suffix(".json"))
+        try:
+            with tmp.open("w") as fh:
+                write_manifest(
+                    fh,
+                    build_manifest(
+                        result,
+                        spec.config,
+                        workload=spec.workload,
+                        checkpoint=getattr(result, "checkpoint", None),
+                        cache_stats=self._manifest_cache_stats(),
+                    ),
+                )
+            tmp.replace(path.with_suffix(".json"))
+        except Exception:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
     def manifest_path(self, spec: CellSpec) -> Path:
         """Where :meth:`put` leaves the manifest for ``spec``."""
@@ -582,14 +655,16 @@ def run_cells(
         # Opt-in: share one warmup per workload family via checkpoints
         # instead of re-warming in every cell (see derive_warm_cells).
         specs = derive_warm_cells(specs)
-    use_cache = cache is not None or ResultCache.enabled()
-    if cache is None and use_cache:
+    # REPRO_CACHE=0 is enforced inside get/put themselves (a disabled
+    # cache misses every get and drops every put), so no guard is
+    # needed here or at any other call site.
+    if cache is None:
         cache = ResultCache()
 
     results: list[SimResult | None] = [None] * len(specs)
     missing: list[int] = []
     for idx, spec in enumerate(specs):
-        hit = cache.get(spec) if use_cache else None
+        hit = cache.get(spec)
         if hit is not None:
             results[idx] = hit
         else:
@@ -620,7 +695,6 @@ def run_cells(
                 fresh[pos] = run_cell(spec)
         for idx, spec, result in zip(missing, todo, fresh):
             results[idx] = result
-            if use_cache:
-                cache.put(spec, result)
+            cache.put(spec, result)
 
     return results  # type: ignore[return-value]

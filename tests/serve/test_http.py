@@ -1,0 +1,163 @@
+"""End-to-end HTTP: a real server, real sockets, both clients."""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import http.client
+import json
+
+import pytest
+
+from repro.serve.client import (
+    ServeError,
+    SweepClient,
+    async_sweep,
+    run_cells_via_server,
+    split_server_url,
+)
+from repro.serve.service import spec_to_dict
+from repro.sim.parallel import run_cell
+from tests.serve.helpers import ServerThread, make_grid, make_spec
+
+
+class TestUrlParsing:
+    @pytest.mark.parametrize(
+        "url, expected",
+        [
+            ("http://localhost:8712", ("localhost", 8712)),
+            ("localhost:9000", ("localhost", 9000)),
+            ("10.0.0.7", ("10.0.0.7", 8712)),
+        ],
+    )
+    def test_accepted_forms(self, url, expected):
+        assert split_server_url(url) == expected
+
+    def test_https_is_rejected(self):
+        with pytest.raises(ServeError, match="http"):
+            split_server_url("https://example.com")
+
+
+class TestEndToEnd:
+    def test_sweep_stats_and_cache_flags(self, tmp_path):
+        """One server thread: bit-identity, /stats, warm second sweep,
+        and error statuses, all over real sockets."""
+        specs = make_grid()[:2]
+        with ServerThread(tmp_path) as server:
+            # Liveness + empty stats.
+            stats = SweepClient(server.url).stats()
+            assert stats["kind"] == "repro-serve-stats"
+            assert stats["requests"] == 0
+
+            # The drop-in run_cells replacement is bit-identical to the
+            # serial in-process path.
+            served = run_cells_via_server(server.url, specs)
+            for spec, result in zip(specs, served):
+                assert dataclasses.asdict(result) == dataclasses.asdict(
+                    run_cell(spec)
+                )
+
+            # A second sweep of the same cells is all store hits.
+            client = SweepClient(server.url)
+            events = list(
+                client.sweep(
+                    {
+                        "cells": [spec_to_dict(s) for s in specs],
+                        "include_results": False,
+                    }
+                )
+            )
+            cells = [e for e in events if e["kind"] == "cell"]
+            summary = next(e for e in events if e["kind"] == "summary")
+            assert len(cells) == len(specs)
+            assert all(c["cached"] for c in cells)
+            assert all("result_b64" not in c for c in cells)
+            assert summary["cached"] == len(specs)
+            assert summary["simulated"] == 0
+
+            stats = client.stats()
+            assert stats["cells_simulated"] == len(specs)
+            assert stats["cache"]["hits"] >= len(specs)
+            assert stats["cache"]["puts"] == len(specs)
+
+            # Malformed sweeps are a 400, not a hung stream.
+            with pytest.raises(ServeError, match="400"):
+                list(client.sweep({"workloads": ["doom"]}))
+            with pytest.raises(ServeError, match="400"):
+                list(client.sweep({"warp": 9}))
+
+            # Unknown routes and bad methods.
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.server.port, timeout=30
+            )
+            try:
+                conn.request("GET", "/nope")
+                assert conn.getresponse().status == 404
+            finally:
+                conn.close()
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.server.port, timeout=30
+            )
+            try:
+                conn.request("GET", "/sweep")
+                assert conn.getresponse().status == 405
+            finally:
+                conn.close()
+
+    def test_async_client_matches_blocking_client(self, tmp_path):
+        """The smoke harness's asyncio transport decodes the same
+        stream the blocking client sees."""
+        spec = make_spec()
+        payload = {
+            "cells": [spec_to_dict(spec)],
+            "include_results": True,
+        }
+        with ServerThread(tmp_path) as server:
+            events = asyncio.run(
+                async_sweep("127.0.0.1", server.server.port, payload)
+            )
+            kinds = [e["kind"] for e in events]
+            assert kinds.count("cell") == 1
+            assert kinds[-1] == "summary"
+
+            from repro.serve.client import decode_result
+
+            cell = next(e for e in events if e["kind"] == "cell")
+            assert dataclasses.asdict(decode_result(cell)) == (
+                dataclasses.asdict(run_cell(spec))
+            )
+
+    def test_grid_sweep_over_http(self, tmp_path):
+        """Grid-shaped requests expand server-side."""
+        with ServerThread(tmp_path) as server:
+            events = list(
+                SweepClient(server.url).sweep(
+                    {
+                        "workloads": ["compress"],
+                        "mechanisms": ["traditional", "multithreaded"],
+                        "user_insts": 300,
+                        "warmup_insts": 80,
+                        "include_results": False,
+                    }
+                )
+            )
+            summary = events[-1]
+            assert summary["kind"] == "summary"
+            assert summary["cells"] == 2
+            mechs = {
+                e["mechanism"] for e in events if e["kind"] == "cell"
+            }
+            assert mechs == {"traditional", "multithreaded"}
+
+    def test_body_must_be_json(self, tmp_path):
+        with ServerThread(tmp_path) as server:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.server.port, timeout=30
+            )
+            try:
+                conn.request("POST", "/sweep", b"not json {")
+                response = conn.getresponse()
+                assert response.status == 400
+                assert "JSON" in json.loads(response.read())["error"]
+            finally:
+                conn.close()

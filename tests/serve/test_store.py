@@ -1,0 +1,163 @@
+"""The content-addressed store: keys, counters, LRU eviction."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+from repro.obs.manifest import validate_manifest
+from repro.serve.store import ContentStore, StoreStats
+from repro.sim.parallel import ResultCache, run_cell
+
+from tests.serve.helpers import make_spec
+
+
+def put_cells(store: ContentStore, specs) -> list:
+    """Simulate each spec once and publish it (tiny cells, one result
+    reused is not enough here -- eviction tests need distinct keys)."""
+    results = [run_cell(spec) for spec in specs]
+    for spec, result in zip(specs, results):
+        store.put(spec, result)
+    return results
+
+
+class TestKeys:
+    def test_key_is_the_cache_address(self, tmp_path):
+        """The store's content address is exactly the ResultCache file
+        stem -- the two layers share one on-disk cache."""
+        store = ContentStore(tmp_path)
+        plain = ResultCache(tmp_path)
+        spec = make_spec()
+        assert store.key(spec) == plain._path(spec).stem
+        assert store.key(spec) == store.key(make_spec())  # stable
+
+    def test_distinct_cells_get_distinct_keys(self, tmp_path):
+        store = ContentStore(tmp_path)
+        keys = {
+            store.key(make_spec()),
+            store.key(make_spec(mechanism="multithreaded")),
+            store.key(make_spec(workload="murphi")),
+            store.key(make_spec(user_insts=301)),
+        }
+        assert len(keys) == 4
+
+    def test_interoperates_with_plain_result_cache(self, tmp_path):
+        """A cell published through ResultCache is a store hit, and
+        vice versa: they are the same cache."""
+        spec = make_spec()
+        result = run_cell(spec)
+        ResultCache(tmp_path).put(spec, result)
+        store = ContentStore(tmp_path)
+        hit = store.get(spec)
+        assert hit is not None
+        assert dataclasses.asdict(hit) == dataclasses.asdict(result)
+        assert store.stats.hits == 1
+
+
+class TestCounters:
+    def test_miss_then_put_then_hit(self, tmp_path):
+        store = ContentStore(tmp_path)
+        spec = make_spec()
+        assert store.get(spec) is None
+        result = run_cell(spec)
+        store.put(spec, result)
+        assert store.get(spec) is not None
+        assert store.stats == StoreStats(hits=1, misses=1, puts=1)
+
+    def test_stats_dict_is_manifest_safe(self, tmp_path):
+        store = ContentStore(tmp_path, max_entries=8, max_bytes=1 << 20)
+        stats = store.stats_dict()
+        assert all(isinstance(v, int) and v >= 0 for v in stats.values())
+        assert stats["max_entries"] == 8
+        assert stats["max_bytes"] == 1 << 20
+
+    def test_manifest_embeds_valid_cache_block(self, tmp_path):
+        """Every manifest the store writes carries its counters and
+        still validates against the manifest schema."""
+        store = ContentStore(tmp_path)
+        spec = make_spec()
+        put_cells(store, [spec])
+        manifest = json.loads(store.manifest_path(spec).read_text())
+        assert validate_manifest(manifest) == []
+        assert manifest["cache"]["puts"] == 1
+
+    def test_disabled_cache_stores_nothing(self, tmp_path, monkeypatch):
+        """REPRO_CACHE=0 gates the store itself (inherited behaviour):
+        puts are dropped and gets miss, even on an explicit instance."""
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        store = ContentStore(tmp_path)
+        spec = make_spec()
+        store.put(spec, run_cell(spec))
+        assert list(tmp_path.glob("*.pkl")) == []
+        assert store.get(spec) is None
+
+
+class TestEviction:
+    def test_entry_bound_evicts_least_recently_used(self, tmp_path):
+        store = ContentStore(tmp_path, max_entries=2, max_bytes=0)
+        a = make_spec(user_insts=201)
+        b = make_spec(user_insts=202)
+        c = make_spec(user_insts=203)
+        put_cells(store, [a, b])
+        store.get(a)  # a is now more recently used than b
+        put_cells(store, [c])
+        names = {p.stem for p in store.entries()}
+        assert names == {store.key(a), store.key(c)}, "b was the LRU victim"
+        assert store.stats.evictions == 1
+        # The victim's manifest went with it.
+        assert not store.manifest_path(b).exists()
+        assert store.manifest_path(a).exists()
+
+    def test_byte_bound_evicts(self, tmp_path):
+        store = ContentStore(tmp_path, max_entries=0, max_bytes=1)
+        put_cells(store, [make_spec(user_insts=201)])
+        # One pickle is already over a 1-byte budget: evicted at once.
+        assert store.entries() == []
+        assert store.stats.evictions == 1
+
+    def test_foreign_entries_are_evicted_first(self, tmp_path):
+        """Files this process never touched (other processes' cells)
+        are the first victims, oldest mtime first."""
+        store = ContentStore(tmp_path, max_entries=2, max_bytes=0)
+        spec = make_spec(user_insts=201)
+        result = put_cells(store, [spec])[0]
+        # Two foreign entries, published by "another process".
+        other = ResultCache(tmp_path)
+        foreign_old = make_spec(user_insts=202)
+        foreign_new = make_spec(user_insts=203)
+        other.put(foreign_old, result)
+        other.put(foreign_new, result)
+        past = time.time() - 3600
+        os.utime(tmp_path / f"{store.key(foreign_old)}.pkl", (past, past))
+        # Publishing one more cell pushes the store over budget by two;
+        # both victims must be foreign, the oldest first.
+        put_cells(store, [make_spec(user_insts=204)])
+        names = {p.stem for p in store.entries()}
+        assert store.key(foreign_old) not in names
+        assert store.key(foreign_new) not in names
+        assert store.key(spec) in names
+        assert store.stats.evictions == 2
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = ContentStore(tmp_path, max_entries=0, max_bytes=0)
+        put_cells(store, [make_spec(user_insts=n) for n in (201, 202, 203)])
+        assert len(store.entries()) == 3
+        assert store.stats.evictions == 0
+
+
+class TestEnvKnobs:
+    def test_env_bounds_are_read(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_CACHE_ENTRIES", "5")
+        monkeypatch.setenv("REPRO_SERVE_CACHE_MB", "2")
+        store = ContentStore(tmp_path)
+        assert store.max_entries == 5
+        assert store.max_bytes == 2 * 1024 * 1024
+
+    def test_bad_env_is_rejected_early(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_CACHE_ENTRIES", "many")
+        import pytest
+
+        with pytest.raises(ValueError, match="REPRO_SERVE_CACHE_ENTRIES"):
+            ContentStore(tmp_path)

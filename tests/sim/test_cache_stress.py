@@ -1,0 +1,124 @@
+"""Multi-process result-cache stress: concurrent writers, kill-mid-write.
+
+Several real processes hammer one cache directory with puts and gets of
+the same cells while saboteur processes die abruptly, leaving behind the
+partial ``*.tmp.<pid>`` files a writer killed mid-write would.  The
+invariants under test are the cache's two hard promises:
+
+* a reader is **never** served a truncated or corrupt pickle -- every
+  ``get`` returns either ``None`` or the bit-exact result;
+* temp files orphaned by dead writers are pruned on the next ``put``
+  (pid-liveness), while live writers' temps are left alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.sim.config import MachineConfig
+from repro.sim.parallel import CellSpec, ResultCache, run_cell
+
+#: Argv: cache_dir rounds sabotage("0"/"1").  Exit 0 = every get was
+#: clean; exit 43 = saboteur died on cue; any other exit = corruption.
+WORKER = r"""
+import dataclasses, os, pickle, sys
+from repro.sim.config import MachineConfig
+from repro.sim.parallel import CellSpec, ResultCache, run_cell
+
+cache_dir, rounds, sabotage = sys.argv[1], int(sys.argv[2]), sys.argv[3] == "1"
+spec = CellSpec(
+    workload="compress",
+    config=MachineConfig(mechanism="traditional", idle_threads=1),
+    user_insts=200,
+    warmup_insts=50,
+    max_cycles=2_000_000,
+)
+cache = ResultCache(cache_dir)
+result = run_cell(spec)
+expected = dataclasses.asdict(result)
+payload = pickle.dumps(result)
+for _ in range(rounds):
+    cache.put(spec, result)
+    got = cache.get(spec)
+    if got is not None and dataclasses.asdict(got) != expected:
+        sys.exit(7)  # corrupt or foreign pickle served
+    if sabotage:
+        # What a writer killed between open and rename leaves behind:
+        # a half-written, pid-suffixed temp under this (live) pid.
+        tmp = cache._path(spec).with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(payload[: len(payload) // 2])
+if sabotage:
+    os._exit(43)  # die without cleanup; the temp is now orphaned
+"""
+
+
+def spawn(cache_dir: Path, rounds: int, sabotage: bool) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    env["REPRO_CACHE"] = "1"
+    return subprocess.Popen(
+        [sys.executable, "-c", WORKER, str(cache_dir), str(rounds),
+         "1" if sabotage else "0"],
+        env=env,
+    )
+
+
+def test_concurrent_processes_never_see_torn_pickles(tmp_path):
+    """4 writers x 8 rounds on one cell, half dying mid-write."""
+    workers = [spawn(tmp_path, rounds=8, sabotage=i % 2 == 1) for i in range(4)]
+    codes = [w.wait(timeout=600) for w in workers]
+    assert codes[0::2] == [0, 0], f"clean worker saw corruption: {codes}"
+    assert codes[1::2] == [43, 43], f"saboteurs died wrong: {codes}"
+
+    # The saboteurs' partial temps are orphaned under dead pids.
+    orphans = list(tmp_path.glob("*.tmp.*"))
+    assert orphans, "saboteurs should have left partial temps behind"
+
+    spec = CellSpec(
+        workload="compress",
+        config=MachineConfig(mechanism="traditional", idle_threads=1),
+        user_insts=200,
+        warmup_insts=50,
+        max_cycles=2_000_000,
+    )
+    cache = ResultCache(tmp_path)
+
+    # The published pickle survived every kill bit-exact.
+    got = cache.get(spec)
+    assert got is not None
+    assert dataclasses.asdict(got) == dataclasses.asdict(run_cell(spec))
+
+    # The next put prunes every dead writer's temp (pid-liveness).
+    cache.put(spec, got)
+    assert list(tmp_path.glob("*.tmp.*")) == []
+
+
+def test_live_writers_temps_are_not_pruned(tmp_path):
+    """Pid-liveness must only reap the dead: our own in-flight temp (a
+    live pid) survives another process's prune pass."""
+    spec = CellSpec(
+        workload="compress",
+        config=MachineConfig(mechanism="traditional", idle_threads=1),
+        user_insts=200,
+        warmup_insts=50,
+        max_cycles=2_000_000,
+    )
+    cache = ResultCache(tmp_path)
+    result = run_cell(spec)
+    cache.put(spec, result)
+
+    live_tmp = cache._path(spec).with_suffix(f".tmp.{os.getpid()}")
+    live_tmp.write_bytes(b"in flight")
+    dead_tmp = cache._path(spec).with_suffix(".json.tmp.999999999")
+    dead_tmp.write_bytes(b"dead manifest writer")
+
+    cache._prune_stale_tmps()
+    assert live_tmp.exists(), "live writer's temp must survive"
+    assert not dead_tmp.exists(), "dead pid's manifest temp must be reaped"
+    live_tmp.unlink()

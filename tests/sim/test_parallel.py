@@ -13,6 +13,7 @@ from repro.sim.parallel import (
     ResultCache,
     _worker_init,
     default_jobs,
+    run_cell,
     run_cells,
 )
 from repro.sim.simulator import SimResult
@@ -94,6 +95,94 @@ class TestCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         run_cells(make_specs()[:1], jobs=1)
         assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_cache_object_honors_disable_itself(self, tmp_path, monkeypatch):
+        """REPRO_CACHE=0 gates get/put inside the cache: an explicitly
+        held ResultCache drops puts and misses gets, so callers never
+        need their own enabled() guard."""
+        cache = ResultCache(tmp_path)
+        spec = make_specs()[0]
+        (result,) = run_cells([spec], jobs=1, cache=cache)
+        assert cache.get(spec) is not None
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert cache.get(spec) is None  # entry exists; gate says miss
+        other = make_specs()[1]
+        cache.put(other, result)
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert cache.get(other) is None  # the put was dropped
+
+
+class TestEngineFingerprint:
+    def test_source_tree_is_hashed_exactly_once_per_process(self, tmp_path):
+        """The fingerprint walks the whole source tree; callers hit it
+        on every cache key, so it must be computed once and memoized."""
+        import repro.sim.parallel as parallel_mod
+        from repro.sim.parallel import engine_fingerprint
+
+        parallel_mod._FINGERPRINT_CACHE.clear()
+        baseline = parallel_mod._fingerprint_passes
+        first = engine_fingerprint()
+        for _ in range(3):
+            assert engine_fingerprint() == first
+        # Cache-key construction reuses the memo too.
+        ResultCache(tmp_path)._path(make_specs()[0])
+        assert parallel_mod._fingerprint_passes == baseline + 1
+
+
+class TestManifestFailureContainment:
+    def test_put_survives_non_oserror_manifest_failure(
+        self, tmp_path, monkeypatch
+    ):
+        """Once the pickle is published the cell *is* cached: a manifest
+        builder blowing up (any exception, not just OSError) must warn
+        once, not crash the worker."""
+        import repro.obs.manifest as manifest_mod
+
+        def broken(*args, **kwargs):
+            raise ValueError("unserializable counter")
+
+        monkeypatch.setattr(manifest_mod, "build_manifest", broken)
+        monkeypatch.setattr(ResultCache, "_manifest_warned", False)
+        cache = ResultCache(tmp_path)
+        spec = make_specs()[0]
+        result = run_cell(spec)
+
+        with pytest.warns(RuntimeWarning, match="manifest write failed"):
+            cache.put(spec, result)
+        # The result itself was published and is served...
+        assert result_key(cache.get(spec)) == result_key(result)
+        # ...without a manifest, and without leaking a temp file.
+        assert not cache.manifest_path(spec).exists()
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+        # The warning is a once-per-process latch, not per-cell noise.
+        import warnings as warnings_mod
+
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            cache.put(spec, result)  # a second failure stays silent
+
+    def test_oserror_manifest_failure_stays_silent(
+        self, tmp_path, monkeypatch
+    ):
+        """I/O trouble (read-only dir, ENOSPC) already degrades the
+        pickle path quietly; the manifest path matches."""
+        import warnings as warnings_mod
+
+        import repro.obs.manifest as manifest_mod
+
+        def no_space(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(manifest_mod, "write_manifest", no_space)
+        monkeypatch.setattr(ResultCache, "_manifest_warned", False)
+        cache = ResultCache(tmp_path)
+        spec = make_specs()[0]
+        result = run_cell(spec)
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            cache.put(spec, result)
+        assert result_key(cache.get(spec)) == result_key(result)
 
 
 class TestJobs:
