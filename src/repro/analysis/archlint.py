@@ -175,6 +175,27 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "engine",
         }
     ),
+    # scenarios sits at the top of the testing stack: it composes the
+    # fault generator (faults.progen), the exception layer's cause
+    # handlers, and the simulator into runnable scenario matrices, and
+    # runs both engine kernels through the digest oracle.  Nothing
+    # below it may import it (no other allowed set names "scenarios").
+    "scenarios": frozenset(
+        {
+            "isa",
+            "memory",
+            "branch",
+            "pipeline",
+            "exceptions",
+            "workloads",
+            "sim",
+            "analysis",
+            "obs",
+            "checkpoint",
+            "engine",
+            "faults",
+        }
+    ),
 }
 
 #: Per-module forbidden packages, stricter than :data:`ALLOWED_IMPORTS`:

@@ -84,7 +84,7 @@ __all__ = [
 ]
 
 #: Instructions that commit the handler's work for this generation.
-COMMIT_OPS = frozenset({Opcode.TLBWR, Opcode.MTDST})
+COMMIT_OPS = frozenset({Opcode.TLBWR, Opcode.ITLBWR, Opcode.MTDST})
 
 #: Privileged registers latched by hardware at trap time.  Overwriting
 #: one before reversion destroys the state a replayed generation (or a

@@ -161,7 +161,10 @@ class PipelineSanitizer:
                 f"t{uop.linked_handler.tid} is still linked: "
                 f"{self._describe(uop)}",
             )
-        if thread.is_exception_thread:
+        if thread.is_exception_thread and thread.master_uop is not None:
+            # Master-less handlers (itlb_miss: the faulting fetch produced
+            # no uop) retire unspliced; the master merely stalls its
+            # front end, so there is nothing to park at.
             master = self.core.threads[thread.master_tid]
             if not master.rob or master.rob[0] is not thread.master_uop:
                 self._fail(

@@ -218,10 +218,16 @@ def check_config_compatible(
     """Reject restores onto a differently shaped machine."""
     current = dataclasses.asdict(config)
     ignore = _WARM_VARIANT_FIELDS if warm else frozenset()
+    # Checkpoints written before a config field existed omit its key;
+    # such a machine behaves as the field's default, so compare against
+    # that rather than rejecting every old snapshot outright.
+    defaults = dataclasses.asdict(MachineConfig())
     diffs = sorted(
         key
         for key in set(current) | set(saved)
-        if key not in ignore and current.get(key) != saved.get(key)
+        if key not in ignore
+        and current.get(key, defaults.get(key))
+        != saved.get(key, defaults.get(key))
     )
     if diffs:
         raise CheckpointMismatchError(
@@ -252,6 +258,7 @@ def capture_machine(sim) -> dict:
         "memory": sim.memory.snapshot_state(ctx),
         "page_table": sim.page_table.snapshot_state(ctx),
         "dtlb": sim.dtlb.snapshot_state(ctx),
+        "itlb": sim.itlb.snapshot_state(ctx) if sim.itlb is not None else None,
         "hierarchy": sim.hierarchy.snapshot_state(ctx),
         "bpu": sim.bpu.snapshot_state(ctx),
         "core": core_state,
@@ -302,6 +309,17 @@ def restore_machine(sim, body: dict, warm: bool = False) -> None:
             f"checkpoint holds {body['dtlb']['kind']!r} TLB state, "
             f"this machine has a {own_kind!r} TLB"
         )
+    # Pre-scenario checkpoints carry no "itlb" key; a machine without an
+    # ITLB ignores any saved one (warm restores may legitimately differ).
+    itlb_body = body.get("itlb")
+    if sim.itlb is not None and itlb_body is not None:
+        if itlb_body["kind"] == sim.itlb.snapshot_state(ctx)["kind"]:
+            sim.itlb.restore_state(itlb_body, ctx)
+        elif not warm:
+            raise CheckpointMismatchError(
+                f"checkpoint holds {itlb_body['kind']!r} ITLB state, "
+                "this machine has a different ITLB kind"
+            )
     sim.hierarchy.restore_state(body["hierarchy"], ctx)
     sim.bpu.restore_state(body["bpu"], ctx)
     # Phase C: patch object links, then structures that hold them.

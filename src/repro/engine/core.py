@@ -59,6 +59,7 @@ from repro.isa.instructions import (
 )
 from repro.isa.registers import PrivReg
 from repro.isa.semantics import compute_int
+from repro.memory.address import vpn_of
 from repro.pipeline.core import _FAR_FUTURE, SMTCore
 from repro.pipeline.thread import ThreadState
 from repro.pipeline.uop import Uop, UopState
@@ -193,6 +194,8 @@ class BatchedSMTCore(SMTCore):
         bpu_predict = self.bpu.predict
         faults = self.faults
         stats = self.stats
+        itlb = self.itlb
+        mechanism = self.mechanism
         halt = Opcode.HALT
         reti = Opcode.RETI
         exception = ThreadState.EXCEPTION
@@ -224,6 +227,24 @@ class BatchedSMTCore(SMTCore):
                 inst = insts[pc]
                 if inst.privileged and not fetch_priv:
                     thread.fetch_stall_until = _FAR_FUTURE
+                    break
+                if (
+                    itlb is not None
+                    and not fetch_priv
+                    and itlb.lookup(vpn_of(pc * 4)) is None
+                ):
+                    stats.itlb_miss_events += 1
+                    self._activity = True
+                    # The mechanism may redirect this thread (traditional
+                    # trap) and may allocate uops of its own (quickstart
+                    # materializes a prefetched handler image): sync the
+                    # cached pc AND seq counter around the hook.
+                    thread.pc = pc
+                    if mechanism is not None:
+                        self._next_seq = seq
+                        mechanism.on_itlb_miss(thread, pc, now)
+                        seq = self._next_seq
+                    pc = thread.pc
                     break
                 ready = ifetch(pc * 4, now)
                 if ready > l1_limit:
@@ -399,6 +420,7 @@ class BatchedSMTCore(SMTCore):
         l1i_shift = l1i.line_shift
         l1i_mask = l1i.set_mask
         ifetch = self._ifetch
+        itlb = self.itlb
         rob_icount_key = _rob_icount_key
         # Retire / rename internals (see _do_retire / _rename / the
         # window and scheduler helpers this loop transcribes).
@@ -469,9 +491,11 @@ class BatchedSMTCore(SMTCore):
                     if head.state != window_state:
                         continue
                     if state is exception:
-                        master = threads[thread.master_tid]
-                        if not master.rob or master.rob[0] is not thread.master_uop:
-                            continue
+                        master_uop = thread.master_uop
+                        if master_uop is not None:
+                            master = threads[thread.master_tid]
+                            if not master.rob or master.rob[0] is not master_uop:
+                                continue
                     elif head.linked_handler is not None:
                         continue
                     if sanitizer is not None:
@@ -922,6 +946,25 @@ class BatchedSMTCore(SMTCore):
                     inst = insts[pc]
                     if inst.privileged and not fetch_priv:
                         thread.fetch_stall_until = _FAR_FUTURE
+                        break
+                    if (
+                        itlb is not None
+                        and not fetch_priv
+                        and itlb.lookup(vpn_of(pc * 4)) is None
+                    ):
+                        stats.itlb_miss_events += 1
+                        self._activity = True
+                        # The mechanism may redirect this thread
+                        # (traditional trap) and may allocate uops of its
+                        # own (quickstart materializes a prefetched
+                        # handler image): sync the cached pc AND seq
+                        # counter around the hook.
+                        thread.pc = pc
+                        if mechanism is not None:
+                            self._next_seq = seq
+                            mechanism.on_itlb_miss(thread, pc, now)
+                            seq = self._next_seq
+                        pc = thread.pc
                         break
                     # L1-I probe: hit fast path transcribed from
                     # Cache.access (stats, LRU clock, last-use, and the

@@ -69,7 +69,8 @@ class ExceptionInstance:
     #: The exception thread running the handler (None for traditional and
     #: hardware handling).
     thread: "ThreadContext | None" = None
-    #: Exception type: "dtlb_miss" or "emul".
+    #: Exception cause: "dtlb_miss", "itlb_miss", "unaligned", "emul",
+    #: "brev", or "swint" (docs/SCENARIOS.md cause catalog).
     exc_type: str = "dtlb_miss"
     #: Latched source value of the excepting instruction (Section 6
     #: register-read access; emulation exceptions).
@@ -258,16 +259,40 @@ class ExceptionMechanism:
             path,
         )
 
+    # -- per-cause accounting (docs/SCENARIOS.md) ------------------------
+    def _cause_count(self, table: dict, cause: str, n: int = 1) -> None:
+        """Bump one of the core's per-cause counters (``cause_taken`` /
+        ``cause_squashes`` / ``cause_handler_cycles``)."""
+        if n:
+            table[cause] = table.get(cause, 0) + n
+
     # -- events from the execute stage ---------------------------------
     def on_dtlb_miss(self, uop: "Uop", va: int, vpn: int, now: int) -> None:
         """A user-mode memory op failed translation at issue time."""
         raise NotImplementedError
 
     def on_tlbwr(self, uop: "Uop", va: int, pte: int, now: int) -> None:
-        """A handler executed ``tlbwr``."""
+        """A handler executed ``tlbwr`` or ``itlbwr``."""
 
     def on_emulation(self, uop: "Uop", src_value: int, now: int) -> None:
-        """A user-mode ``emul`` instruction needs software emulation."""
+        """A user-mode ``emul``/``brev``/``swint`` needs software service."""
+        raise NotImplementedError
+
+    # -- events from the fetch stage -------------------------------------
+    def on_itlb_miss(self, thread: "ThreadContext", pc: int, now: int) -> None:
+        """User-mode instruction fetch failed ITLB translation at ``pc``.
+
+        Unlike the data-side hooks there is no faulting uop: the fetch
+        produced nothing.  The mechanism must eventually redirect
+        ``thread`` into the ``itlb_miss`` handler (traditional trap) or
+        stall it while a handler thread installs the translation.
+        """
+        raise NotImplementedError
+
+    def on_unaligned(self, uop: "Uop", addr: int, now: int) -> None:
+        """A user-mode ``ld`` issued with a non-8-aligned effective
+        address (``config.align_check``); the fixup handler loads the
+        aligned-down word and completes the load via ``mtdst``."""
         raise NotImplementedError
 
     def on_mtdst(self, uop: "Uop", value: int, now: int) -> None:

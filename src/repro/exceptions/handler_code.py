@@ -113,8 +113,159 @@ def install_emul_handler(program: Program) -> int:
     return program.append_pal(insts, labels, name="emul")
 
 
-def install_handlers(program: Program) -> dict[str, int]:
-    """Install every PAL handler; returns {name: entry PC}."""
+# ---------------------------------------------------------------------------
+# repro.scenarios cause handlers (docs/SCENARIOS.md cause catalog).
+# ---------------------------------------------------------------------------
+
+#: Instruction-TLB miss handler.  Structurally the DTLB handler's twin:
+#: the latched VA is the *fetch* address (pc * 4), the PTE travels the
+#: same flat page table, and the fill instruction is ``itlbwr``.  The
+#: page-fault arm reverts through ``hardexc`` exactly like the data side.
+ITLB_MISS_HANDLER_SOURCE = f"""
+; Instruction-TLB miss handler ({PAGE_SHIFT}-bit page offset, flat page table)
+itlb_miss:
+    mfpr  r1, VA          ; faulting fetch address
+    mfpr  r2, PTBR        ; page table base
+    srl   r3, r1, {PAGE_SHIFT}
+    sll   r4, r3, 3
+    add   r4, r2, r4      ; &PTE
+    ld    r5, 0(r4)       ; PTE (privileged load: physical, cached)
+    and   r6, r5, 1       ; valid bit
+    beq   r6, r0, ipage_fault
+    itlbwr r1, r5         ; install fetch translation (speculative fill)
+    reti
+ipage_fault:
+    hardexc               ; needs the traditional mechanism's full powers
+    or    r5, r5, 1       ; "page in": mark the PTE valid
+    st    r5, 0(r4)
+    itlbwr r1, r5
+    reti
+"""
+
+#: Unaligned-access fixup handler: loads the aligned-down 8-byte word
+#: containing the faulting address (a privileged, physically-addressed
+#: load, same machinery as the PTE load) and completes the excepting
+#: ``ld`` with ``mtdst`` -- returning *past* it, like emulation.
+UNALIGNED_HANDLER_SOURCE = """
+unaligned_handler:
+    mfpr  r1, VA          ; faulting (misaligned) effective address
+    li    r2, -8
+    and   r1, r1, r2      ; align down to the containing word
+    ld    r3, 0(r1)       ; privileged load of the aligned word
+    mtdst r3
+    reti
+"""
+
+#: Byte-swap emulation handler (``brev``): the classic three-step
+#: SWAR bswap64, completing the excepting instruction via ``mtdst``.
+BREV_HANDLER_SOURCE = """
+brev_handler:
+    mfpr  r1, EXC_SRC
+    li    r2, 71777214294589695       ; 0x00ff00ff00ff00ff
+    and   r3, r1, r2
+    sll   r3, r3, 8
+    srl   r1, r1, 8
+    and   r1, r1, r2
+    or    r1, r1, r3                  ; bytes swapped within halfwords
+    li    r2, 281470681808895         ; 0x0000ffff0000ffff
+    and   r3, r1, r2
+    sll   r3, r3, 16
+    srl   r1, r1, 16
+    and   r1, r1, r2
+    or    r1, r1, r3                  ; halfwords swapped within words
+    sll   r3, r1, 32
+    srl   r1, r1, 32
+    or    r1, r1, r3                  ; words swapped
+    mtdst r1
+    reti
+"""
+
+#: Software-interrupt service handler (``swint``): a splitmix-style
+#: 64-bit mix of the latched source operand -- the paper's "any
+#: restartable exception" argument exercised with an arbitrary software
+#: service routine that still completes via ``mtdst``.
+SWINT_HANDLER_SOURCE = """
+swint_handler:
+    mfpr  r1, EXC_SRC
+    li    r2, 11400714819323198485    ; 0x9e3779b97f4a7c15
+    mul   r1, r1, r2
+    srl   r3, r1, 29
+    xor   r1, r1, r3
+    mtdst r1
+    reti
+"""
+
+
+def build_itlb_handler() -> tuple[list[Instruction], dict[str, int]]:
+    """Assemble the ITLB miss handler; returns (instructions, labels)."""
+    return assemble(ITLB_MISS_HANDLER_SOURCE, privileged=True)
+
+
+def itlb_handler_length() -> int:
+    """Common-case ITLB handler length (entry through reti)."""
+    return build_itlb_handler()[1]["ipage_fault"]
+
+
+def build_unaligned_handler() -> tuple[list[Instruction], dict[str, int]]:
+    """Assemble the unaligned-access fixup handler."""
+    return assemble(UNALIGNED_HANDLER_SOURCE, privileged=True)
+
+
+def unaligned_handler_length() -> int:
+    """Length of the unaligned fixup handler in instructions."""
+    return len(build_unaligned_handler()[0])
+
+
+def build_brev_handler() -> tuple[list[Instruction], dict[str, int]]:
+    """Assemble the byte-swap emulation handler."""
+    return assemble(BREV_HANDLER_SOURCE, privileged=True)
+
+
+def brev_handler_length() -> int:
+    """Length of the byte-swap handler in instructions."""
+    return len(build_brev_handler()[0])
+
+
+def build_swint_handler() -> tuple[list[Instruction], dict[str, int]]:
+    """Assemble the software-interrupt service handler."""
+    return assemble(SWINT_HANDLER_SOURCE, privileged=True)
+
+
+def swint_handler_length() -> int:
+    """Length of the software-interrupt handler in instructions."""
+    return len(build_swint_handler()[0])
+
+
+#: Cause name -> (builder, common-case length fn).  The restartability
+#: pass and the simulator's handler-length registration both iterate
+#: this catalog, so a new cause is one entry here plus its source above.
+CAUSE_HANDLERS: dict[str, tuple] = {
+    "dtlb_miss": (build_dtlb_handler, handler_length),
+    "emul": (build_emul_handler, emul_handler_length),
+    "itlb_miss": (build_itlb_handler, itlb_handler_length),
+    "unaligned": (build_unaligned_handler, unaligned_handler_length),
+    "brev": (build_brev_handler, brev_handler_length),
+    "swint": (build_swint_handler, swint_handler_length),
+}
+
+
+def install_scenario_handlers(program: Program) -> dict[str, int]:
+    """Append the repro.scenarios cause handlers (ITLB miss, unaligned
+    fixup, byte-swap emulation, software interrupt) to ``program``."""
+    for name in ("itlb_miss", "unaligned", "brev", "swint"):
+        insts, labels = CAUSE_HANDLERS[name][0]()
+        program.append_pal(insts, labels, name=name)
+    return dict(program.pal_entries)
+
+
+def install_handlers(program: Program, scenario_causes: bool = False) -> dict[str, int]:
+    """Install every PAL handler; returns {name: entry PC}.
+
+    ``scenario_causes=True`` additionally installs the repro.scenarios
+    cause handlers; the default image set is byte-identical to the seed.
+    """
     install_dtlb_handler(program)
     install_emul_handler(program)
+    if scenario_causes:
+        install_scenario_handlers(program)
     return dict(program.pal_entries)

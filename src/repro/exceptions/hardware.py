@@ -294,6 +294,14 @@ class HardwareWalkerMechanism(ExceptionMechanism):
         # No hardware emulates instructions: trap traditionally.
         self.traditional.on_emulation(uop, src_value, now)
 
+    def on_itlb_miss(self, thread, pc: int, now: int) -> None:
+        """The walker is a data-side FSM: fetch misses trap traditionally."""
+        self.traditional.on_itlb_miss(thread, pc, now)
+
+    def on_unaligned(self, uop: Uop, addr: int, now: int) -> None:
+        """No hardware fixes up alignment: trap traditionally."""
+        self.traditional.on_unaligned(uop, addr, now)
+
     def on_tlbwr(self, uop: Uop, va: int, pte: int, now: int) -> None:
         """Handler software only runs on the traditional fallback."""
         # Only the traditional fallback path executes handler software.

@@ -41,6 +41,8 @@ from repro.memory.page_table import pte_pfn
 from repro.pipeline.thread import ThreadContext, ThreadState
 from repro.pipeline.uop import Uop, UopState
 
+_FAR_FUTURE = 1 << 60
+
 
 class MultithreadedMechanism(ExceptionMechanism):
     """Handler threads with spliced retirement."""
@@ -52,6 +54,12 @@ class MultithreadedMechanism(ExceptionMechanism):
         self.traditional = TraditionalMechanism()
         #: vpn -> live (unfilled or unretired) exception instance.
         self._by_vpn: dict[int, ExceptionInstance] = {}
+        #: vpn -> live instruction-TLB miss instance (master-less: the
+        #: faulting fetch produced no uop, so the "master" is a stalled
+        #: thread front end rather than a window entry).
+        self._itlb_pending: dict[int, ExceptionInstance] = {}
+        #: vpn -> tids whose fetch is stalled on that ITLB fill.
+        self._itlb_waiters: dict[int, list[int]] = {}
         #: Section 4.3: which exception types deserve a handler thread.
         self.spawn_predictor = SpawnPredictor()
         self._suppressed: dict[str, int] = {}
@@ -119,8 +127,14 @@ class MultithreadedMechanism(ExceptionMechanism):
                 instance.thread.master_tid = uop.thread_id
 
     def on_emulation(self, uop: Uop, src_value: int, now: int) -> None:
-        """Section 6 generalized mechanism: emulate in a handler thread."""
-        if not self._spawning_worthwhile("emul"):
+        """Section 6 generalized mechanism: emulate in a handler thread.
+
+        The cause string is the excepting mnemonic (emul/brev/swint), so
+        each software-serviced opcode gets its own predictor entry,
+        handler image, and per-cause attribution.
+        """
+        cause = uop.inst.op.value
+        if not self._spawning_worthwhile(cause):
             self.traditional.on_emulation(uop, src_value, now)
             return
         thread = self.core.find_idle_thread()
@@ -133,10 +147,110 @@ class MultithreadedMechanism(ExceptionMechanism):
             va=0,
             master_uop=uop,
             thread=thread,
-            exc_type="emul",
+            exc_type=cause,
             src_value=src_value,
         )
         self._spawn(thread, uop, instance, now)
+
+    def on_unaligned(self, uop: Uop, addr: int, now: int) -> None:
+        """Unaligned-access fixup in a handler thread: the handler loads
+        the aligned-down word and completes the master via ``mtdst``."""
+        if not self._spawning_worthwhile("unaligned"):
+            self.traditional.on_unaligned(uop, addr, now)
+            return
+        thread = self.core.find_idle_thread()
+        if thread is None:
+            self.stats.reverted_no_thread += 1
+            self.traditional.on_unaligned(uop, addr, now)
+            return
+        instance = ExceptionInstance(
+            vpn=-1,
+            va=addr,
+            master_uop=uop,
+            thread=thread,
+            exc_type="unaligned",
+        )
+        self._spawn(thread, uop, instance, now)
+
+    def on_itlb_miss(self, thread: ThreadContext, pc: int, now: int) -> None:
+        """Instruction-TLB miss: the faulting *fetch* produced no uop, so
+        the handler thread runs master-less and the faulting thread's
+        front end simply stalls until the fill lands (or the handler is
+        reclaimed, at which point the refetch re-raises the miss)."""
+        self.stats.misses_seen += 1
+        va = pc * 4
+        vpn = vpn_of(va)
+        instance = self._itlb_pending.get(vpn)
+        if instance is not None and not instance.squashed and not instance.filled:
+            # Secondary fetch miss to a page whose fill is in flight:
+            # stall this front end on the same instance.
+            self.stats.secondary_merges += 1
+            tids = self._itlb_waiters.setdefault(vpn, [])
+            if thread.tid not in tids:
+                tids.append(thread.tid)
+            thread.fetch_stall_until = _FAR_FUTURE
+            return
+        if not self._spawning_worthwhile("itlb_miss"):
+            self.traditional.on_itlb_miss(thread, pc, now)
+            return
+        handler = self.core.find_idle_thread()
+        if handler is None:
+            self.stats.reverted_no_thread += 1
+            self.traditional.on_itlb_miss(thread, pc, now)
+            return
+        self._spawn_itlb(handler, thread, va, vpn, now)
+
+    def _spawn_itlb(
+        self,
+        thread: ThreadContext,
+        master: ThreadContext,
+        va: int,
+        vpn: int,
+        now: int,
+    ) -> None:
+        """Allocate ``thread`` as a master-less ITLB handler context."""
+        self.stats.spawns += 1
+        core = self.core
+        instance = ExceptionInstance(
+            vpn=vpn, va=va, master_uop=None, thread=thread, exc_type="itlb_miss"
+        )
+        instance.spawn_cycle = now
+        self._itlb_pending[vpn] = instance
+        self._itlb_waiters[vpn] = [master.tid]
+        self._cause_count(core.stats.cause_taken, "itlb_miss")
+        self._emit_spawn(
+            instance, thread.tid, "thread", now,
+            master_tid=master.tid, master_seq=-1,
+        )
+
+        thread.state = ThreadState.EXCEPTION
+        thread.program = master.program
+        thread.master_tid = master.tid
+        thread.master_uop = None
+        thread.exc_instance = instance
+        thread.fetch_priv = True
+        thread.fetch_done = False
+        thread.priv_regs[PrivReg.VA] = va
+        thread.priv_regs[PrivReg.EXC_SRC] = 0
+        thread.priv_regs[PrivReg.PTBR] = master.priv_regs[PrivReg.PTBR]
+
+        if not core.config.limits.no_window_overhead:
+            length = core.handler_lengths.get("itlb_miss", core.handler_length)
+            core.window.reserve(instance.id, length)
+
+        master.fetch_stall_until = _FAR_FUTURE
+
+        if core.config.limits.instant_fetch:
+            self._materialize_instantly(thread, now)
+        else:
+            self._start_frontend(thread, now)
+
+    def _wake_itlb_masters(self, vpn: int, now: int) -> None:
+        """Release every front end stalled on this ITLB fill."""
+        for tid in self._itlb_waiters.pop(vpn, ()):
+            waiter = self.core.threads[tid]
+            if waiter.fetch_stall_until >= _FAR_FUTURE:
+                waiter.fetch_stall_until = now + 1
 
     def _spawn(
         self,
@@ -156,6 +270,7 @@ class MultithreadedMechanism(ExceptionMechanism):
         instance.spawn_cycle = now
         if instance.exc_type == "dtlb_miss":
             self._by_vpn[instance.vpn] = instance
+        self._cause_count(core.stats.cause_taken, instance.exc_type)
         self._emit_spawn(instance, thread.tid, "thread", now)
 
         uop.exc_instance = instance
@@ -246,6 +361,17 @@ class MultithreadedMechanism(ExceptionMechanism):
         if instance is None or instance.squashed:
             return
         uop.exc_instance = instance
+        if uop.inst.op is Opcode.ITLBWR:
+            self.core.itlb.fill(
+                vpn_of(va), pte_pfn(pte), speculative=True, producer=instance.id
+            )
+            instance.filled = True
+            instance.fill_cycle = now
+            self._wake_itlb_masters(instance.vpn, now)
+            # New fetch misses to this page must spawn fresh handling.
+            if self._itlb_pending.get(instance.vpn) is instance:
+                del self._itlb_pending[instance.vpn]
+            return
         self.core.dtlb.fill(
             vpn_of(va), pte_pfn(pte), speculative=True, producer=instance.id
         )
@@ -296,8 +422,22 @@ class MultithreadedMechanism(ExceptionMechanism):
         instance = thread.exc_instance
         if instance is not None:
             self.spawn_predictor.record_reversion(instance.exc_type)
-        master_uop = instance.master_uop if instance else None
         master = self.core.threads[thread.master_tid]
+        if instance is not None and instance.exc_type == "itlb_miss":
+            # Master-less reversion.  Only re-trap the master if it is
+            # still stalled waiting on *this* miss: a speculatively
+            # executed itlbwr may already have woken it (and been rolled
+            # back when the walk-fault branch resolved), in which case
+            # the master has moved on -- possibly into a different trap
+            # whose latched VA/EXC_PC must not be clobbered.  The
+            # rolled-back entry simply re-misses on next use.
+            va = instance.va
+            stalled = master.fetch_stall_until >= _FAR_FUTURE
+            self._reclaim(thread, now)
+            if stalled:
+                self.traditional.trap_itlb(master, va // 4, now)
+            return
+        master_uop = instance.master_uop if instance else None
         self._reclaim(thread, now)
         if master_uop is not None and master_uop.state != UopState.SQUASHED:
             self.traditional.trap(master, master_uop, instance.va, now)
@@ -320,6 +460,14 @@ class MultithreadedMechanism(ExceptionMechanism):
             if instance.exc_type == "dtlb_miss":
                 self.core.dtlb.confirm(instance.id)
                 self.stats.committed_fills += 1
+            elif instance.exc_type == "itlb_miss":
+                self.core.itlb.confirm(instance.id)
+                self.stats.committed_fills += 1
+                # Normally woken at the itlbwr fill; belt-and-braces for
+                # any front end still parked on this instance.
+                self._wake_itlb_masters(instance.vpn, now)
+                if self._itlb_pending.get(instance.vpn) is instance:
+                    del self._itlb_pending[instance.vpn]
             else:
                 self.stats.emulations += 1
             if instance.master_uop is not None:
@@ -327,6 +475,12 @@ class MultithreadedMechanism(ExceptionMechanism):
             if self._by_vpn.get(instance.vpn) is instance:
                 del self._by_vpn[instance.vpn]
             self.core.window.release(instance.id)
+            if instance.spawn_cycle >= 0:
+                self._cause_count(
+                    self.core.stats.cause_handler_cycles,
+                    instance.exc_type,
+                    now - instance.spawn_cycle,
+                )
             self._emit_splice(instance, thread.tid, "thread", now)
         self._thread_freed(thread, now)
         thread.reset_to_idle()
@@ -356,7 +510,7 @@ class MultithreadedMechanism(ExceptionMechanism):
                 if pending is not None and uop in pending.waiters:
                     pending.waiters.remove(uop)
             return
-        if uop.inst.op is Opcode.TLBWR:
+        if uop.inst.op in (Opcode.TLBWR, Opcode.ITLBWR):
             if not self.core.threads[uop.thread_id].is_exception_thread:
                 self.traditional.on_uop_squashed(uop, now)
             # Exception-thread tlbwr squashes are handled by _reclaim.
@@ -393,20 +547,29 @@ class MultithreadedMechanism(ExceptionMechanism):
             instance = thread.exc_instance
             if instance is None or instance.squashed:
                 continue
-            if (
-                instance.master_uop is not None
-                and instance.master_uop.seq in refaulted
-            ):
-                continue  # once per master: guarantees forward progress
             master_uop = instance.master_uop
             exc_type = instance.exc_type
+            if master_uop is None:
+                # Master-less ITLB handler: key the once-only guard on the
+                # (stalled thread, page) pair instead of a master seq.
+                key = ("itlb", thread.master_tid, instance.vpn)
+                if key in refaulted:
+                    continue
+                refaulted.add(key)
+                # Reclaim wakes the stalled front ends; their refetch
+                # re-misses and respawns the handler from scratch.
+                self._reclaim(thread, now)
+                return f"squashed handler thread t{thread.tid} ({exc_type})"
+            if master_uop.seq in refaulted:
+                continue  # once per master: guarantees forward progress
             va, vpn, src = instance.va, instance.vpn, instance.src_value
-            if master_uop is not None:
-                refaulted.add(master_uop.seq)
+            refaulted.add(master_uop.seq)
             self._reclaim(thread, now)
-            if master_uop is not None and master_uop.state != UopState.SQUASHED:
+            if master_uop.state != UopState.SQUASHED:
                 if exc_type == "dtlb_miss":
                     self.on_dtlb_miss(master_uop, va, vpn, now)
+                elif exc_type == "unaligned":
+                    self.on_unaligned(master_uop, va, now)
                 else:
                     self.on_emulation(master_uop, src, now)
             return f"squashed handler thread t{thread.tid} ({exc_type})"
@@ -432,6 +595,13 @@ class MultithreadedMechanism(ExceptionMechanism):
                 core.wake_uop(waiter)
             if self._by_vpn.get(instance.vpn) is instance:
                 del self._by_vpn[instance.vpn]
+            if instance.exc_type == "itlb_miss":
+                # Wake the stalled front ends: their refetch re-raises
+                # the miss (the fill, if any, rolls back below).
+                self._wake_itlb_masters(instance.vpn, now)
+                if self._itlb_pending.get(instance.vpn) is instance:
+                    del self._itlb_pending[instance.vpn]
+                core.itlb.rollback(instance.id)
             core.dtlb.rollback(instance.id)
             core.window.release(instance.id)
         thread.exc_instance = None
@@ -449,6 +619,13 @@ class MultithreadedMechanism(ExceptionMechanism):
             [vpn, ctx.instance_ref(inst)]
             for vpn, inst in self._by_vpn.items()
         ]
+        state["itlb_pending"] = [
+            [vpn, ctx.instance_ref(inst)]
+            for vpn, inst in self._itlb_pending.items()
+        ]
+        state["itlb_waiters"] = [
+            [vpn, list(tids)] for vpn, tids in self._itlb_waiters.items()
+        ]
         state["spawn_predictor"] = self.spawn_predictor.snapshot_state(ctx)
         state["suppressed"] = [[k, v] for k, v in self._suppressed.items()]
         state["spawn_probe_interval"] = self.spawn_probe_interval
@@ -460,16 +637,35 @@ class MultithreadedMechanism(ExceptionMechanism):
         self._by_vpn = {
             vpn: ctx.resolve_instance(ref) for vpn, ref in state["by_vpn"]
         }
+        # .get(): pre-scenario checkpoints have no ITLB state.
+        self._itlb_pending = {
+            vpn: ctx.resolve_instance(ref)
+            for vpn, ref in state.get("itlb_pending", [])
+        }
+        self._itlb_waiters = {
+            vpn: list(tids) for vpn, tids in state.get("itlb_waiters", [])
+        }
         self.spawn_predictor.restore_state(state["spawn_predictor"], ctx)
         self._suppressed = {k: v for k, v in state["suppressed"]}
         self.spawn_probe_interval = state["spawn_probe_interval"]
 
     def drain(self, now: int) -> None:
-        """Forget in-flight exception work.  Handler threads were already
-        reclaimed by the squash cascade (their masters died); predictor
-        learning state is architectural and survives."""
+        """Forget in-flight exception work.  Handler threads with a master
+        uop were already reclaimed by the squash cascade (their masters
+        died); master-less ITLB handlers have no uop to die with and are
+        reclaimed here.  Predictor learning state is architectural and
+        survives."""
+        for thread in self.core.threads:
+            if (
+                thread.state is ThreadState.EXCEPTION
+                and thread.exc_instance is not None
+                and thread.exc_instance.master_uop is None
+            ):
+                self._reclaim(thread, now)
         self.traditional.drain(now)
         self._by_vpn.clear()
+        self._itlb_pending.clear()
+        self._itlb_waiters.clear()
 
     def drain_resume_pc(self, thread: ThreadContext) -> int:
         # Only the traditional fallback leaves a NORMAL thread mid-handler
@@ -491,3 +687,11 @@ class MultithreadedMechanism(ExceptionMechanism):
             self._reclaim(instance.thread, now)
             if master_uop is not None and master_uop.state != UopState.SQUASHED:
                 self.on_dtlb_miss(master_uop, va, vpn, now)
+        for instance in list(self._itlb_pending.values()):
+            if instance.thread is None or instance.squashed:
+                continue
+            if pt.pte_address(instance.vpn) != addr:
+                continue
+            # Reclaim wakes the stalled front ends; their refetch
+            # re-misses and handling restarts against the new PTE.
+            self._reclaim(instance.thread, now)

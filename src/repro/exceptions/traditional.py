@@ -51,19 +51,76 @@ class TraditionalMechanism(ExceptionMechanism):
     def trap_emul(
         self, thread: ThreadContext, uop: Uop, src_value: int, now: int
     ) -> None:
-        """Take a traditional instruction-emulation trap at ``uop``.
+        """Take a traditional software-service trap at ``uop`` (``emul``,
+        ``brev``, or ``swint``; the cause string is the mnemonic).
 
         The hardware latches the faulting instruction's source value and
         destination register; ``reti`` returns *past* the emulated
         instruction (it never re-executes).
         """
+        cause = uop.inst.op.value
         thread.priv_regs[PrivReg.EXC_SRC] = src_value
         thread.priv_regs[PrivReg.EXC_DST] = uop.inst.rd or 0
         thread.priv_regs[PrivReg.EXC_PC] = uop.pc + 1
         instance = ExceptionInstance(
-            vpn=-1, va=0, master_uop=None, exc_type="emul", src_value=src_value
+            vpn=-1, va=0, master_uop=None, exc_type=cause, src_value=src_value
         )
-        self._enter_handler(thread, uop, instance, "emul", now)
+        self._enter_handler(thread, uop, instance, cause, now)
+
+    def trap_unaligned(
+        self, thread: ThreadContext, uop: Uop, addr: int, now: int
+    ) -> None:
+        """Take a traditional unaligned-access trap at a user ``ld``.
+
+        Like emulation, the handler completes the load (``mtdst`` of the
+        aligned-down word) and ``reti`` returns *past* it.
+        """
+        thread.priv_regs[PrivReg.VA] = addr
+        thread.priv_regs[PrivReg.EXC_DST] = uop.inst.rd or 0
+        thread.priv_regs[PrivReg.EXC_PC] = uop.pc + 1
+        instance = ExceptionInstance(
+            vpn=-1, va=addr, master_uop=None, exc_type="unaligned"
+        )
+        self._enter_handler(thread, uop, instance, "unaligned", now)
+
+    def trap_itlb(self, thread: ThreadContext, pc: int, now: int) -> None:
+        """Take a traditional instruction-TLB miss trap at fetch ``pc``.
+
+        Unlike the data-side traps there is no faulting uop and nothing
+        to squash: the fetch produced nothing, and everything older in
+        the thread is correct-path work that keeps running while the
+        handler refills the ITLB.
+        """
+        instance = self._active.get(thread.tid)
+        if instance is not None and any(u.is_handler for u in thread.rob):
+            # An earlier trap's handler is still in flight (its reti has
+            # executed but not retired).  Entering a new handler now
+            # would tear down its instance bookkeeping; retry the fetch
+            # next cycle instead.  (A *stale* wrong-path instance has no
+            # handler uops left and does not block.)
+            thread.fetch_stall_until = now + 1
+            return
+        self.stats.traps += 1
+        va = pc * 4
+        thread.priv_regs[PrivReg.VA] = va
+        thread.priv_regs[PrivReg.EXC_PC] = pc
+        instance = ExceptionInstance(
+            vpn=vpn_of(va), va=va, master_uop=None, exc_type="itlb_miss"
+        )
+        instance.spawn_cycle = now
+        self._active[thread.tid] = instance
+        self._cause_count(self.core.stats.cause_taken, "itlb_miss")
+        self._emit_spawn(
+            instance, thread.tid, "trap", now,
+            master_tid=thread.tid, master_seq=-1,
+        )
+        entry = self.core.pal_entries.get("itlb_miss")
+        if entry is None:
+            raise RuntimeError("no 'itlb_miss' handler installed in the program")
+        thread.pc = entry
+        thread.fetch_priv = True
+        thread.fetch_stall_until = now + 1
+        thread.fetch_wait_uop = None
 
     def _enter_handler(
         self,
@@ -74,9 +131,12 @@ class TraditionalMechanism(ExceptionMechanism):
         now: int,
     ) -> None:
         self.stats.traps += 1
-        self.core.squash_from(thread, uop.seq - 1, now)
+        squashed = self.core.squash_from(thread, uop.seq - 1, now)
         instance.spawn_cycle = now
         self._active[thread.tid] = instance
+        stats = self.core.stats
+        self._cause_count(stats.cause_taken, instance.exc_type)
+        self._cause_count(stats.cause_squashes, instance.exc_type, squashed)
         self._emit_spawn(
             instance, thread.tid, "trap", now,
             master_tid=thread.tid, master_seq=uop.seq,
@@ -97,7 +157,8 @@ class TraditionalMechanism(ExceptionMechanism):
         if instance is None:
             return
         uop.exc_instance = instance
-        self.core.dtlb.fill(
+        tlb = self.core.itlb if uop.inst.op is Opcode.ITLBWR else self.core.dtlb
+        tlb.fill(
             vpn_of(va), pte_pfn(pte), speculative=True, producer=instance.id
         )
         instance.filled = True
@@ -120,9 +181,19 @@ class TraditionalMechanism(ExceptionMechanism):
             thread.fetch_wait_uop = None
 
     def on_emulation(self, uop: Uop, src_value: int, now: int) -> None:
-        """Emulation exception: trap to the emulation handler."""
+        """Software-service exception: trap to the cause's handler."""
         thread = self.core.threads[uop.thread_id]
         self.trap_emul(thread, uop, src_value, now)
+
+    def on_itlb_miss(self, thread: ThreadContext, pc: int, now: int) -> None:
+        """Trap: redirect fetch into the ITLB refill handler."""
+        self.stats.misses_seen += 1
+        self.trap_itlb(thread, pc, now)
+
+    def on_unaligned(self, uop: Uop, addr: int, now: int) -> None:
+        """Trap: the fixup handler completes the misaligned load."""
+        thread = self.core.threads[uop.thread_id]
+        self.trap_unaligned(thread, uop, addr, now)
 
     def on_reti_retired(self, uop: Uop, now: int) -> None:
         """Confirm the fill (or count the emulation) architecturally."""
@@ -132,8 +203,17 @@ class TraditionalMechanism(ExceptionMechanism):
             if instance.exc_type == "dtlb_miss":
                 self.core.dtlb.confirm(instance.id)
                 self.stats.committed_fills += 1
+            elif instance.exc_type == "itlb_miss":
+                self.core.itlb.confirm(instance.id)
+                self.stats.committed_fills += 1
             else:
                 self.stats.emulations += 1
+            if instance.spawn_cycle >= 0:
+                self._cause_count(
+                    self.core.stats.cause_handler_cycles,
+                    instance.exc_type,
+                    now - instance.spawn_cycle,
+                )
             if self._active.get(thread.tid) is instance:
                 del self._active[thread.tid]
             self._emit_splice(instance, thread.tid, "trap", now)
@@ -235,10 +315,12 @@ class TraditionalMechanism(ExceptionMechanism):
     def drain_resume_pc(self, thread: ThreadContext) -> int:
         pc = thread.priv_regs[PrivReg.EXC_PC]
         instance = self._active.get(thread.tid)
-        if instance is not None and instance.exc_type == "emul":
-            # trap_emul latched pc+1 (reti skips the emulated
+        if instance is not None and instance.exc_type in (
+            "emul", "brev", "swint", "unaligned"
+        ):
+            # These traps latched pc+1 (reti skips the serviced
             # instruction), but the handler's mtdst may not have retired;
-            # re-executing the emul instruction is idempotent and safe.
+            # re-executing the serviced instruction is idempotent and safe.
             return pc - 1
         return pc
 
@@ -250,5 +332,9 @@ class TraditionalMechanism(ExceptionMechanism):
         # whose tlbwr must still find its instance.  If the whole trap was
         # on the wrong path the stale instance is harmless -- the next
         # trap overwrites it and reti attaches its instance at execute.
-        if uop.inst.op is Opcode.TLBWR and uop.exc_instance is not None:
-            self.core.dtlb.rollback(uop.exc_instance.id)
+        op = uop.inst.op
+        if uop.exc_instance is not None:
+            if op is Opcode.TLBWR:
+                self.core.dtlb.rollback(uop.exc_instance.id)
+            elif op is Opcode.ITLBWR:
+                self.core.itlb.rollback(uop.exc_instance.id)

@@ -14,7 +14,7 @@ import os
 import sys
 from pathlib import Path
 
-from repro.faults.fuzz import DEFECTS, fuzz
+from repro.faults.fuzz import CAUSES, DEFECTS, fuzz
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
         "exactly (digest, cycles, every counter)",
     )
     parser.add_argument(
+        "--causes", default=None, metavar="LIST",
+        help="comma-separated restartable-exception causes every case "
+        f"targets ({', '.join(CAUSES)}); default rotates through all "
+        "cause sets by seed",
+    )
+    parser.add_argument(
         "--stats-out", type=Path, default=None, metavar="FILE",
         help="write corpus statistics (JSON) here, pass or fail",
     )
@@ -77,6 +83,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.programs is not None and args.programs <= 0:
         print("error: --programs must be positive", file=sys.stderr)
         return 2
+    causes = None
+    if args.causes is not None:
+        causes = tuple(
+            part.strip() for part in args.causes.split(",") if part.strip()
+        )
+        unknown = sorted(set(causes) - set(CAUSES))
+        if unknown:
+            print(
+                f"error: unknown causes {', '.join(unknown)} "
+                f"(known: {', '.join(CAUSES)})",
+                file=sys.stderr,
+            )
+            return 2
     # The fuzzer owns its fault schedules; an inherited REPRO_FAULTS
     # would also fault the perfect reference run and poison the oracle.
     os.environ.pop("REPRO_FAULTS", None)
@@ -95,6 +114,7 @@ def main(argv: list[str] | None = None) -> int:
         defect=args.defect,
         shrink=not args.no_shrink,
         engine_diff=args.engine_diff,
+        causes=causes,
         log=log,
         **kwargs,
     )

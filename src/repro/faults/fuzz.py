@@ -51,13 +51,21 @@ from repro.analysis.diagnostics import Severity
 from repro.analysis.guest import analyze_source
 from repro.analysis.sanitizer import SanitizerError
 from repro.faults.config import FAULT_KINDS
-from repro.faults.progen import GeneratedProgram, Rng, generate_program, render_program
+from repro.faults.progen import (
+    CAUSES,
+    GeneratedProgram,
+    Rng,
+    generate_program,
+    render_program,
+)
 from repro.isa.registers import SHADOW_BASE
 from repro.sim.config import MachineConfig
 from repro.sim.simulator import Simulator
 from repro.workloads.builder import make_program
 
 __all__ = [
+    "CAUSES",
+    "CAUSE_ROTATION",
     "DEFECTS",
     "Divergence",
     "FuzzCase",
@@ -65,6 +73,7 @@ __all__ = [
     "arch_digest",
     "fuzz",
     "make_case",
+    "overrides_for_causes",
     "run_case",
     "run_engine_diff_case",
     "shrink_case",
@@ -151,9 +160,37 @@ class FuzzCase:
     seed: int
     program: GeneratedProgram
     faults: str
+    #: Exception causes the case targets (drives handler install).
+    causes: tuple = ()
+    #: MachineConfig overrides applied to *every* run of the case,
+    #: including the perfect reference (itlb_entries, align_check, ...).
+    config_overrides: dict = field(default_factory=dict)
 
     def rendered(self) -> str:
         return self.program.source
+
+
+#: Per-seed cause-set rotation for the default corpus: the plain
+#: pre-scenario mix, each scenario cause in isolation, then everything
+#: at once.  ``repro-fuzz`` therefore covers every restartable cause
+#: with no extra flags.
+CAUSE_ROTATION = (
+    (),
+    ("brev", "swint"),
+    ("unaligned",),
+    ("itlb_miss",),
+    ("itlb_miss", "unaligned", "brev", "swint"),
+)
+
+
+def overrides_for_causes(causes: tuple) -> dict:
+    """The MachineConfig knobs a cause set needs to actually fire."""
+    overrides: dict = {}
+    if "itlb_miss" in causes:
+        overrides["itlb_entries"] = 1  # thrash: the loop spans 2 pages
+    if "unaligned" in causes:
+        overrides["align_check"] = True
+    return overrides
 
 
 def make_fault_spec(seed: int) -> str:
@@ -182,11 +219,23 @@ def make_fault_spec(seed: int) -> str:
     return ",".join(parts)
 
 
-def make_case(seed: int, length: int = 36, iters: int = 24) -> FuzzCase:
+def make_case(
+    seed: int,
+    length: int = 36,
+    iters: int = 24,
+    causes: tuple | None = None,
+) -> FuzzCase:
+    """Build one case; ``causes=None`` rotates :data:`CAUSE_ROTATION`
+    by seed so the default corpus exercises every restartable cause."""
+    if causes is None:
+        causes = CAUSE_ROTATION[seed % len(CAUSE_ROTATION)]
+    causes = tuple(causes)
     return FuzzCase(
         seed=seed,
-        program=generate_program(seed, length=length, iters=iters),
+        program=generate_program(seed, length=length, iters=iters, causes=causes),
         faults=make_fault_spec(seed),
+        causes=causes,
+        config_overrides=overrides_for_causes(causes),
     )
 
 
@@ -262,8 +311,17 @@ def run_program(
     kernels execute their production batch-stepping path, not just
     single ``step()`` calls.
     """
-    program = make_program(case.program.source, regions=case.program.regions)
-    config = MachineConfig(mechanism=mechanism, faults=faults, sanitize=True)
+    program = make_program(
+        case.program.source,
+        regions=case.program.regions,
+        scenario_causes=bool(case.causes),
+    )
+    config = MachineConfig(
+        mechanism=mechanism,
+        faults=faults,
+        sanitize=True,
+        **case.config_overrides,
+    )
     sim = Simulator(program, config, core_cls=core_cls)
     if defect is not None:
         DEFECTS[defect](sim)
@@ -520,7 +578,12 @@ def _with_ops(case: FuzzCase, ops: list, iters: int) -> FuzzCase:
         case.program,
         ops=list(ops),
         iters=iters,
-        source=render_program(list(ops), case.program.seed, iters),
+        source=render_program(
+            list(ops),
+            case.program.seed,
+            iters,
+            itlb_stride=case.program.itlb_stride,
+        ),
     )
     return dataclasses.replace(case, program=program)
 
@@ -603,6 +666,8 @@ class FuzzReport:
     failures: list = field(default_factory=list)
     defect: str | None = None
     engine_diff: bool = False
+    #: Cause filter the session was pinned to (None = seed rotation).
+    causes: list | None = None
 
     @property
     def ok(self) -> bool:
@@ -617,6 +682,7 @@ class FuzzReport:
             "fault_counts": dict(self.fault_counts),
             "defect": self.defect,
             "engine_diff": self.engine_diff,
+            "causes": list(self.causes) if self.causes is not None else None,
             "failures": list(self.failures),
         }
 
@@ -636,6 +702,8 @@ def _write_artifacts(
     manifest = {
         "seed": case.seed,
         "faults": case.faults,
+        "causes": list(case.causes),
+        "config_overrides": dict(case.config_overrides),
         "defect": defect,
         "divergences": [dataclasses.asdict(d) for d in result.divergences],
         "original_ops": len(case.program.ops),
@@ -647,6 +715,8 @@ def _write_artifacts(
             "source": "shrunken.s",
             "regions": shrunk.program.regions,
             "faults": shrunk.faults,
+            "causes": list(shrunk.causes),
+            "config_overrides": dict(shrunk.config_overrides),
             "mechanisms": [d.mechanism for d in result.divergences],
         },
     }
@@ -663,6 +733,7 @@ def fuzz(
     max_cycles: int = DEFAULT_MAX_CYCLES,
     shrink: bool = True,
     engine_diff: bool = False,
+    causes: tuple | None = None,
     log=None,
 ) -> FuzzReport:
     """Run differential trials until the budget or program cap is hit.
@@ -671,15 +742,26 @@ def fuzz(
     artifacts): one minimal reproducer beats a pile of noisy ones, and
     CI wants fast signal.  ``engine_diff`` fuzzes the batched engine
     kernel against the reference kernel (:func:`run_engine_diff_case`)
-    instead of the mechanisms against each other.
+    instead of the mechanisms against each other.  ``causes`` pins every
+    case to one cause set (``None`` rotates the default corpus through
+    :data:`CAUSE_ROTATION`).
     """
     if defect is not None and defect not in DEFECTS:
         raise ValueError(
             f"unknown defect {defect!r}; known: {', '.join(sorted(DEFECTS))}"
         )
+    if causes is not None:
+        unknown = sorted(set(causes) - set(CAUSES))
+        if unknown:
+            raise ValueError(
+                f"unknown causes {unknown}; known: {', '.join(CAUSES)}"
+            )
     if budget_seconds is None and max_programs is None:
         max_programs = 20
-    report = FuzzReport(seed=seed, defect=defect, engine_diff=engine_diff)
+    report = FuzzReport(
+        seed=seed, defect=defect, engine_diff=engine_diff,
+        causes=list(causes) if causes is not None else None,
+    )
     start = time.monotonic()
     case_index = 0
     while True:
@@ -690,7 +772,7 @@ def fuzz(
             and time.monotonic() - start >= budget_seconds
         ):
             break
-        case = make_case(seed + case_index)
+        case = make_case(seed + case_index, causes=causes)
         case_index += 1
         run_one = run_engine_diff_case if engine_diff else run_case
         result = run_one(case, defect=defect, max_cycles=max_cycles)
@@ -717,6 +799,7 @@ def fuzz(
         failure = {
             "seed": case.seed,
             "faults": case.faults,
+            "causes": list(case.causes),
             "divergences": [dataclasses.asdict(d) for d in result.divergences],
             "shrunken_ops": len(shrunk.program.ops),
             "original_ops": len(case.program.ops),

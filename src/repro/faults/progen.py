@@ -31,7 +31,14 @@ from dataclasses import dataclass, field
 
 from repro.faults.config import splitmix64
 
-__all__ = ["GenOp", "GeneratedProgram", "Rng", "generate_ops", "render_program"]
+__all__ = [
+    "CAUSES",
+    "GenOp",
+    "GeneratedProgram",
+    "Rng",
+    "generate_ops",
+    "render_program",
+]
 
 #: Base of the data region every memory op is masked into.
 DATA_BASE = 0x1000_0000
@@ -42,13 +49,28 @@ REGION_BYTES = PAGES * 8192
 #: Word-aligned offset mask within the region (region size is 2**20).
 OFF_MASK = (REGION_BYTES - 1) & ~0x7
 
+#: A second, *load-only* region for unaligned accesses.  No store ever
+#: targets it, so a trapping misaligned load and the perfect machine's
+#: silently-aligned load read the same (zero-filled) words and the
+#: architectural digest stays mechanism-invariant by construction.
+LOAD_BASE = 0x2000_0000
+LOAD_PAGES = 16
+LOAD_REGION_BYTES = LOAD_PAGES * 8192
+LOAD_OFF_MASK = (LOAD_REGION_BYTES - 1) & ~0x7
+
+#: Instructions of wrong-path filler jumped over inside the loop when
+#: ITLB pressure is requested: > one 8 KiB page (2048 instructions), so
+#: the loop head and tail are guaranteed to sit on different text pages
+#: and a 1-entry ITLB thrashes on every iteration.
+ITLB_STRIDE = 2080
+
 #: Integer registers the body may use as data sources/destinations.
 DATA_REGS = tuple(range(1, 9))
 #: FP registers the body may use.
 FP_REGS = tuple(range(1, 5))
 #: r9: rolling pointer, r10: region base, r11: address scratch,
-#: r12/r13: loop counter/limit.
-PTR_REG, BASE_REG, ADDR_REG, CTR_REG, LIM_REG = 9, 10, 11, 12, 13
+#: r12/r13: loop counter/limit, r14: load-only region base (unaligned).
+PTR_REG, BASE_REG, ADDR_REG, CTR_REG, LIM_REG, LOAD_REG = 9, 10, 11, 12, 13, 14
 
 _ALU_OPS = ("add", "sub", "and", "or", "xor", "mul", "div", "sll", "srl",
             "cmplt", "cmpeq")
@@ -100,6 +122,10 @@ class GeneratedProgram:
     ops: list[GenOp]
     source: str = ""
     regions: list = field(default_factory=list)
+    #: Exception causes this program was generated to exercise.
+    causes: tuple = ()
+    #: Loop page-straddle filler length (0 = contiguous loop).
+    itlb_stride: int = 0
 
 
 def _alu(rng: Rng) -> GenOp:
@@ -160,6 +186,31 @@ def _mem(rng: Rng) -> GenOp:
     return GenOp("ld", (*setup, f"ld r{value}, 0(r{ADDR_REG})"))
 
 
+def _brev(rng: Rng) -> GenOp:
+    return GenOp(
+        "brev", (f"brev r{rng.choice(DATA_REGS)}, r{rng.choice(DATA_REGS)}",)
+    )
+
+
+def _swint(rng: Rng) -> GenOp:
+    return GenOp(
+        "swint", (f"swint r{rng.choice(DATA_REGS)}, r{rng.choice(DATA_REGS)}",)
+    )
+
+
+def _unaligned(rng: Rng) -> GenOp:
+    """A misaligned load from the load-only region (odd offset 1..7)."""
+    setup = (
+        f"and r{ADDR_REG}, r{rng.choice(DATA_REGS)}, {hex(LOAD_OFF_MASK)}",
+        f"add r{ADDR_REG}, r{ADDR_REG}, r{LOAD_REG}",
+    )
+    offset = 1 + rng.below(7)
+    return GenOp(
+        "unaligned",
+        (*setup, f"ld r{rng.choice(DATA_REGS)}, {offset}(r{ADDR_REG})"),
+    )
+
+
 def _skip(rng: Rng) -> GenOp:
     op = rng.choice(_BRANCH_OPS)
     ra = rng.choice(DATA_REGS)
@@ -169,15 +220,43 @@ def _skip(rng: Rng) -> GenOp:
     )
 
 
-def generate_ops(seed: int, length: int) -> list[GenOp]:
-    """The seeded body IR: ``length`` ops mixing every op class."""
+#: Restartable-exception causes the generator can target.  ``dtlb_miss``
+#: and ``emul`` are always present in the default maker mix; the others
+#: add their maker to the pool (or, for ``itlb_miss``, a page-straddling
+#: loop layout) only when requested, so default output stays
+#: byte-identical to the pre-scenario generator.
+CAUSES = ("dtlb_miss", "emul", "itlb_miss", "unaligned", "brev", "swint")
+
+_CAUSE_MAKERS = {"brev": _brev, "swint": _swint, "unaligned": _unaligned}
+
+
+def generate_ops(seed: int, length: int, causes: tuple = ()) -> list[GenOp]:
+    """The seeded body IR: ``length`` ops mixing every op class.
+
+    ``causes`` appends the matching cause makers to the pool (in fixed
+    :data:`CAUSES` order, so the stream is seed-deterministic); an empty
+    tuple reproduces the pre-scenario op mix exactly.
+    """
     rng = Rng(seed)
     makers = (_alu, _alu, _mem, _mem, _fp, _emul, _skip)
+    extra = tuple(
+        _CAUSE_MAKERS[c] for c in CAUSES if c in causes and c in _CAUSE_MAKERS
+    )
+    makers = makers + extra + extra  # double weight: causes should fire often
     return [rng.choice(makers)(rng) for _ in range(length)]
 
 
-def render_program(ops: list[GenOp], seed: int, iters: int) -> str:
-    """Render the IR into assembly: prologue, counted loop, halt."""
+def render_program(
+    ops: list[GenOp], seed: int, iters: int, itlb_stride: int = 0
+) -> str:
+    """Render the IR into assembly: prologue, counted loop, halt.
+
+    ``itlb_stride`` > 0 splits the loop across a text-page boundary: the
+    tail (loop counter + back branch) sits past ``itlb_stride``
+    never-executed filler instructions, reached by an always-taken
+    forward branch, so each iteration fetches from two distinct pages
+    and a small ITLB misses continuously.
+    """
     rng = Rng(splitmix64(seed ^ 0xC0FFEE))
     lines = ["main:"]
     for reg in DATA_REGS:
@@ -188,6 +267,8 @@ def render_program(ops: list[GenOp], seed: int, iters: int) -> str:
     lines.append(f"  li r{BASE_REG}, {hex(DATA_BASE)}")
     lines.append(f"  li r{CTR_REG}, 0")
     lines.append(f"  li r{LIM_REG}, {iters}")
+    if any(op.kind == "unaligned" for op in ops):
+        lines.append(f"  li r{LOAD_REG}, {hex(LOAD_BASE)}")
     lines.append("loop:")
     #: (ops until placement, label) for open forward skips.
     open_skips: list[list] = []
@@ -211,20 +292,41 @@ def render_program(ops: list[GenOp], seed: int, iters: int) -> str:
         open_skips = still_open
     for _, label in open_skips:
         lines.append(f"{label}:")
+    if itlb_stride > 0:
+        lines.append(f"  beq r{CTR_REG}, r{CTR_REG}, far")
+        for _ in range(itlb_stride):
+            lines.append(f"  add r{DATA_REGS[0]}, r{DATA_REGS[0]}, 0")
+        lines.append("far:")
     lines.append(f"  add r{CTR_REG}, r{CTR_REG}, 1")
     lines.append(f"  blt r{CTR_REG}, r{LIM_REG}, loop")
     lines.append("  halt")
     return "\n".join(lines) + "\n"
 
 
-def generate_program(seed: int, length: int = 36, iters: int = 24) -> GeneratedProgram:
-    """Generate one complete program (IR + rendered source + regions)."""
-    ops = generate_ops(seed, length)
-    source = render_program(ops, seed, iters)
+def generate_program(
+    seed: int,
+    length: int = 36,
+    iters: int = 24,
+    causes: tuple = (),
+) -> GeneratedProgram:
+    """Generate one complete program (IR + rendered source + regions).
+
+    ``causes`` selects the restartable-exception causes the program
+    should exercise (see :data:`CAUSES`); the default empty tuple is
+    byte-identical to the pre-scenario generator.
+    """
+    itlb_stride = ITLB_STRIDE if "itlb_miss" in causes else 0
+    ops = generate_ops(seed, length, causes=causes)
+    source = render_program(ops, seed, iters, itlb_stride=itlb_stride)
+    regions = [(DATA_BASE, REGION_BYTES)]
+    if any(op.kind == "unaligned" for op in ops):
+        regions.append((LOAD_BASE, LOAD_REGION_BYTES))
     return GeneratedProgram(
         seed=seed,
         iters=iters,
         ops=ops,
         source=source,
-        regions=[(DATA_BASE, REGION_BYTES)],
+        regions=regions,
+        causes=tuple(causes),
+        itlb_stride=itlb_stride,
     )

@@ -228,13 +228,13 @@ def _emit(op: Opcode, ops: list[str], resolve, privileged: bool) -> Instruction:
         if ops[0].upper() not in _PRIV_NAMES:
             raise ValueError(f"unknown privileged register {ops[0]!r}")
         kwargs.update(imm=_PRIV_NAMES[ops[0].upper()], ra=_parse_reg(ops[1], "int"))
-    elif op is Opcode.TLBWR:
+    elif op in (Opcode.TLBWR, Opcode.ITLBWR):
         need(2)
         kwargs.update(ra=_parse_reg(ops[0], "int"), rb=_parse_reg(ops[1], "int"))
     elif op is Opcode.MTDST:
         need(1)
         kwargs["ra"] = _parse_reg(ops[0], "int")
-    elif op is Opcode.EMUL:
+    elif op in (Opcode.EMUL, Opcode.BREV, Opcode.SWINT):
         need(2)
         kwargs.update(rd=_parse_reg(ops[0], "int"), ra=_parse_reg(ops[1], "int"))
     elif op in (Opcode.RETI, Opcode.HARDEXC, Opcode.NOP, Opcode.HALT):
@@ -255,6 +255,7 @@ PRIV_REQUIRED = frozenset(
         Opcode.MFPR,
         Opcode.MTPR,
         Opcode.TLBWR,
+        Opcode.ITLBWR,
         Opcode.RETI,
         Opcode.HARDEXC,
         Opcode.MTDST,

@@ -91,6 +91,7 @@ class Opcode(enum.Enum):
     MFPR = "mfpr"  # rd <- priv[imm]
     MTPR = "mtpr"  # priv[imm] <- ra
     TLBWR = "tlbwr"  # install translation: va in ra, PTE in rb
+    ITLBWR = "itlbwr"  # install *instruction* translation: va in ra, PTE in rb
     RETI = "reti"  # return from exception to the excepting instruction
     HARDEXC = "hardexc"  # request reversion to the traditional mechanism
     MTDST = "mtdst"  # write ra to the excepting instruction's destination
@@ -99,6 +100,12 @@ class Opcode(enum.Enum):
     # Raises an emulation exception; only the perfect machine (and the
     # handler) compute it directly.
     EMUL = "emul"
+
+    # Additional restartable-exception causes (repro.scenarios).  Each
+    # traps like EMUL and is completed by its own PAL handler via mtdst;
+    # the perfect machine computes them directly.
+    BREV = "brev"  # rd <- bswap64(ra); emulated-instruction trap
+    SWINT = "swint"  # rd <- mix64(ra); software interrupt
 
     # Misc.
     NOP = "nop"
@@ -144,10 +151,13 @@ OPCODE_FU: dict[Opcode, FUClass] = {
     Opcode.MFPR: FUClass.INT_ALU,
     Opcode.MTPR: FUClass.INT_ALU,
     Opcode.TLBWR: FUClass.INT_ALU,
+    Opcode.ITLBWR: FUClass.INT_ALU,
     Opcode.RETI: FUClass.BRANCH,
     Opcode.HARDEXC: FUClass.INT_ALU,
     Opcode.MTDST: FUClass.INT_ALU,
     Opcode.EMUL: FUClass.INT_ALU,
+    Opcode.BREV: FUClass.INT_ALU,
+    Opcode.SWINT: FUClass.INT_ALU,
     Opcode.NOP: FUClass.INT_ALU,
     Opcode.HALT: FUClass.INT_ALU,
 }
@@ -185,6 +195,7 @@ PRIV_OPS = frozenset(
         Opcode.MFPR,
         Opcode.MTPR,
         Opcode.TLBWR,
+        Opcode.ITLBWR,
         Opcode.RETI,
         Opcode.HARDEXC,
         Opcode.MTDST,
@@ -268,10 +279,13 @@ SRC_SPACES: dict[Opcode, tuple[str | None, str | None]] = {
     Opcode.MFPR: (None, None),
     Opcode.MTPR: ("int", None),
     Opcode.TLBWR: ("int", "int"),
+    Opcode.ITLBWR: ("int", "int"),
     Opcode.RETI: (None, None),
     Opcode.HARDEXC: (None, None),
     Opcode.MTDST: ("int", None),
     Opcode.EMUL: ("int", None),
+    Opcode.BREV: ("int", None),
+    Opcode.SWINT: ("int", None),
     Opcode.NOP: (None, None),
     Opcode.HALT: (None, None),
 }
@@ -334,7 +348,10 @@ def _exec_kind(op: Opcode) -> int:
         Opcode.MFPR: EK_MFPR,
         Opcode.MTPR: EK_MTPR,
         Opcode.TLBWR: EK_TLBWR,
+        Opcode.ITLBWR: EK_TLBWR,
         Opcode.EMUL: EK_EMUL,
+        Opcode.BREV: EK_EMUL,
+        Opcode.SWINT: EK_EMUL,
         Opcode.MTDST: EK_MTDST,
         Opcode.HARDEXC: EK_HARDEXC,
     }.get(op, EK_NOP)

@@ -60,12 +60,31 @@ def compute_int(inst: Instruction, a: int, b: int) -> int:
         return to_unsigned(b)
     if op is Opcode.EMUL:
         return popcount(a)
+    if op is Opcode.BREV:
+        return bswap64(a)
+    if op is Opcode.SWINT:
+        return mix64(a)
     raise ValueError(f"not an integer compute opcode: {op}")
 
 
 def popcount(value: int) -> int:
     """Bit count of an unsigned 64-bit value (the ``emul`` operation)."""
     return bin(value & _INT_MASK).count("1")
+
+
+def bswap64(value: int) -> int:
+    """Byte-swap of an unsigned 64-bit value (the ``brev`` operation)."""
+    v = value & _INT_MASK
+    v = ((v & 0x00FF00FF00FF00FF) << 8) | ((v >> 8) & 0x00FF00FF00FF00FF)
+    v = ((v & 0x0000FFFF0000FFFF) << 16) | ((v >> 16) & 0x0000FFFF0000FFFF)
+    return ((v & 0x00000000FFFFFFFF) << 32) | (v >> 32)
+
+
+def mix64(value: int) -> int:
+    """Splitmix-style finalizer (the ``swint`` software-interrupt service):
+    multiply by the golden-ratio constant, then xor-fold the high bits."""
+    x = (value * 0x9E3779B97F4A7C15) & _INT_MASK
+    return x ^ (x >> 29)
 
 
 def compute_fp(inst: Instruction, a: float, b: float) -> float:

@@ -82,11 +82,16 @@ class SMTCore:
         page_table: PageTable,
         bpu: BranchPredictionUnit | None = None,
         mechanism: "ExceptionMechanism | None" = None,
+        itlb: TLB | PerfectTLB | None = None,
     ) -> None:
         self.config = config
         self.memory = memory
         self.hierarchy = hierarchy
         self.dtlb = dtlb
+        #: Instruction TLB; None models the seed machine (fetch always
+        #: translates).  Built by the simulator when config.itlb_entries
+        #: is nonzero (repro.scenarios "itlb_miss" cause).
+        self.itlb = itlb
         self.page_table = page_table
         self.bpu = bpu or BranchPredictionUnit()
         self.mechanism = mechanism
@@ -416,6 +421,22 @@ class SMTCore:
         if inst.privileged and not thread.fetch_priv:
             # Wrong-path fetch fell into PAL code: privilege fence.
             thread.fetch_stall_until = _FAR_FUTURE
+            return False
+
+        # Instruction-TLB probe (user-mode fetch only: PAL handler fetch
+        # is physically mapped, like the handler's privileged loads).
+        itlb = self.itlb
+        if (
+            itlb is not None
+            and not thread.fetch_priv
+            and itlb.lookup(vpn_of(pc * 4)) is None
+        ):
+            self.stats.itlb_miss_events += 1
+            self._activity = True
+            if self.listeners is not None:
+                self.listeners.exception(now, thread.tid, -1, pc, "itlb_miss")
+            if self.mechanism is not None:
+                self.mechanism.on_itlb_miss(thread, pc, now)
             return False
 
         # Instruction cache probe (wrong-path fetch pollutes it too).
@@ -900,10 +921,12 @@ class SMTCore:
                 # The perfect machine implements the operation natively.
                 uop.value = semantics.compute_int(inst, int(a), 0)
             else:
+                # emul/brev/swint all trap to software service; the cause
+                # string is the mnemonic ("emul", "brev", "swint").
                 self.stats.emulation_events += 1
                 if self.listeners is not None:
                     self.listeners.exception(
-                        now, uop.thread_id, uop.seq, uop.pc, "emul"
+                        now, uop.thread_id, uop.seq, uop.pc, inst.op.value
                     )
                 self.mechanism.on_emulation(uop, int(a), now)
                 return False  # waits for the handler's mtdst
@@ -938,6 +961,24 @@ class SMTCore:
         uop.eff_addr = addr
         faults = self.faults
         if not inst.privileged:
+            if (
+                self.config.align_check
+                and inst.op is Opcode.LD
+                and (int(a) + inst.imm0) & 7
+                and self.mechanism is not None
+            ):
+                # Misaligned user load: trap to the fixup handler, which
+                # loads the aligned-down word and completes the load via
+                # mtdst.  (The perfect machine force-aligns silently via
+                # _EA_ALIGN_MASK, which computes the identical value.)
+                raw = (int(a) + inst.imm0) & ((1 << 64) - 1)
+                self.stats.unaligned_events += 1
+                if self.listeners is not None:
+                    self.listeners.exception(
+                        now, uop.thread_id, uop.seq, uop.pc, "unaligned"
+                    )
+                self.mechanism.on_unaligned(uop, raw, now)
+                return False  # waits for the handler's mtdst
             if faults is not None:
                 faults.on_mem_access(uop, addr, now)
             entry = self.dtlb.lookup(vpn_of(addr))
@@ -1139,9 +1180,14 @@ class SMTCore:
                 if head.state != UopState.WINDOW:
                     continue
                 if thread.is_exception_thread:
-                    master = threads[thread.master_tid]
-                    if not master.rob or master.rob[0] is not thread.master_uop:
-                        continue
+                    # Splice gate: retire in the master's program order.
+                    # Master-less handlers (itlb_miss: the faulting fetch
+                    # produced no uop) retire freely.
+                    master_uop = thread.master_uop
+                    if master_uop is not None:
+                        master = threads[thread.master_tid]
+                        if not master.rob or master.rob[0] is not master_uop:
+                            continue
                 elif head.linked_handler is not None:
                     continue  # splice: the handler thread retires first
                 do_retire(thread, head, now)
@@ -1272,6 +1318,8 @@ class SMTCore:
             self.mechanism.drain(now)
         # No in-flight handler can confirm a speculative fill any more.
         self.dtlb.rollback_all_speculative()
+        if self.itlb is not None:
+            self.itlb.rollback_all_speculative()
         # Only squashed uops can remain queued; drop them.
         self._wake_buckets.clear()
         self._retry.clear()
@@ -1281,7 +1329,7 @@ class SMTCore:
     #: Rebuilt from MachineConfig / wiring at construction, or rebound by
     #: attach(): not part of the snapshot.
     _SNAPSHOT_TRANSIENT = (
-        "config", "memory", "hierarchy", "dtlb", "page_table", "bpu",
+        "config", "memory", "hierarchy", "dtlb", "itlb", "page_table", "bpu",
         "mechanism", "_l1_latency", "_fetch_latency", "_icount_chooser",
         "_pt_base", "_ifetch", "listeners", "_sanitizer", "_mech_tick",
         "_mech_ports", "_mech_fetch_idle",
@@ -1319,8 +1367,11 @@ class SMTCore:
         self.cycle = state["cycle"]
         self._next_seq = state["next_seq"]
         self._activity = state["activity"]
+        # .get(): snapshots written before a counter existed restore with
+        # that counter at its fresh default (zero / empty dict).
         for f in dataclasses.fields(self.stats):
-            setattr(self.stats, f.name, state["stats"][f.name])
+            if f.name in state["stats"]:
+                setattr(self.stats, f.name, state["stats"][f.name])
         self.pal_entries = dict(state["pal_entries"])
         self.handler_lengths = dict(state["handler_lengths"])
         if len(state["threads"]) != len(self.threads):

@@ -1,0 +1,7 @@
+"""``python -m repro.scenarios`` runs the scenario-matrix CLI."""
+
+import sys
+
+from repro.scenarios.cli import main
+
+sys.exit(main())

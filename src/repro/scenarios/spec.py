@@ -1,0 +1,216 @@
+"""Seeded scenario specs: cause mixes, config variants, program layout.
+
+A *scenario* is one reproducible stress recipe for the restartable-
+exception machinery: a generated guest program targeting a set of
+exception causes (:data:`repro.faults.progen.CAUSES`), the machine
+configuration those causes need to actually fire (ITLB size, alignment
+checking), and a *mix style* shaping how cause triggers interleave:
+
+``uniform``
+    Cause ops are blended into the regular seeded op stream (the
+    :func:`repro.faults.progen.generate_ops` default).
+``back_to_back``
+    Cause ops additionally appear in consecutive clusters, so a second
+    exception is raised while the previous handler is still in flight
+    (the paper's multiple-outstanding-exception case).
+``nested``
+    Cause clusters are wrapped in forward-skip branches, nesting the
+    triggers inside speculative control flow so handlers overlap
+    mispredict squashes.
+
+:func:`generate_matrix` expands a seed into the standard scenario
+matrix: every cause in isolation, seeded pairs, and all-cause sweeps in
+every mix style, each with seeded config variants (ITLB sizes, idle
+thread counts).  Specs are pure data -- :mod:`repro.scenarios.runner`
+turns them into simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.progen import (
+    CAUSES,
+    ITLB_STRIDE,
+    GenOp,
+    GeneratedProgram,
+    Rng,
+    _CAUSE_MAKERS,
+    _emul,
+    _mem,
+    _skip,
+    generate_ops,
+    render_program,
+)
+from repro.faults.progen import (
+    DATA_BASE,
+    LOAD_BASE,
+    LOAD_REGION_BYTES,
+    REGION_BYTES,
+)
+
+__all__ = [
+    "MIX_STYLES",
+    "SCENARIO_CAUSES",
+    "ScenarioSpec",
+    "build_scenario_program",
+    "generate_matrix",
+]
+
+#: The causes beyond the seed machine's DTLB story (tentpole set).
+SCENARIO_CAUSES = ("itlb_miss", "unaligned", "brev", "swint")
+
+MIX_STYLES = ("uniform", "back_to_back", "nested")
+
+#: Ops per back-to-back / nested cause cluster.
+_CLUSTER = 3
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One runnable scenario: program recipe + machine configuration."""
+
+    name: str
+    seed: int
+    causes: tuple
+    mix: str = "uniform"
+    length: int = 36
+    iters: int = 24
+    #: MachineConfig overrides every run of the scenario uses (applied
+    #: to the perfect reference too, so digests stay comparable).
+    config_overrides: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        knobs = ",".join(f"{k}={v}" for k, v in sorted(self.config_overrides.items()))
+        return (
+            f"{self.name}: causes={'+'.join(self.causes) or 'dtlb-only'} "
+            f"mix={self.mix} seed={self.seed}"
+            + (f" [{knobs}]" if knobs else "")
+        )
+
+
+def _cause_op(cause: str, rng: Rng) -> GenOp | None:
+    """One trigger op for ``cause`` (None: layout-driven, e.g. ITLB)."""
+    maker = _CAUSE_MAKERS.get(cause)
+    if maker is None:
+        maker = {"emul": _emul, "dtlb_miss": _mem}.get(cause)
+    return maker(rng) if maker else None
+
+
+def _cluster_ops(causes: tuple, rng: Rng, nested: bool) -> list[GenOp]:
+    """A consecutive run of cause triggers, optionally skip-wrapped."""
+    ops: list[GenOp] = []
+    if nested:
+        # The skip guards the cluster: the triggers sit inside
+        # speculative forward control flow, so a mispredict can squash
+        # mid-handler.  Clamp the skip span to the cluster size.
+        guard = _skip(rng)
+        ops.append(GenOp(guard.kind, guard.lines, skip=_CLUSTER))
+    burst = [op for op in (_cause_op(c, rng) for c in causes) if op is not None]
+    if not burst:
+        return []
+    while len(ops) < _CLUSTER + (1 if nested else 0):
+        ops.append(burst[rng.below(len(burst))])
+    return ops
+
+
+def scenario_ops(spec: ScenarioSpec) -> list[GenOp]:
+    """The op IR for a spec: base stream plus mix-style cause clusters."""
+    base = generate_ops(spec.seed, spec.length, causes=spec.causes)
+    if spec.mix == "uniform":
+        return base
+    rng = Rng(spec.seed ^ 0x5CE4A210)
+    nested = spec.mix == "nested"
+    clusters = 2 + rng.below(2)
+    out = list(base)
+    for _ in range(clusters):
+        cluster = _cluster_ops(spec.causes, rng, nested)
+        if not cluster:
+            break
+        at = rng.below(len(out) + 1)
+        out[at:at] = cluster
+    return out
+
+
+def build_scenario_program(spec: ScenarioSpec) -> GeneratedProgram:
+    """Render a spec into a generated program (IR + source + regions)."""
+    itlb_stride = ITLB_STRIDE if "itlb_miss" in spec.causes else 0
+    ops = scenario_ops(spec)
+    source = render_program(ops, spec.seed, spec.iters, itlb_stride=itlb_stride)
+    regions = [(DATA_BASE, REGION_BYTES)]
+    if any(op.kind == "unaligned" for op in ops):
+        regions.append((LOAD_BASE, LOAD_REGION_BYTES))
+    return GeneratedProgram(
+        seed=spec.seed,
+        iters=spec.iters,
+        ops=ops,
+        source=source,
+        regions=regions,
+        causes=tuple(spec.causes),
+        itlb_stride=itlb_stride,
+    )
+
+
+def overrides_for(causes: tuple, rng: Rng | None = None) -> dict:
+    """Config knobs a cause set needs, with seeded variation."""
+    overrides: dict = {}
+    if "itlb_miss" in causes:
+        overrides["itlb_entries"] = (1, 2, 4)[rng.below(3)] if rng else 1
+    if "unaligned" in causes:
+        overrides["align_check"] = True
+    return overrides
+
+
+def generate_matrix(seed: int = 0, quick: bool = False) -> list[ScenarioSpec]:
+    """The standard scenario matrix for one base seed.
+
+    Singles cover each scenario cause in isolation; pairs and the
+    all-cause sweeps compose them, with the ``back_to_back`` and
+    ``nested`` mixes exercising overlapping and speculatively-nested
+    handlers.  ``quick`` trims to one spec per shape for smoke/CI runs.
+    """
+    rng = Rng(seed ^ 0x3A7E11CE)
+    specs: list[ScenarioSpec] = []
+    for cause in SCENARIO_CAUSES:
+        specs.append(
+            ScenarioSpec(
+                name=f"single-{cause}",
+                seed=seed + len(specs),
+                causes=(cause,),
+                config_overrides=overrides_for((cause,), rng),
+            )
+        )
+    pair_pool = [
+        (a, b)
+        for i, a in enumerate(SCENARIO_CAUSES)
+        for b in SCENARIO_CAUSES[i + 1:]
+    ]
+    pairs = pair_pool if not quick else [pair_pool[rng.below(len(pair_pool))]]
+    if quick:
+        specs = [specs[rng.below(len(specs))]]
+    for pair in pairs:
+        specs.append(
+            ScenarioSpec(
+                name=f"pair-{pair[0]}+{pair[1]}",
+                seed=seed + 100 + len(specs),
+                causes=pair,
+                mix="back_to_back",
+                config_overrides=overrides_for(pair, rng),
+            )
+        )
+    all_causes = tuple(c for c in CAUSES if c in SCENARIO_CAUSES or c == "emul")
+    for mix in MIX_STYLES if not quick else ("back_to_back", "nested"):
+        specs.append(
+            ScenarioSpec(
+                name=f"all-{mix.replace('_', '-')}",
+                seed=seed + 200 + len(specs),
+                causes=all_causes,
+                mix=mix,
+                config_overrides={
+                    **overrides_for(all_causes, rng),
+                    # Environment variant: vary the handler-context pool.
+                    "idle_threads": 1 + rng.below(2),
+                },
+            )
+        )
+    return specs

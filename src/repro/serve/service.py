@@ -538,6 +538,9 @@ def summarize(outcomes: list[CellOutcome]) -> dict:
             "committed_fills": o.result.committed_fills,
             "ipc": round(o.result.ipc, 6),
             "mpki": round(o.result.miss_rate_per_kilo_inst, 6),
+            # Per-cause exception counts (docs/SCENARIOS.md); empty for
+            # the perfect machine, which never traps.
+            "exceptions_taken": dict(sorted(o.result.stats.cause_taken.items())),
         }
         for o in outcomes
     ]

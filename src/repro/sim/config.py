@@ -81,6 +81,13 @@ class MachineConfig:
     # Memory system.
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
     dtlb_entries: int = 64
+    #: Instruction-TLB entries; 0 (the default) models the seed machine's
+    #: always-hit instruction fetch (no ITLB modeled, no itlb_miss cause).
+    itlb_entries: int = 0
+    #: Trap non-privileged 8-byte integer loads whose effective address is
+    #: not 8-aligned into the ``unaligned`` fixup handler.  Off by default:
+    #: the seed machine force-aligns every effective address silently.
+    align_check: bool = False
 
     # Exception architecture.
     mechanism: str = "multithreaded"

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING
 
 from repro.branch.unit import BranchPredictionUnit, BranchStats
 from repro.exceptions import handler_length, make_mechanism
-from repro.exceptions.handler_code import emul_handler_length
+from repro.exceptions.handler_code import CAUSE_HANDLERS, emul_handler_length
 from repro.exceptions.base import MechanismStats
 from repro.isa.program import Program
 from repro.memory.cache import CacheStats
@@ -104,6 +104,14 @@ class Simulator:
             self.dtlb: TLB | PerfectTLB = PerfectTLB()
         else:
             self.dtlb = TLB(self.config.dtlb_entries)
+        # The ITLB is opt-in (repro.scenarios): itlb_entries == 0 keeps
+        # the seed machine, whose fetch path performs no translation.
+        self.itlb: TLB | PerfectTLB | None = None
+        if self.config.itlb_entries:
+            if self.config.mechanism == "perfect":
+                self.itlb = PerfectTLB()
+            else:
+                self.itlb = TLB(self.config.itlb_entries)
         self.bpu = BranchPredictionUnit()
         self.mechanism = make_mechanism(self.config.mechanism)
         # The engine seam: backends (repro.engine) inject their own core
@@ -116,6 +124,7 @@ class Simulator:
             self.page_table,
             self.bpu,
             self.mechanism,
+            itlb=self.itlb,
         )
         if listeners is not None:
             self.core.listeners = listeners
@@ -126,11 +135,20 @@ class Simulator:
                 self.page_table.map_range(segment.base, segment.size_bytes)
             for base, size in program.regions:
                 self.page_table.map_range(base, size)
+            if self.itlb is not None:
+                # Fetch translation is live: the text range (including the
+                # PAL area) needs valid PTEs for the ITLB handler's walk.
+                self.page_table.map_range(0, len(program) * 4)
         # Window reservations use the *common-case* handler lengths
         # (perfect handler-length prediction, Table 1).
         self.core.handler_lengths["dtlb_miss"] = handler_length()
         if "emul" in self.core.pal_entries:
             self.core.handler_lengths["emul"] = emul_handler_length()
+        for cause, (_, length_fn) in CAUSE_HANDLERS.items():
+            if cause in ("dtlb_miss", "emul"):
+                continue
+            if cause in self.core.pal_entries:
+                self.core.handler_lengths[cause] = length_fn()
         self._prewarm()
 
     def _prewarm(self) -> None:

@@ -8,7 +8,7 @@ branch, cache, TLB, and mechanism counters into a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -22,9 +22,18 @@ class SimStats:
     squashed: int = 0
     mispredicts: int = 0
     dtlb_miss_events: int = 0
+    itlb_miss_events: int = 0
     emulation_events: int = 0
+    unaligned_events: int = 0
     store_forwards: int = 0
     overfetch_discarded: int = 0
+    # Per-cause exception accounting (docs/SCENARIOS.md), keyed by the
+    # exception-cause string ("dtlb_miss", "itlb_miss", "unaligned",
+    # "emul", "brev", "swint").  Maintained by the mechanisms, which see
+    # every trap regardless of which engine kernel is driving the core.
+    cause_taken: dict[str, int] = field(default_factory=dict)
+    cause_squashes: dict[str, int] = field(default_factory=dict)
+    cause_handler_cycles: dict[str, int] = field(default_factory=dict)
 
     @property
     def retired_total(self) -> int:

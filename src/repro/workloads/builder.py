@@ -35,15 +35,19 @@ def make_program(
     regions: Sequence[tuple[int, int]] = (),
     entry_label: str = "main",
     cold_regions: Sequence[tuple[int, int]] = (),
+    scenario_causes: bool = False,
 ) -> Program:
     """Assemble a user kernel into a runnable program with PAL installed.
 
     ``segments`` and ``regions`` are treated as checkpoint-warm (the
     simulator pre-installs them in L2); ``cold_regions`` are mapped but
     start cache-cold (e.g. gcc's wrong-path-only far region).
+    ``scenario_causes`` additionally installs the repro.scenarios cause
+    handlers (itlb_miss/unaligned/brev/swint); the default PAL image is
+    byte-identical to the seed layout.
     """
     program = Program()
-    install_handlers(program)
+    install_handlers(program, scenario_causes=scenario_causes)
     insts, labels = assemble(source)
     base = program.append_text(insts, labels)
     program.entry = program.labels.get(entry_label, base)

@@ -51,6 +51,15 @@ class TestShippedHandlers:
         for source in images.values():
             assert "reti" in source
 
+    def test_every_scenario_cause_image_is_discovered(self):
+        # The new restartable causes ship real PAL images; the pass
+        # must pick them up through the same *_SOURCE discovery as the
+        # DTLB handler, not a hand-maintained list.
+        images = mechanism_images("traditional")
+        for name in ("dtlb_handler", "emul_handler", "itlb_miss_handler",
+                     "unaligned_handler", "brev_handler", "swint_handler"):
+            assert name in images, sorted(images)
+
 
 class TestBrokenFixtures:
     """Each diagnostic code must fire on its dedicated broken handler."""

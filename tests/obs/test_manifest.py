@@ -62,6 +62,30 @@ class TestBuildAndValidate:
         assert sim_counters == result.stats.as_dict()
         assert "emulation_events" in sim_counters
 
+    def test_counters_carry_per_cause_attribution(self):
+        # The scenario causes flow into manifests through the same
+        # introspective as_dict() path as every scalar counter.
+        from repro.scenarios.spec import ScenarioSpec, build_scenario_program
+        from repro.workloads.builder import make_program
+
+        spec = ScenarioSpec(
+            name="manifest-causes", seed=6, causes=("brev", "swint"),
+            length=16, iters=4,
+        )
+        generated = build_scenario_program(spec)
+        program = make_program(
+            generated.source, regions=generated.regions, scenario_causes=True
+        )
+        sim = Simulator(program, MachineConfig(mechanism="traditional"))
+        result = sim.run(user_insts=2000, warmup_insts=0)
+        manifest = build_manifest(result, sim.config)
+        counters = manifest["counters"]["sim"]
+        for key in ("cause_taken", "cause_squashes", "cause_handler_cycles"):
+            assert key in counters
+        assert counters["cause_taken"].get("brev", 0) > 0
+        assert counters["cause_taken"].get("swint", 0) > 0
+        assert validate_manifest(manifest) == []
+
     def test_config_hash_stable_and_sensitive(self):
         a = MachineConfig(mechanism="traditional")
         b = MachineConfig(mechanism="multithreaded")

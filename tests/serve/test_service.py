@@ -211,3 +211,4 @@ class TestSummarize:
         row = summary["table"][0]
         assert row["workload"] == "compress"
         assert row["cycles"] > 0
+        assert isinstance(row["exceptions_taken"], dict)
