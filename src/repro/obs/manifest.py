@@ -55,6 +55,7 @@ def build_manifest(
     workload: str | tuple[str, ...] | None = None,
     checkpoint: dict | None = None,
     cache_stats: dict | None = None,
+    node: dict | None = None,
 ) -> dict:
     """Assemble the manifest for one finished run."""
     # Local import: repro.sim.parallel imports the simulator stack, which
@@ -104,6 +105,11 @@ def build_manifest(
         # in-flight dedupes), written by the content-addressed store the
         # sweep service runs on (docs/SERVICE.md).
         manifest["cache"] = dict(cache_stats)
+    if node is not None:
+        # Which cluster node published this result, and its routing
+        # counters at publish time (docs/SERVICE.md "Cluster mode");
+        # absent on single-host runs.
+        manifest["node"] = dict(node)
     return manifest
 
 
@@ -142,6 +148,21 @@ def validate_manifest(manifest: dict) -> list[str]:
                 if not isinstance(value, int) or value < 0:
                     errors.append(
                         f"cache stat {key!r} must be a non-negative "
+                        f"integer, got {value!r}"
+                    )
+    node = manifest.get("node")
+    if node is not None:
+        if not isinstance(node, dict) or not isinstance(
+            node.get("node_id"), str
+        ):
+            errors.append("node block must carry a string node_id")
+        else:
+            for key, value in node.items():
+                if key == "node_id":
+                    continue
+                if not isinstance(value, int) or value < 0:
+                    errors.append(
+                        f"node stat {key!r} must be a non-negative "
                         f"integer, got {value!r}"
                     )
     attribution = manifest.get("attribution")

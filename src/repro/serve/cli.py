@@ -16,10 +16,21 @@ Subcommands:
     dedupe collapsed the grid (simulated < requested), the store
     reports hits, every client saw identical cycles, a follow-up sweep
     is served entirely warm, and payload results are bit-identical to
-    running the cells serially in-process.
+    running the cells serially in-process.  With ``--nodes N`` the
+    smoke instead boots a real N-process cluster and additionally
+    proves peer forwarding, warm handoff, and the job queue's kill -9
+    resume contract (zero lost, zero duplicated cells).
+``loadgen``
+    Boot a local multi-process cluster and benchmark it: cells/sec,
+    dedupe ratio, store hit-rate, p50/p99 sweep latency.  With
+    ``--baseline BENCH_serve.json --max-drop 0.2`` it fails on
+    regression (the nightly ``loadgen-bench`` CI job).
 
 Ops knobs (``REPRO_SERVE_*``) are documented in ``docs/SERVICE.md``;
-flags override the environment.
+flags override the environment.  ``--engine`` pins ``REPRO_ENGINE``
+for the server *and its pool workers* -- without it the backend is
+inherited from the caller's environment (see "Hermetic smoke runs" in
+docs/SERVICE.md for why smoke/loadgen resolve it explicitly).
 """
 
 from __future__ import annotations
@@ -28,6 +39,7 @@ import argparse
 import asyncio
 import dataclasses
 import json
+import os
 import sys
 import tempfile
 
@@ -63,19 +75,65 @@ def _add_server_args(parser: argparse.ArgumentParser) -> None:
         help="LRU-evict above MB of pickles (default "
         "REPRO_SERVE_CACHE_MB; 0 = unlimited)",
     )
+    parser.add_argument(
+        "--engine", default=None, metavar="BACKEND",
+        help="pin the engine backend (sets REPRO_ENGINE for this "
+        "process and its pool workers; default: inherit environment)",
+    )
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--node-url", default=None, metavar="URL",
+        help="this node's advertised URL; enables cluster mode when "
+        "--peer is also given",
+    )
+    parser.add_argument(
+        "--peer", action="append", default=[], metavar="URL",
+        help="a peer node's URL (repeatable); with --node-url, cells "
+        "are routed to their consistent-hash owner",
+    )
+    parser.add_argument(
+        "--jobs-dir", default=None, metavar="DIR",
+        help="persistent job-queue directory (enables POST /jobs; "
+        "jobs resume after a crash)",
+    )
+    parser.add_argument(
+        "--handoff", action="store_true",
+        help="on start, pull store entries this node now owns from "
+        "its peers (warm handoff after join/restart)",
+    )
+
+
+def _apply_engine(engine: str | None) -> None:
+    """Pin REPRO_ENGINE process-wide *before* any pool spawns, so the
+    workers inherit the same backend the server resolves with."""
+    if engine:
+        os.environ["REPRO_ENGINE"] = engine
 
 
 def _build_server(args: argparse.Namespace):
     from repro.serve.http import SweepHTTPServer
+    from repro.serve.queue import JobQueue
     from repro.serve.service import SweepService
     from repro.serve.store import ContentStore
 
+    _apply_engine(getattr(args, "engine", None))
     store = ContentStore(
         directory=args.cache_dir,
         max_entries=args.cache_entries,
         max_bytes=None if args.cache_mb is None else args.cache_mb * 1024 * 1024,
     )
-    service = SweepService(store=store, pools=args.pools, workers=args.workers)
+    jobs_dir = getattr(args, "jobs_dir", None)
+    service = SweepService(
+        store=store,
+        pools=args.pools,
+        workers=args.workers,
+        node_id=getattr(args, "node_url", None),
+        peers=tuple(getattr(args, "peer", []) or []),
+        queue=JobQueue(jobs_dir) if jobs_dir else None,
+        handoff=getattr(args, "handoff", False),
+    )
     return SweepHTTPServer(service, host=args.host, port=args.port)
 
 
@@ -83,10 +141,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def main() -> int:
         server = _build_server(args)
         await server.start()
+        cluster = (
+            f", peers={len(server.service.peers)}"
+            if server.service.peers
+            else ""
+        )
         print(
             f"repro-serve: listening on http://{server.host}:{server.port} "
             f"(pools={server.service.pools}, workers={server.service.workers}, "
-            f"store={server.service.store.directory})",
+            f"store={server.service.store.directory}{cluster})",
             flush=True,
         )
         try:
@@ -140,11 +203,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_smoke(args: argparse.Namespace) -> int:
-    from repro.serve.smoke import run_smoke
+    from repro.serve.smoke import run_cluster_smoke, run_smoke
 
     if args.cache_dir is None:
         args.cache_dir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
-    report = asyncio.run(run_smoke(args))
+    if args.nodes > 1:
+        report = run_cluster_smoke(args)
+    else:
+        report = asyncio.run(run_smoke(args))
     print(json.dumps(dataclasses.asdict(report), indent=2, sort_keys=True))
     if report.failures:
         for failure in report.failures:
@@ -158,6 +224,14 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import main as loadgen_main
+
+    if args.cluster_dir is None:
+        args.cluster_dir = tempfile.mkdtemp(prefix="repro-serve-loadgen-")
+    return loadgen_main(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -168,6 +242,7 @@ def main(argv: list[str] | None = None) -> int:
 
     serve = sub.add_parser("serve", help="run the HTTP service")
     _add_server_args(serve)
+    _add_cluster_args(serve)
     serve.set_defaults(func=_cmd_serve)
 
     sweep = sub.add_parser("sweep", help="submit one sweep to a server")
@@ -212,7 +287,71 @@ def main(argv: list[str] | None = None) -> int:
     )
     smoke.add_argument("--insts", type=int, default=500)
     smoke.add_argument("--warmup", type=int, default=120)
+    smoke.add_argument(
+        "--nodes", type=int, default=1,
+        help="cluster smoke: boot N real server processes and also "
+        "assert forwarding, handoff, and kill -9 job resume (default "
+        "1 = in-process smoke)",
+    )
+    smoke.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="write NDJSON streams and node stats here (CI uploads "
+        "them on failure)",
+    )
     smoke.set_defaults(func=_cmd_smoke)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="benchmark a local cluster (cells/sec, latency)"
+    )
+    loadgen.add_argument(
+        "--nodes", type=int, default=3, help="cluster size (default 3)"
+    )
+    loadgen.add_argument(
+        "--clients", type=int, default=32,
+        help="concurrent sweep clients (default 32)",
+    )
+    loadgen.add_argument(
+        "--reps", type=int, default=4,
+        help="sweeps per client (default 4; later reps measure the "
+        "warm path)",
+    )
+    loadgen.add_argument(
+        "--workers", type=int, default=1,
+        help="simulator processes per node (default 1)",
+    )
+    loadgen.add_argument(
+        "--workload", action="append", default=None,
+        help="grid workload (repeatable; default compress+murphi)",
+    )
+    loadgen.add_argument(
+        "--mechanism", action="append", default=None,
+        help="grid mechanism (repeatable; default "
+        "traditional+multithreaded)",
+    )
+    loadgen.add_argument("--insts", type=int, default=500)
+    loadgen.add_argument("--warmup", type=int, default=120)
+    loadgen.add_argument(
+        "--engine", default=None, metavar="BACKEND",
+        help="pin the engine backend for every node (default: inherit "
+        "REPRO_ENGINE, else reference)",
+    )
+    loadgen.add_argument(
+        "--cluster-dir", default=None, metavar="DIR",
+        help="cluster scratch root (default: fresh temp dir)",
+    )
+    loadgen.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the JSON report here (e.g. BENCH_serve.json)",
+    )
+    loadgen.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="committed baseline report to gate against",
+    )
+    loadgen.add_argument(
+        "--max-drop", type=float, default=0.2,
+        help="max tolerated cells/sec drop vs baseline (default 0.2)",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     args = parser.parse_args(argv)
     if getattr(args, "workload", None) is not None and not args.workload:
@@ -220,7 +359,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "sweep":
         args.workload = args.workload or ["compress"]
         args.mechanism = args.mechanism or ["multithreaded"]
-    if args.command == "smoke":
+    if args.command in ("smoke", "loadgen"):
         args.workload = args.workload or ["compress", "murphi"]
         args.mechanism = args.mechanism or ["traditional", "multithreaded"]
     return args.func(args)

@@ -157,6 +157,115 @@ def run_cells_via_server(
 
 
 # ----------------------------------------------------------------------
+# Peer-to-peer calls (cluster mode: forwarding, warm handoff, jobs).
+# All blocking; the service runs them on its thread executor.
+
+def _peer_request(
+    url: str,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    headers: dict[str, str] | None = None,
+    timeout: float = 600.0,
+) -> bytes:
+    """One JSON request against a peer; raises :class:`ServeError` on
+    any non-200 so callers treat every failure mode as 'owner down'."""
+    host, port = split_server_url(url)
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        conn.request(
+            method,
+            path,
+            body,
+            {"Content-Type": "application/json", **(headers or {})},
+        )
+        response = conn.getresponse()
+        data = response.read()
+        if response.status != 200:
+            raise ServeError(
+                f"{method} {path} on {url} returned {response.status}: "
+                f"{data.decode('utf-8', 'replace').strip()}"
+            )
+        return data
+    except (OSError, http.client.HTTPException) as exc:
+        raise ServeError(f"{method} {path} on {url} failed: {exc}") from exc
+    finally:
+        conn.close()
+
+
+def forward_cell(url: str, cell: dict, hops: int = 1) -> tuple[str, SimResult]:
+    """Resolve one cell on its ring owner (``POST /cell``).
+
+    The ``X-Repro-Hops`` header tells the owner this request already
+    travelled a hop, so it must resolve locally -- the loop-prevention
+    contract that bounds any cell to one forward no matter how
+    inconsistent two nodes' peer lists get.
+    """
+    data = _peer_request(
+        url,
+        "POST",
+        "/cell",
+        payload=cell,
+        headers={"X-Repro-Hops": str(hops)},
+    )
+    event = json.loads(data)
+    key = event.get("key")
+    if not isinstance(key, str):
+        raise ServeError(f"peer cell response carries no key: {event!r}")
+    return key, decode_result(event)
+
+
+def fetch_store_keys(url: str) -> list[str]:
+    """A peer's published content addresses (``GET /store/keys``)."""
+    event = json.loads(_peer_request(url, "GET", "/store/keys"))
+    keys = event.get("keys")
+    if not isinstance(keys, list):
+        raise ServeError(f"bad /store/keys response: {event!r}")
+    return [k for k in keys if isinstance(k, str)]
+
+
+def fetch_store_entries(url: str, keys: list[str]) -> dict[str, bytes]:
+    """Batched raw-entry fetch for warm handoff (``POST /store/fetch``).
+
+    Entries come back as opaque base64 pickle bytes and are filed under
+    their content address unopened -- the address is the integrity
+    check, and not unpickling keeps handoff off the trust boundary.
+    """
+    event = json.loads(
+        _peer_request(url, "POST", "/store/fetch", payload={"keys": keys})
+    )
+    entries = event.get("entries")
+    if not isinstance(entries, dict):
+        raise ServeError(f"bad /store/fetch response: {event!r}")
+    return {
+        key: base64.b64decode(value)
+        for key, value in entries.items()
+        if isinstance(value, str)
+    }
+
+
+def submit_job(url: str, payload: dict) -> dict:
+    """Durably enqueue a sweep on a node (``POST /jobs``)."""
+    return json.loads(_peer_request(url, "POST", "/jobs", payload=payload))
+
+
+def job_status(url: str, job_id: str) -> dict:
+    """Poll one job (``GET /jobs/<id>``)."""
+    return json.loads(_peer_request(url, "GET", f"/jobs/{job_id}"))
+
+
+def job_results(
+    url: str, job_id: str, include_results: bool = True
+) -> list[dict]:
+    """Fetch a job's finished cells (``GET /jobs/<id>/results``) as
+    parsed NDJSON lines, ending with the ``job-summary`` line."""
+    suffix = "" if include_results else "?results=0"
+    data = _peer_request(url, "GET", f"/jobs/{job_id}/results{suffix}")
+    return [json.loads(line) for line in data.splitlines() if line.strip()]
+
+
+# ----------------------------------------------------------------------
 # Asyncio transport (used by `repro-serve smoke` for mass concurrency).
 
 async def async_sweep(host: str, port: int, payload: dict) -> list[dict]:

@@ -15,9 +15,26 @@ newline-delimited JSON back, and expose counters.  Routes:
     reconstruct bit-identical results.
 ``GET /stats``
     Service + store counters as JSON (hits/misses/evictions/in-flight
-    dedupes, pool shape, uptime).
+    dedupes, pool shape, uptime; cluster nodes add ring + queue blocks).
 ``GET /healthz``
     Liveness probe.
+
+Cluster-mode routes (docs/SERVICE.md "Cluster mode"):
+
+``POST /cell``
+    One cell in wire format; resolved *on this node* and returned as a
+    single JSON object with its content ``key`` and pickled result.
+    This is the peer-forwarding hop: the ``X-Repro-Hops`` header counts
+    hops taken, and any request arriving with hops >= 1 is pinned local
+    (so a cell travels at most one hop, loops impossible).  ``/sweep``
+    honours the same header.
+``GET /store/keys`` / ``POST /store/fetch``
+    Warm-handoff transport: list this node's content addresses; fetch a
+    batch of entries as raw base64 pickle bytes.
+``POST /jobs`` / ``GET /jobs/<id>`` / ``GET /jobs/<id>/results``
+    The persistent job queue (:mod:`repro.serve.queue`): submit a sweep
+    durably, poll its progress, stream its finished cells as NDJSON out
+    of the content store (``?results=0`` drops payloads).
 
 Malformed specs get a 400 with a JSON error body; an internal failure
 mid-stream becomes a terminal ``{"kind": "error"}`` line (the status
@@ -33,13 +50,18 @@ import base64
 import json
 import pickle
 
+from repro.serve.queue import JobError
 from repro.serve.service import (
     CellOutcome,
     SweepRequestError,
     SweepService,
     expand_sweep,
+    spec_from_dict,
     summarize,
 )
+
+#: Largest /store/fetch batch (warm handoff pulls in chunks anyway).
+MAX_FETCH_KEYS = 256
 
 #: Largest accepted request body (sweep specs are small; 8 MiB leaves
 #: room for huge explicit cell lists without inviting memory abuse).
@@ -100,6 +122,11 @@ class SweepHTTPServer:
             self._handle, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        # Crash recovery: any job left incomplete by the previous
+        # incarnation starts draining again before we take traffic.
+        self.service.resume_jobs()
+        if self.service.peers and self.service.handoff_on_start:
+            await self.service.warm_handoff()
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -121,12 +148,16 @@ class SweepHTTPServer:
     ) -> None:
         try:
             try:
-                method, target, body = await self._read_request(reader)
+                method, target, body, headers = await self._read_request(
+                    reader
+                )
             except _HTTPError as exc:
                 await self._respond_json(
                     writer, exc.status, {"error": exc.message}
                 )
                 return
+            hops = _parse_hops(headers.get("x-repro-hops"))
+            target, _, query = target.partition("?")
             if target == "/healthz" and method == "GET":
                 await self._respond_json(writer, 200, {"ok": True})
             elif target == "/stats" and method == "GET":
@@ -139,7 +170,20 @@ class SweepHTTPServer:
                         writer, 405, {"error": "POST /sweep"}
                     )
                 else:
-                    await self._handle_sweep(writer, body)
+                    await self._handle_sweep(writer, body, hops)
+            elif target == "/cell" and method == "POST":
+                await self._handle_cell(writer, body)
+            elif target == "/store/keys" and method == "GET":
+                keys = await asyncio.get_running_loop().run_in_executor(
+                    None, self.service.store.keys
+                )
+                await self._respond_json(writer, 200, {"keys": keys})
+            elif target == "/store/fetch" and method == "POST":
+                await self._handle_store_fetch(writer, body)
+            elif target == "/jobs" and method == "POST":
+                await self._handle_job_submit(writer, body)
+            elif target.startswith("/jobs/"):
+                await self._handle_job_get(writer, method, target, query)
             else:
                 await self._respond_json(
                     writer, 404, {"error": f"no route {method} {target}"}
@@ -155,7 +199,7 @@ class SweepHTTPServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes]:
+    ) -> tuple[str, str, bytes, dict[str, str]]:
         try:
             request_line = await reader.readline()
         except (ValueError, asyncio.LimitOverrunError):
@@ -165,11 +209,13 @@ class SweepHTTPServer:
             raise _HTTPError(400, "malformed request line")
         method, target, _version = parts
         content_length = 0
+        headers: dict[str, str] = {}
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
             if name.strip().lower() == "content-length":
                 try:
                     content_length = int(value.strip())
@@ -182,10 +228,10 @@ class SweepHTTPServer:
             if content_length
             else b""
         )
-        return method, target, body
+        return method, target, body, headers
 
     async def _handle_sweep(
-        self, writer: asyncio.StreamWriter, body: bytes
+        self, writer: asyncio.StreamWriter, body: bytes, hops: int = 0
     ) -> None:
         try:
             payload = json.loads(body.decode("utf-8") or "null")
@@ -211,7 +257,7 @@ class SweepHTTPServer:
         outcomes: list[CellOutcome | None] = [None] * len(specs)
         try:
             async for index, outcome in self.service.stream_cells(
-                specs, warm=options["warm"]
+                specs, warm=options["warm"], forward=hops < 1
             ):
                 outcomes[index] = outcome
                 await self._send_chunk(
@@ -227,6 +273,150 @@ class SweepHTTPServer:
                 {"kind": "error", "error": f"{type(exc).__name__}: {exc}"},
             )
         await self._end_chunks(writer)
+
+    # -- cluster routes --------------------------------------------------
+    async def _handle_cell(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        """The peer-forwarding hop: resolve one cell locally.
+
+        ``forward=False`` always -- a /cell request *is* the forwarded
+        hop, so re-forwarding is what the hop bound forbids.  The full
+        pickled result always rides back: the caller exists to hand it
+        to its own waiters.
+        """
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+            spec = spec_from_dict(payload)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await self._respond_json(
+                writer, 400, {"error": f"body is not JSON: {exc}"}
+            )
+            return
+        except SweepRequestError as exc:
+            await self._respond_json(writer, 400, {"error": str(exc)})
+            return
+        try:
+            outcome = None
+            async for _, outcome in self.service.stream_cells(
+                [spec], forward=False
+            ):
+                pass
+            assert outcome is not None
+        except Exception as exc:  # noqa: BLE001 - peer must get an answer
+            await self._respond_json(
+                writer,
+                500,
+                {"error": f"{type(exc).__name__}: {exc}"},
+            )
+            return
+        await self._respond_json(writer, 200, cell_line(0, outcome, True))
+
+    async def _handle_store_fetch(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await self._respond_json(
+                writer, 400, {"error": f"body is not JSON: {exc}"}
+            )
+            return
+        keys = payload.get("keys") if isinstance(payload, dict) else None
+        if not isinstance(keys, list) or not all(
+            isinstance(k, str) for k in keys
+        ):
+            await self._respond_json(
+                writer, 400, {"error": "body must be {'keys': [...]}"}
+            )
+            return
+        if len(keys) > MAX_FETCH_KEYS:
+            await self._respond_json(
+                writer,
+                413,
+                {"error": f"at most {MAX_FETCH_KEYS} keys per fetch"},
+            )
+            return
+        loop = asyncio.get_running_loop()
+        entries: dict[str, str] = {}
+        for key in keys:
+            data = await loop.run_in_executor(
+                None, self.service.store.read_raw, key
+            )
+            if data is not None:
+                entries[key] = base64.b64encode(data).decode("ascii")
+        await self._respond_json(writer, 200, {"entries": entries})
+
+    async def _handle_job_submit(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await self._respond_json(
+                writer, 400, {"error": f"body is not JSON: {exc}"}
+            )
+            return
+        try:
+            await self._respond_json(
+                writer, 200, self.service.submit_job(payload)
+            )
+        except SweepRequestError as exc:
+            await self._respond_json(writer, 400, {"error": str(exc)})
+
+    async def _handle_job_get(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        target: str,
+        query: str,
+    ) -> None:
+        if method != "GET":
+            await self._respond_json(writer, 405, {"error": "GET /jobs/..."})
+            return
+        parts = target.split("/")  # ["", "jobs", "<id>"(, "results")]
+        job_id = parts[2] if len(parts) > 2 else ""
+        want_results = len(parts) == 4 and parts[3] == "results"
+        if not job_id or len(parts) > 4 or (len(parts) == 4 and not want_results):
+            await self._respond_json(
+                writer, 404, {"error": f"no route GET {target}"}
+            )
+            return
+        try:
+            if not want_results:
+                await self._respond_json(
+                    writer, 200, self.service.job_status(job_id)
+                )
+                return
+            include = "results=0" not in query
+            # Status is resolved before the stream starts so an unknown
+            # id is a clean 404, not a broken chunk stream.
+            self.service.job_state(job_id)
+            await self._send_headers(
+                writer,
+                200,
+                {
+                    "Content-Type": "application/x-ndjson",
+                    "Transfer-Encoding": "chunked",
+                },
+            )
+            try:
+                async for line in self.service.stream_job_results(
+                    job_id, include_results=include
+                ):
+                    await self._send_chunk(writer, line)
+            except Exception as exc:  # noqa: BLE001 - stream must terminate
+                await self._send_chunk(
+                    writer,
+                    {"kind": "error", "error": f"{type(exc).__name__}: {exc}"},
+                )
+            await self._end_chunks(writer)
+        except (JobError, KeyError):
+            await self._respond_json(
+                writer, 404, {"error": f"no job {job_id!r}"}
+            )
+        except SweepRequestError as exc:
+            await self._respond_json(writer, 400, {"error": str(exc)})
 
     # -- wire helpers ----------------------------------------------------
     @staticmethod
@@ -266,6 +456,15 @@ class SweepHTTPServer:
         )
         writer.write(data)
         await writer.drain()
+
+
+def _parse_hops(raw: str | None) -> int:
+    """The ``X-Repro-Hops`` header (absent/garbage = 0 = an origin
+    request, eligible for forwarding)."""
+    try:
+        return max(0, int(raw or 0))
+    except ValueError:
+        return 0
 
 
 class _HTTPError(Exception):

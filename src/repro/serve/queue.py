@@ -1,0 +1,269 @@
+"""Persistent on-disk job queue: sweeps that outlive a connection.
+
+A *job* is a submitted sweep (``POST /jobs``) that the service drains in
+the background; clients poll ``GET /jobs/<id>`` and fetch finished cells
+from the content-addressed store whenever they like.  The queue's whole
+design answers one question: **after ``kill -9`` at any instant, how do
+we resume with zero lost and zero duplicated cells?**
+
+Per-job layout under the queue directory::
+
+    <job_id>/job.json          # the sweep, written once, atomically
+    <job_id>/journal.ndjson    # one fsynced line per completed cell
+    <job_id>/claims/<i>.claim  # exclusive in-progress markers
+
+Three mechanisms compose into the crash-consistency story:
+
+* **Atomic submit** -- ``job.json`` is published by fsync + rename, so a
+  job either exists completely or not at all.
+* **Append-only journal** -- each completed cell appends one fsynced
+  NDJSON line (``{"done": index, "key": ...}``).  A crash can only tear
+  the *last* line, which replay ignores: the cell simply counts as not
+  done and is re-resolved -- against the content-addressed store, where
+  its result usually already lives, so "re-run" degrades to a cache
+  read.  Content addressing is also why a re-run can never *duplicate*
+  anything: the same cell always produces the same key and the same
+  bits.
+* **Exclusive claim files** -- a drainer marks cells in progress by
+  writing ``<i>.tmp.<pid>`` (fsynced) and ``os.link``-ing it to
+  ``<i>.claim``.  The link is atomic and exclusive, so a second drainer
+  is rejected (duplicate-claim rejection) while the first is alive; a
+  claim whose recorded pid is dead is stale by construction and is
+  broken and re-taken.  A writer killed mid-claim leaves only a
+  pid-suffixed temp file, pruned under the same liveness rule the
+  result cache uses for its temp files.
+
+The queue stores cells in their *wire* format (the validated JSON shape
+of :func:`repro.serve.service.spec_from_dict`), never pickles, so a
+journal is inspectable with ``cat`` and survives code changes that a
+pickle would not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.sim.parallel import _pid_alive
+
+
+class JobError(KeyError):
+    """An unknown or unreadable job id."""
+
+
+@dataclass
+class JobState:
+    """One job's durable state, as replayed from disk."""
+
+    job_id: str
+    cells: list[dict]
+    options: dict = field(default_factory=dict)
+    #: index -> content key, from journal replay (first record wins).
+    done: dict[int, str] = field(default_factory=dict)
+    #: Journal lines that re-recorded an already-done cell.  Zero in any
+    #: correct run -- the cluster smoke asserts it stays zero across a
+    #: kill -9 resume.
+    duplicate_done: int = 0
+    created: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return len(self.cells)
+
+    @property
+    def pending(self) -> list[int]:
+        return [i for i in range(len(self.cells)) if i not in self.done]
+
+    @property
+    def complete(self) -> bool:
+        return len(self.done) == len(self.cells)
+
+    def status_dict(self) -> dict:
+        """The ``GET /jobs/<id>`` body."""
+        return {
+            "kind": "repro-serve-job",
+            "job_id": self.job_id,
+            "cells": self.total,
+            "done": len(self.done),
+            "pending": self.total - len(self.done),
+            "duplicate_done": self.duplicate_done,
+            "complete": self.complete,
+            "created": self.created,
+        }
+
+
+class JobQueue:
+    """Directory-backed queue of sweep jobs (one writer per job at a
+    time; crash-safe against ``kill -9`` at any point)."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    # -- submit ---------------------------------------------------------
+    def submit(self, cells: list[dict], options: dict | None = None) -> str:
+        """Durably create a job; returns its id once ``job.json`` is
+        published (fsync + rename, so a crash cannot half-create it)."""
+        job_id = hashlib.sha256(
+            os.urandom(16) + str(os.getpid()).encode()
+        ).hexdigest()[:16]
+        job_dir = self.directory / job_id
+        job_dir.mkdir(parents=True, exist_ok=True)
+        (job_dir / "claims").mkdir(exist_ok=True)
+        record = {
+            "kind": "repro-serve-job",
+            "job_id": job_id,
+            "created": time.time(),
+            "cells": cells,
+            "options": dict(options or {}),
+        }
+        tmp = job_dir / f"job.json.tmp.{os.getpid()}"
+        with tmp.open("w") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(job_dir / "job.json")
+        return job_id
+
+    # -- load / replay --------------------------------------------------
+    def jobs(self) -> list[str]:
+        """Every fully-submitted job id (submission order is not
+        preserved; callers sort by ``created`` if they care)."""
+        try:
+            return sorted(
+                p.name
+                for p in self.directory.iterdir()
+                if (p / "job.json").is_file()
+            )
+        except OSError:
+            return []
+
+    def load(self, job_id: str) -> JobState:
+        """Rebuild a job's state from ``job.json`` + journal replay."""
+        job_dir = self.directory / job_id
+        try:
+            with (job_dir / "job.json").open() as fh:
+                record = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise JobError(f"no job {job_id!r}: {exc}") from None
+        state = JobState(
+            job_id=job_id,
+            cells=record.get("cells", []),
+            options=record.get("options", {}),
+            created=record.get("created", 0.0),
+        )
+        try:
+            journal = (job_dir / "journal.ndjson").read_bytes()
+        except OSError:
+            return state
+        for line in journal.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                index = entry["done"]
+                key = entry["key"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                # A torn tail from a crash mid-append: the cell is
+                # simply not done; the resumed drain re-resolves it
+                # (usually a store hit, never a divergent result).
+                continue
+            if index in state.done:
+                state.duplicate_done += 1
+            else:
+                state.done[index] = key
+        return state
+
+    # -- claims ---------------------------------------------------------
+    def _claims_dir(self, job_id: str) -> Path:
+        path = self.directory / job_id / "claims"
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def claim(self, job_id: str, index: int) -> bool:
+        """Atomically claim one cell for execution.
+
+        Returns ``False`` if another *live* process holds the claim
+        (duplicate-claim rejection); a claim recorded by a dead pid is
+        stale and is broken and re-taken.
+        """
+        claims = self._claims_dir(job_id)
+        self._prune_stale_tmps(claims)
+        final = claims / f"{index}.claim"
+        tmp = claims / f"{index}.tmp.{os.getpid()}"
+        with tmp.open("w") as fh:
+            json.dump({"pid": os.getpid(), "claimed": time.time()}, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        try:
+            for attempt in range(2):
+                try:
+                    os.link(tmp, final)  # atomic + exclusive
+                    return True
+                except FileExistsError:
+                    if attempt or not self._claim_stale(final):
+                        return False
+                    try:
+                        final.unlink()  # break the dead holder's claim
+                    except OSError:
+                        return False
+            return False
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _claim_stale(path: Path) -> bool:
+        """A claim is stale iff its recorded holder is gone (or the file
+        is unreadable garbage, which only a dead writer can leave --
+        live ones fsync before linking)."""
+        try:
+            holder = json.loads(path.read_text())
+            pid = int(holder["pid"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return True
+        return pid != os.getpid() and not _pid_alive(pid)
+
+    @staticmethod
+    def _prune_stale_tmps(claims: Path) -> None:
+        try:
+            for tmp in claims.glob("*.tmp.*"):
+                pid_text = tmp.name.rsplit(".", 1)[-1]
+                if not pid_text.isdigit():
+                    continue
+                pid = int(pid_text)
+                if pid != os.getpid() and not _pid_alive(pid):
+                    try:
+                        tmp.unlink()
+                    except OSError:
+                        pass
+        except OSError:
+            pass
+
+    def release(self, job_id: str, index: int) -> None:
+        """Drop a claim without completing the cell (idempotent)."""
+        try:
+            (self._claims_dir(job_id) / f"{index}.claim").unlink()
+        except OSError:
+            pass
+
+    # -- completion -----------------------------------------------------
+    def mark_done(self, job_id: str, index: int, key: str) -> None:
+        """Durably record one completed cell, then drop its claim.
+
+        The journal append is fsynced before the claim is released; a
+        crash between the two leaves a stale claim on a *done* cell,
+        which replay renders harmless (done cells are never re-claimed).
+        """
+        journal = self.directory / job_id / "journal.ndjson"
+        line = json.dumps({"done": index, "key": key}) + "\n"
+        with journal.open("a") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.release(job_id, index)

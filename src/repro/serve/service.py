@@ -11,12 +11,21 @@ through three layers, cheapest first:
 2. the **in-flight table** -- a cell some other request is already
    simulating is awaited, not re-run, so N clients asking for the same
    cell cost one simulation (the ``inflight_hits`` counter);
-3. the **worker pools** -- remaining cells are sharded by content
+3. in cluster mode, the **ring** -- a cell whose consistent-hash owner
+   (:mod:`repro.serve.ring`) is another node is proxied there over one
+   hop and the result verified against its content address; an
+   unreachable owner degrades to local execution;
+4. the **worker pools** -- remaining cells are sharded by content
    address across one or more persistent ``ProcessPoolExecutor`` pools
    and claimed in engine batches
    (:func:`~repro.sim.parallel.run_cell_batch`), exactly like the
    one-shot runner, so results are bit-identical to ``run_cells`` by
    construction.
+
+Sweeps bigger than one connection's patience become persistent *jobs*
+(:mod:`repro.serve.queue`): submitted durably, drained in the
+background through the same resolution layers, resumable after
+``kill -9`` with zero lost or duplicated cells.
 
 Warm-checkpoint lineage rides along: a sweep submitted with
 ``"warm": true`` is rewritten through
@@ -40,6 +49,8 @@ from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import AsyncIterator
 
+from repro.serve.queue import JobQueue, JobState
+from repro.serve.ring import HashRing
 from repro.serve.store import ContentStore, _env_int
 from repro.sim.config import MECHANISMS, FUPool, MachineConfig
 from repro.sim.parallel import (
@@ -305,6 +316,10 @@ class SweepService:
         store: ContentStore | None = None,
         pools: int | None = None,
         workers: int | None = None,
+        node_id: str | None = None,
+        peers: list[str] | tuple[str, ...] = (),
+        queue: JobQueue | None = None,
+        handoff: bool = False,
     ) -> None:
         self.store = store if store is not None else ContentStore()
         self.pools = default_pools() if pools is None else pools
@@ -316,6 +331,30 @@ class SweepService:
         #: content address -> future resolving to a SimResult.
         self._inflight: dict[str, asyncio.Future] = {}
         self._executors: list[Executor | None] | None = None
+        # -- cluster membership (docs/SERVICE.md "Cluster mode") --------
+        #: This node's advertised base URL; None = single-host mode.
+        self.node_id = node_id
+        self.peers = [p for p in peers if p and p != node_id]
+        #: Placement is pure ring arithmetic over the member list, so
+        #: every node routes identically with zero coordination.
+        self.ring: HashRing | None = (
+            HashRing([node_id, *self.peers])
+            if node_id and self.peers
+            else None
+        )
+        self.cells_owned = 0
+        self.cells_forwarded = 0
+        self.forward_fallbacks = 0
+        self.handoff_pulled = 0
+        if self.node_id:
+            # Manifests published by this store now carry the node's
+            # identity + routing counters (obs.manifest "node" block).
+            self.store.node_info = self.node_info
+        #: Pull owned entries from peers when the HTTP server starts.
+        self.handoff_on_start = handoff
+        #: Persistent job queue (None = /jobs disabled).
+        self.queue = queue
+        self._job_tasks: dict[str, asyncio.Task] = {}
 
     # -- pools ----------------------------------------------------------
     def _shards(self) -> list[Executor | None]:
@@ -348,7 +387,16 @@ class SweepService:
         return int(key[:8], 16) % len(shards)
 
     def close(self) -> None:
-        """Tear down the worker pools (idempotent)."""
+        """Tear down the worker pools and job drains (idempotent).
+
+        Job *state* survives closing by construction -- everything
+        durable is already on disk -- so cancelled drains resume on the
+        next start (:meth:`resume_jobs`).
+        """
+        for task in self._job_tasks.values():
+            if not task.done():
+                task.cancel()
+        self._job_tasks = {}
         if self._executors:
             for executor in self._executors:
                 if executor is not None:
@@ -357,10 +405,19 @@ class SweepService:
 
     # -- resolution -----------------------------------------------------
     async def stream_cells(
-        self, specs: list[CellSpec], warm: bool = False
+        self,
+        specs: list[CellSpec],
+        warm: bool = False,
+        forward: bool = True,
     ) -> AsyncIterator[tuple[int, CellOutcome]]:
         """Resolve ``specs``, yielding ``(index, outcome)`` as each cell
-        completes (ragged order; indices are spec positions)."""
+        completes (ragged order; indices are spec positions).
+
+        In cluster mode, cells whose ring owner is another node are
+        proxied there (``forward=False`` pins everything local -- the
+        handler for already-forwarded requests, which is what bounds
+        every cell to at most one hop).
+        """
         loop = asyncio.get_running_loop()
         if warm:
             # Warm derivation builds checkpoints (serial simulations);
@@ -372,6 +429,7 @@ class SweepService:
         ready: list[tuple[int, CellOutcome]] = []
         waiting: list[tuple[int, CellSpec, str, bool, asyncio.Future]] = []
         to_start: list[tuple[str, CellSpec]] = []
+        to_forward: list[tuple[str, CellSpec, str]] = []
         for index, spec in enumerate(specs):
             key = self.store.key(spec)
             hit = await loop.run_in_executor(None, self.store.get, spec)
@@ -389,10 +447,18 @@ class SweepService:
                 continue
             future = loop.create_future()
             self._inflight[key] = future
-            to_start.append((key, spec))
+            owner = self._owner_of(key) if forward else None
+            if owner is not None:
+                to_forward.append((key, spec, owner))
+            else:
+                if self.ring is not None:
+                    self.cells_owned += 1
+                to_start.append((key, spec))
             waiting.append((index, spec, key, False, future))
 
         self._launch(to_start)
+        for key, spec, owner in to_forward:
+            asyncio.ensure_future(self._forward_cell(key, spec, owner))
 
         for item in ready:
             yield item
@@ -417,6 +483,112 @@ class SweepService:
             outcomes[index] = outcome
         return outcomes  # type: ignore[return-value]
 
+    # -- cluster routing ------------------------------------------------
+    def _owner_of(self, key: str) -> str | None:
+        """The peer that owns ``key``, or None when this node does (or
+        when there is no cluster)."""
+        if self.ring is None:
+            return None
+        owner = self.ring.owner(key)
+        return None if owner == self.node_id else owner
+
+    async def _forward_cell(
+        self, key: str, spec: CellSpec, owner: str
+    ) -> None:
+        """Proxy one cell to its ring owner; fall back to local
+        execution if the owner is unreachable or misbehaves.
+
+        The returned result must file under the *same* content address
+        we computed -- that equality is the proof the owner simulated
+        the identical cell under identical sources, and what makes
+        forwarding transparent to every waiter.
+        """
+        from repro.serve.client import ServeError, forward_cell
+
+        loop = asyncio.get_running_loop()
+        try:
+            remote_key, result = await loop.run_in_executor(
+                None, forward_cell, owner, spec_to_dict(spec)
+            )
+            if remote_key != key:
+                raise ServeError(
+                    f"owner {owner} returned key {remote_key}, wanted {key}"
+                )
+        except Exception:
+            # Owner death (or disagreement) degrades to local execution:
+            # any node can resolve any cell, the ring is only the fast
+            # path that keeps stores disjoint-ish.
+            self.forward_fallbacks += 1
+            if self.ring is not None:
+                self.cells_owned += 1
+            self._launch([(key, spec)])
+            return
+        self.cells_forwarded += 1
+        # Keep a local copy: the forwarding node becomes a replica, so
+        # repeat sweeps here are store hits and the cell survives the
+        # owner's death (warm-handoff's standing counterpart).
+        await loop.run_in_executor(None, self.store.put, spec, result)
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(result)
+
+    def node_info(self) -> dict:
+        """This node's identity + routing counters (manifest ``node``
+        block and the ``node`` section of ``/stats``)."""
+        return {
+            "node_id": self.node_id or "",
+            "peers": len(self.peers),
+            "owned": self.cells_owned,
+            "forwarded": self.cells_forwarded,
+            "fallbacks": self.forward_fallbacks,
+            "handoff_pulled": self.handoff_pulled,
+        }
+
+    async def warm_handoff(self) -> int:
+        """Pull entries this node owns from its peers' stores.
+
+        Run at join (and harmless any time): for every peer, list its
+        store keys, keep the ones the ring says are *ours* and that we
+        do not already hold, and fetch them in batches as raw bytes.
+        Rebalancing after membership change is thereby a cache-warm
+        event, not a recompute storm.  Returns how many entries landed.
+        """
+        from repro.serve.client import fetch_store_entries, fetch_store_keys
+
+        if self.ring is None:
+            return 0
+        loop = asyncio.get_running_loop()
+        pulled = 0
+        local = set(await loop.run_in_executor(None, self.store.keys))
+        for peer in self.peers:
+            try:
+                remote = await loop.run_in_executor(
+                    None, fetch_store_keys, peer
+                )
+            except Exception:
+                continue  # dead peer: nothing to pull from it
+            wanted = [
+                key
+                for key in remote
+                if key not in local and self.ring.owner(key) == self.node_id
+            ]
+            for start in range(0, len(wanted), 64):
+                batch = wanted[start : start + 64]
+                try:
+                    entries = await loop.run_in_executor(
+                        None, fetch_store_entries, peer, batch
+                    )
+                except Exception:
+                    break
+                for key, data in entries.items():
+                    if await loop.run_in_executor(
+                        None, self.store.put_raw, key, data
+                    ):
+                        local.add(key)
+                        pulled += 1
+        self.handoff_pulled += pulled
+        return pulled
+
     @staticmethod
     async def _await_cell(
         index: int,
@@ -427,6 +599,142 @@ class SweepService:
     ) -> tuple[int, CellOutcome]:
         result = await asyncio.shield(future)
         return index, CellOutcome(spec, result, key, deduped=deduped)
+
+    # -- persistent jobs ------------------------------------------------
+    def submit_job(self, payload: dict) -> dict:
+        """Validate a sweep spec, durably enqueue it, and start its
+        background drain; returns the ``POST /jobs`` response body."""
+        if self.queue is None:
+            raise SweepRequestError("this node has no job queue enabled")
+        specs, options = expand_sweep(payload)
+        job_id = self.queue.submit(
+            [spec_to_dict(spec) for spec in specs], options
+        )
+        self._start_drain(job_id)
+        return {"kind": "repro-serve-job", "job_id": job_id,
+                "cells": len(specs)}
+
+    def job_state(self, job_id: str) -> JobState:
+        if self.queue is None:
+            raise SweepRequestError("this node has no job queue enabled")
+        return self.queue.load(job_id)
+
+    def job_status(self, job_id: str) -> dict:
+        task = self._job_tasks.get(job_id)
+        return {
+            **self.job_state(job_id).status_dict(),
+            "draining": task is not None and not task.done(),
+        }
+
+    def resume_jobs(self) -> list[str]:
+        """Restart the drain of every incomplete job on disk (called at
+        service start; this is the ``kill -9`` resume path)."""
+        if self.queue is None:
+            return []
+        resumed = []
+        for job_id in self.queue.jobs():
+            if not self.queue.load(job_id).complete:
+                self._start_drain(job_id)
+                resumed.append(job_id)
+        return resumed
+
+    def _start_drain(self, job_id: str) -> None:
+        task = self._job_tasks.get(job_id)
+        if task is not None and not task.done():
+            return  # already draining in this process
+        self._job_tasks[job_id] = asyncio.ensure_future(
+            self._drain_job(job_id)
+        )
+
+    async def _drain_job(self, job_id: str) -> None:
+        """Resolve every pending cell of one job, journaling each
+        completion durably before anything else observes it.
+
+        Claims make concurrent drains (two incarnations racing around a
+        restart) mutually exclusive per cell; the journal makes every
+        completion exactly-once; the content-addressed store makes the
+        rare claimed-but-unjournaled replay a cache read, not a second
+        simulation.
+        """
+        assert self.queue is not None
+        loop = asyncio.get_running_loop()
+        state = await loop.run_in_executor(None, self.queue.load, job_id)
+        claimed = [
+            index
+            for index in state.pending
+            if await loop.run_in_executor(
+                None, self.queue.claim, job_id, index
+            )
+        ]
+        if not claimed:
+            return
+        specs = [spec_from_dict(state.cells[index]) for index in claimed]
+        finished: set[int] = set()
+        try:
+            async for pos, outcome in self.stream_cells(
+                specs, warm=bool(state.options.get("warm", False))
+            ):
+                index = claimed[pos]
+                await loop.run_in_executor(
+                    None, self.queue.mark_done, job_id, index, outcome.key
+                )
+                finished.add(index)
+        finally:
+            # A failed drain (a deterministically-erroring cell, or
+            # shutdown) must not wedge its unfinished claims: release
+            # them so the next drain -- ours or a restarted node's --
+            # can take over.
+            for index in claimed:
+                if index not in finished:
+                    await loop.run_in_executor(
+                        None, self.queue.release, job_id, index
+                    )
+
+    async def stream_job_results(
+        self, job_id: str, include_results: bool = True
+    ) -> AsyncIterator[dict]:
+        """NDJSON lines for ``GET /jobs/<id>/results``: every finished
+        cell straight from the content store, then a job summary."""
+        import base64
+        import pickle
+
+        loop = asyncio.get_running_loop()
+        state = self.job_state(job_id)
+        streamed = 0
+        missing = 0
+        for index in sorted(state.done):
+            spec = spec_from_dict(state.cells[index])
+            result = await loop.run_in_executor(None, self.store.get, spec)
+            if result is None:
+                missing += 1  # evicted since completion; key still known
+                continue
+            line = {
+                "kind": "cell",
+                "index": index,
+                "key": state.done[index],
+                "workload": state.cells[index]["workload"],
+                "mechanism": spec.config.mechanism,
+                "cycles": result.cycles,
+                "ipc": round(result.ipc, 6),
+                "cached": True,
+                "deduped": False,
+            }
+            if include_results:
+                line["result_b64"] = base64.b64encode(
+                    pickle.dumps(result)
+                ).decode("ascii")
+            streamed += 1
+            yield line
+        yield {
+            "kind": "job-summary",
+            "job_id": job_id,
+            "cells": state.total,
+            "done": len(state.done),
+            "streamed": streamed,
+            "evicted": missing,
+            "duplicate_done": state.duplicate_done,
+            "complete": state.complete,
+        }
 
     # -- simulation -----------------------------------------------------
     def _launch(self, to_start: list[tuple[str, CellSpec]]) -> None:
@@ -511,7 +819,7 @@ class SweepService:
 
     # -- stats ----------------------------------------------------------
     def stats_dict(self) -> dict:
-        return {
+        stats = {
             "kind": "repro-serve-stats",
             "uptime_s": round(time.time() - self.started, 3),
             "pools": self.pools,
@@ -522,6 +830,17 @@ class SweepService:
             "inflight": len(self._inflight),
             "cache": self.store.stats_dict(),
         }
+        if self.node_id:
+            stats["node"] = {**self.node_info(), "peer_urls": self.peers}
+        if self.queue is not None:
+            jobs = self.queue.jobs()
+            stats["jobs"] = {
+                "total": len(jobs),
+                "draining": sum(
+                    1 for t in self._job_tasks.values() if not t.done()
+                ),
+            }
+        return stats
 
 
 def summarize(outcomes: list[CellOutcome]) -> dict:

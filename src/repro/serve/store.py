@@ -27,12 +27,18 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import re
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.sim.parallel import CellSpec, ResultCache
 from repro.sim.simulator import SimResult
+
+#: What a content address looks like on the wire (the 40-hex-digit
+#: sha-256 prefix :meth:`ResultCache._path` files results under).
+_KEY_RE = re.compile(r"[0-9a-f]{40}")
 
 
 def _env_int(name: str, default: int) -> int:
@@ -86,6 +92,10 @@ class ContentStore(ResultCache):
         self.stats = StoreStats()
         #: Pickle names this process has touched, least recent first.
         self._lru: OrderedDict[str, None] = OrderedDict()
+        #: Cluster identity block embedded in manifests (node id plus
+        #: owned/forwarded counters); set by the service in cluster
+        #: mode, ``None`` on a single host.
+        self.node_info: Callable[[], dict] | None = None
 
     # ------------------------------------------------------------------
     def key(self, spec: CellSpec) -> str:
@@ -111,6 +121,48 @@ class ContentStore(ResultCache):
         super().put(spec, result)
         self._touch(self._path(spec).name)
         self._evict()
+
+    # -- raw entries (warm-handoff transport) ---------------------------
+    def keys(self) -> list[str]:
+        """Every published content address, sorted (``GET /store/keys``)."""
+        return sorted(path.stem for path in self.entries())
+
+    def read_raw(self, key: str) -> bytes | None:
+        """The published pickle bytes for ``key``, verbatim.
+
+        Warm handoff moves entries between nodes as opaque bytes -- the
+        donor never unpickles, the receiver never re-simulates, and the
+        content address stays the integrity check.
+        """
+        if not _KEY_RE.fullmatch(key):
+            return None  # never let a wire key escape the store dir
+        try:
+            return (self.directory / f"{key}.pkl").read_bytes()
+        except OSError:
+            return None
+
+    def put_raw(self, key: str, data: bytes) -> bool:
+        """Publish foreign pickle bytes under ``key`` (fsync + rename,
+        like :meth:`put`); counted as a put and subject to eviction.
+        No manifest is written -- the donor's manifest stays the audit
+        trail for the simulation itself."""
+        if not self.enabled() or not _KEY_RE.fullmatch(key):
+            return False
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / f"{key}.pkl"
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            tmp.replace(path)
+        except OSError:
+            return False
+        self.stats.puts += 1
+        self._touch(path.name)
+        self._evict()
+        return True
 
     # ------------------------------------------------------------------
     def _touch(self, name: str) -> None:
@@ -194,3 +246,6 @@ class ContentStore(ResultCache):
 
     def _manifest_cache_stats(self) -> dict | None:
         return self.stats_dict()
+
+    def _manifest_node_info(self) -> dict | None:
+        return self.node_info() if self.node_info is not None else None

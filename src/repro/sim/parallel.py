@@ -385,6 +385,12 @@ class ResultCache:
         omits the block."""
         return None
 
+    def _manifest_node_info(self) -> dict | None:
+        """Cluster-node identity to embed in manifests (node id and
+        owned/forwarded counters; overridden by the serve store in
+        cluster mode); ``None`` omits the block."""
+        return None
+
     def _write_manifest(self, spec: CellSpec, result: SimResult, path: Path) -> None:
         """Audit trail: a human-readable manifest beside each pickle.
 
@@ -408,6 +414,7 @@ class ResultCache:
                         workload=spec.workload,
                         checkpoint=getattr(result, "checkpoint", None),
                         cache_stats=self._manifest_cache_stats(),
+                        node=self._manifest_node_info(),
                     ),
                 )
             tmp.replace(path.with_suffix(".json"))

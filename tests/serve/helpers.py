@@ -44,16 +44,46 @@ def make_grid() -> list[CellSpec]:
     ]
 
 
-def make_service(cache_dir) -> SweepService:
-    """An inline (pools=0) service over a store in ``cache_dir``."""
-    return SweepService(store=ContentStore(cache_dir), pools=0)
+def make_service(
+    cache_dir,
+    node_url: str | None = None,
+    peers: tuple[str, ...] = (),
+    jobs_dir=None,
+) -> SweepService:
+    """An inline (pools=0) service over a store in ``cache_dir``.
+
+    ``node_url`` + ``peers`` put the service in cluster mode (ring
+    placement and forwarding); ``jobs_dir`` enables the persistent job
+    queue -- the same wiring ``repro-serve serve`` does from its flags.
+    """
+    from repro.serve.queue import JobQueue
+
+    return SweepService(
+        store=ContentStore(cache_dir),
+        pools=0,
+        node_id=node_url,
+        peers=peers,
+        queue=JobQueue(jobs_dir) if jobs_dir else None,
+    )
 
 
 class ServerThread:
     """A real :class:`SweepHTTPServer` on a background event loop."""
 
-    def __init__(self, cache_dir) -> None:
-        self.server = SweepHTTPServer(make_service(cache_dir))
+    def __init__(
+        self,
+        cache_dir,
+        port: int = 0,
+        node_url: str | None = None,
+        peers: tuple[str, ...] = (),
+        jobs_dir=None,
+    ) -> None:
+        self.server = SweepHTTPServer(
+            make_service(
+                cache_dir, node_url=node_url, peers=peers, jobs_dir=jobs_dir
+            ),
+            port=port,
+        )
         self.loop = asyncio.new_event_loop()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._started = threading.Event()
