@@ -225,12 +225,14 @@ def fetch_store_keys(url: str) -> list[str]:
     return [k for k in keys if isinstance(k, str)]
 
 
-def fetch_store_entries(url: str, keys: list[str]) -> dict[str, bytes]:
+def fetch_store_entries(url: str, keys: list[str]) -> dict[str, tuple[bytes, str]]:
     """Batched raw-entry fetch for warm handoff (``POST /store/fetch``).
 
-    Entries come back as opaque base64 pickle bytes and are filed under
-    their content address unopened -- the address is the integrity
-    check, and not unpickling keeps handoff off the trust boundary.
+    Entries come back as opaque base64 pickle bytes plus a sha-256 of
+    those bytes.  The content address hashes the *spec*, not the bytes,
+    so the digest rides along to :meth:`ContentStore.put_raw`, which
+    verifies the payload before publishing it.  Returns
+    ``key -> (bytes, sha256)``; malformed entries are dropped.
     """
     event = json.loads(
         _peer_request(url, "POST", "/store/fetch", payload={"keys": keys})
@@ -238,11 +240,14 @@ def fetch_store_entries(url: str, keys: list[str]) -> dict[str, bytes]:
     entries = event.get("entries")
     if not isinstance(entries, dict):
         raise ServeError(f"bad /store/fetch response: {event!r}")
-    return {
-        key: base64.b64decode(value)
-        for key, value in entries.items()
-        if isinstance(value, str)
-    }
+    out: dict[str, tuple[bytes, str]] = {}
+    for key, value in entries.items():
+        if not isinstance(value, dict):
+            continue
+        data, digest = value.get("data"), value.get("sha256")
+        if isinstance(data, str) and isinstance(digest, str):
+            out[key] = (base64.b64decode(data), digest)
+    return out
 
 
 def submit_job(url: str, payload: dict) -> dict:

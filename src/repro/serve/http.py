@@ -30,7 +30,8 @@ Cluster-mode routes (docs/SERVICE.md "Cluster mode"):
     honours the same header.
 ``GET /store/keys`` / ``POST /store/fetch``
     Warm-handoff transport: list this node's content addresses; fetch a
-    batch of entries as raw base64 pickle bytes.
+    batch of entries as raw base64 pickle bytes, each with a sha-256 of
+    the bytes the receiver verifies before publishing.
 ``POST /jobs`` / ``GET /jobs/<id>`` / ``GET /jobs/<id>/results``
     The persistent job queue (:mod:`repro.serve.queue`): submit a sweep
     durably, poll its progress, stream its finished cells as NDJSON out
@@ -47,6 +48,7 @@ from __future__ import annotations
 
 import asyncio
 import base64
+import hashlib
 import json
 import pickle
 
@@ -221,6 +223,10 @@ class SweepHTTPServer:
                     content_length = int(value.strip())
                 except ValueError:
                     raise _HTTPError(400, "bad Content-Length") from None
+                if content_length < 0:
+                    # A negative length would blow up readexactly below,
+                    # dropping the connection with no response.
+                    raise _HTTPError(400, "bad Content-Length")
         if content_length > MAX_BODY:
             raise _HTTPError(413, f"body over {MAX_BODY} bytes")
         body = (
@@ -338,13 +344,19 @@ class SweepHTTPServer:
             )
             return
         loop = asyncio.get_running_loop()
-        entries: dict[str, str] = {}
+        entries: dict[str, dict[str, str]] = {}
         for key in keys:
             data = await loop.run_in_executor(
                 None, self.service.store.read_raw, key
             )
             if data is not None:
-                entries[key] = base64.b64encode(data).decode("ascii")
+                # The content address hashes the spec, not the bytes;
+                # the digest is what lets the receiver verify the
+                # payload itself before publishing it.
+                entries[key] = {
+                    "data": base64.b64encode(data).decode("ascii"),
+                    "sha256": hashlib.sha256(data).hexdigest(),
+                }
         await self._respond_json(writer, 200, {"entries": entries})
 
     async def _handle_job_submit(

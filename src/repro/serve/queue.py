@@ -29,9 +29,11 @@ Three mechanisms compose into the crash-consistency story:
   ``<i>.claim``.  The link is atomic and exclusive, so a second drainer
   is rejected (duplicate-claim rejection) while the first is alive; a
   claim whose recorded pid is dead is stale by construction and is
-  broken and re-taken.  A writer killed mid-claim leaves only a
-  pid-suffixed temp file, pruned under the same liveness rule the
-  result cache uses for its temp files.
+  broken by an atomic rename to a unique tombstone -- of two racing
+  stealers exactly one rename succeeds, so the loser can never remove
+  the winner's fresh claim.  A writer killed mid-claim leaves only a
+  pid-suffixed temp file (or tombstone), pruned under the same liveness
+  rule the result cache uses for its temp files.
 
 The queue stores cells in their *wire* format (the validated JSON shape
 of :func:`repro.serve.service.spec_from_dict`), never pickles, so a
@@ -206,16 +208,35 @@ class JobQueue:
                 except FileExistsError:
                     if attempt or not self._claim_stale(final):
                         return False
-                    try:
-                        final.unlink()  # break the dead holder's claim
-                    except OSError:
-                        return False
+                    self._steal_stale(claims, final)
             return False
         finally:
             try:
                 tmp.unlink()
             except OSError:
                 pass
+
+    @staticmethod
+    def _steal_stale(claims: Path, final: Path) -> None:
+        """Break a dead holder's claim atomically.
+
+        A bare unlink-then-link would let two stealers both win: after
+        the first unlinks and re-links its own claim, the second's
+        unlink removes the first's *fresh* claim.  Renaming the stale
+        claim to a unique tombstone instead means exactly one stealer's
+        rename succeeds; the loser sees nothing to rename and goes back
+        to competing for the link, where the winner's fresh claim
+        rejects it.
+        """
+        tombstone = claims / f"{final.name}.stale.{os.getpid()}"
+        try:
+            os.rename(final, tombstone)
+        except OSError:
+            return  # someone else stole it first
+        try:
+            tombstone.unlink()
+        except OSError:
+            pass
 
     @staticmethod
     def _claim_stale(path: Path) -> bool:
@@ -231,8 +252,10 @@ class JobQueue:
 
     @staticmethod
     def _prune_stale_tmps(claims: Path) -> None:
+        """Collect pid-suffixed litter of dead writers: claim temp files
+        and steal tombstones a ``kill -9`` orphaned mid-operation."""
         try:
-            for tmp in claims.glob("*.tmp.*"):
+            for tmp in (*claims.glob("*.tmp.*"), *claims.glob("*.stale.*")):
                 pid_text = tmp.name.rsplit(".", 1)[-1]
                 if not pid_text.isdigit():
                     continue

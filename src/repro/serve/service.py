@@ -456,7 +456,7 @@ class SweepService:
                 to_start.append((key, spec))
             waiting.append((index, spec, key, False, future))
 
-        self._launch(to_start)
+        self._launch(await self._attach_wire_warm(to_start))
         for key, spec, owner in to_forward:
             asyncio.ensure_future(self._forward_cell(key, spec, owner))
 
@@ -482,6 +482,58 @@ class SweepService:
         async for index, outcome in self.stream_cells(specs, warm=warm):
             outcomes[index] = outcome
         return outcomes  # type: ignore[return-value]
+
+    async def _attach_wire_warm(
+        self, to_start: list[tuple[str, CellSpec]]
+    ) -> list[tuple[str, CellSpec]]:
+        """Rehydrate *wire-warm* cells (a ``warm_hash`` without a local
+        checkpoint) before they run here.
+
+        ``warm_from`` is a local path and never crosses the HTTP
+        boundary, so a forwarded warm cell arrives as its hash alone.
+        Running it as-is would simulate **cold** yet file the result
+        under the warm-keyed content address -- the same address would
+        hold different bits depending on routing.  Instead the
+        checkpoint is re-derived locally (deterministic, so usually a
+        cache probe) and the derived digest must equal the wire one; a
+        cell whose checkpoint cannot be reproduced fails its waiters
+        rather than poisoning the store.
+        """
+        loop = asyncio.get_running_loop()
+        out: list[tuple[str, CellSpec]] = []
+        for key, spec in to_start:
+            if spec.warm_hash is None or spec.warm_from is not None:
+                out.append((key, spec))
+                continue
+            try:
+                rehydrated = await loop.run_in_executor(
+                    None, self._rederive_warm, spec
+                )
+            except Exception as exc:
+                future = self._inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+                continue
+            out.append((key, rehydrated))
+        return out
+
+    @staticmethod
+    def _rederive_warm(spec: CellSpec) -> CellSpec:
+        """(Thread executor.)  Rebuild the warm checkpoint a wire-warm
+        cell refers to and attach it, verifying the digest."""
+        if not spec.warmup_insts:
+            raise SweepRequestError(
+                "cell carries a warm_hash but no warmup to derive it from"
+            )
+        derived = derive_warm_cells(
+            [dataclasses.replace(spec, warm_hash=None)]
+        )[0]
+        if derived.warm_hash != spec.warm_hash:
+            raise SweepRequestError(
+                f"cannot reproduce warm checkpoint {spec.warm_hash}: "
+                f"derived {derived.warm_hash}"
+            )
+        return derived
 
     # -- cluster routing ------------------------------------------------
     def _owner_of(self, key: str) -> str | None:
@@ -580,9 +632,9 @@ class SweepService:
                     )
                 except Exception:
                     break
-                for key, data in entries.items():
+                for key, (data, digest) in entries.items():
                     if await loop.run_in_executor(
-                        None, self.store.put_raw, key, data
+                        None, self.store.put_raw, key, data, digest
                     ):
                         local.add(key)
                         pulled += 1
@@ -703,15 +755,25 @@ class SweepService:
         streamed = 0
         missing = 0
         for index in sorted(state.done):
-            spec = spec_from_dict(state.cells[index])
-            result = await loop.run_in_executor(None, self.store.get, spec)
-            if result is None:
-                missing += 1  # evicted since completion; key still known
+            # Fetch by the *journaled* key: a warm drain resolves cells
+            # under warm-derived addresses, so recomputing the address
+            # from the cold wire spec would miss every one of them.
+            key = state.done[index]
+            data = await loop.run_in_executor(None, self.store.read_raw, key)
+            result = None
+            if data is not None:
+                try:
+                    result = pickle.loads(data)
+                except Exception:
+                    result = None
+            if not isinstance(result, SimResult):
+                missing += 1  # evicted (or unreadable) since completion
                 continue
+            spec = spec_from_dict(state.cells[index])
             line = {
                 "kind": "cell",
                 "index": index,
-                "key": state.done[index],
+                "key": key,
                 "workload": state.cells[index]["workload"],
                 "mechanism": spec.config.mechanism,
                 "cycles": result.cycles,
@@ -720,9 +782,7 @@ class SweepService:
                 "deduped": False,
             }
             if include_results:
-                line["result_b64"] = base64.b64encode(
-                    pickle.dumps(result)
-                ).decode("ascii")
+                line["result_b64"] = base64.b64encode(data).decode("ascii")
             streamed += 1
             yield line
         yield {

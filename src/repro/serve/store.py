@@ -26,7 +26,9 @@ sweep run through ``run_cells`` warms the service and vice versa.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import os
+import pickle
 import re
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -130,9 +132,11 @@ class ContentStore(ResultCache):
     def read_raw(self, key: str) -> bytes | None:
         """The published pickle bytes for ``key``, verbatim.
 
-        Warm handoff moves entries between nodes as opaque bytes -- the
-        donor never unpickles, the receiver never re-simulates, and the
-        content address stays the integrity check.
+        Warm handoff moves entries between nodes as raw bytes -- the
+        donor never unpickles, the receiver never re-simulates.  The
+        content address hashes the *spec*, not the bytes, so the wire
+        carries a sha-256 of the bytes alongside them and
+        :meth:`put_raw` verifies the payload before publishing.
         """
         if not _KEY_RE.fullmatch(key):
             return None  # never let a wire key escape the store dir
@@ -141,12 +145,28 @@ class ContentStore(ResultCache):
         except OSError:
             return None
 
-    def put_raw(self, key: str, data: bytes) -> bool:
+    def put_raw(self, key: str, data: bytes, sha256: str | None = None) -> bool:
         """Publish foreign pickle bytes under ``key`` (fsync + rename,
         like :meth:`put`); counted as a put and subject to eviction.
         No manifest is written -- the donor's manifest stays the audit
-        trail for the simulation itself."""
+        trail for the simulation itself.
+
+        The key hashes the spec, not the bytes, so the address alone
+        cannot vouch for a foreign payload.  Before publishing: the
+        bytes must match ``sha256`` when given (the ``/store/fetch``
+        wire digest, catching corruption and mis-batched entries), and
+        must unpickle to a :class:`SimResult` -- peers are already
+        trusted to be unpickled (forwarding does), but garbage must
+        never be cached and later served as an authentic result.
+        """
         if not self.enabled() or not _KEY_RE.fullmatch(key):
+            return False
+        if sha256 is not None and hashlib.sha256(data).hexdigest() != sha256:
+            return False
+        try:
+            if not isinstance(pickle.loads(data), SimResult):
+                return False
+        except Exception:
             return False
         try:
             self.directory.mkdir(parents=True, exist_ok=True)

@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import hashlib
 import time
 
 import pytest
 
 from repro.serve.client import (
     ServeError,
+    decode_result,
     fetch_store_entries,
     fetch_store_keys,
     forward_cell,
@@ -26,7 +28,7 @@ from repro.serve.client import (
 )
 from repro.serve.cluster import pick_ports
 from repro.serve.service import spec_to_dict
-from repro.sim.parallel import run_cell
+from repro.sim.parallel import derive_warm_cells, run_cell
 from tests.serve.helpers import ServerThread, make_grid
 
 
@@ -101,6 +103,42 @@ class TestForwarding:
             run_cell(spec)
         )
 
+    def test_wire_warm_cell_resolves_warm_on_the_peer(
+        self, pair, tmp_path, monkeypatch
+    ):
+        """POST /cell with a warm-keyed spec: the wire strips
+        ``warm_from``, so the peer must re-derive the checkpoint before
+        resolving -- running it as-is would file *cold* bits under the
+        warm-keyed content address."""
+        monkeypatch.setenv("REPRO_CKPT_DIR", str(tmp_path / "ckpt"))
+        a, b = pair
+        warm_spec = derive_warm_cells([make_grid()[0]])[0]
+        assert warm_spec.warm_hash is not None
+        key, result = forward_cell(b.url, spec_to_dict(warm_spec))
+        assert key == b.server.service.store.key(warm_spec)
+        assert dataclasses.asdict(result) == dataclasses.asdict(
+            run_cell(warm_spec)
+        )
+
+    def test_warm_sweep_spans_the_ring_bit_identically(
+        self, pair, tmp_path, monkeypatch
+    ):
+        """A ``"warm": true`` sweep submitted to one node: cells whose
+        ring owner is the peer are forwarded as warm-keyed wire specs
+        and must come back bit-identical to local warm runs."""
+        monkeypatch.setenv("REPRO_CKPT_DIR", str(tmp_path / "ckpt"))
+        a, b = pair
+        specs = make_grid()
+        warm_specs = derive_warm_cells(specs)
+        served = run_cells_via_server(a.url, specs, warm=True)
+        for warm_spec, result in zip(warm_specs, served):
+            assert dataclasses.asdict(result) == dataclasses.asdict(
+                run_cell(warm_spec)
+            )
+        node_a = a.server.service.stats_dict()["node"]
+        assert node_a["fallbacks"] == 0
+        assert node_a["owned"] + node_a["forwarded"] == len(specs)
+
     def test_warm_handoff_pulls_exactly_the_owned_keys(self, pair, tmp_path):
         """A restarted member with an empty store pulls from a peer
         precisely the entries the ring assigns to it -- nothing more."""
@@ -145,8 +183,9 @@ class TestForwarding:
         }
         entries = fetch_store_entries(a.url, keys[:2])
         assert set(entries) == set(keys[:2])
-        for key, blob in entries.items():
+        for key, (blob, digest) in entries.items():
             assert blob == a.server.service.store.read_raw(key)
+            assert digest == hashlib.sha256(blob).hexdigest()
 
 
 class TestJobsOverHTTP:
@@ -183,6 +222,42 @@ class TestJobsOverHTTP:
         served = {line["index"]: line["key"] for line in cells}
         for index, spec in enumerate(specs):
             assert served[index] == a.server.service.store.key(spec)
+
+    def test_warm_job_streams_its_results(self, pair, tmp_path, monkeypatch):
+        """A job submitted with ``"warm": true`` journals warm-derived
+        keys; the results stream must fetch by those journaled keys --
+        recomputing cold addresses from the submitted cells would
+        miscount every finished cell as evicted."""
+        monkeypatch.setenv("REPRO_CKPT_DIR", str(tmp_path / "ckpt"))
+        a, _ = pair
+        specs = make_grid()[:2]
+        submitted = submit_job(
+            a.url,
+            {"cells": [spec_to_dict(spec) for spec in specs], "warm": True},
+        )
+        job_id = submitted["job_id"]
+        deadline = time.monotonic() + 120
+        status = None
+        while time.monotonic() < deadline:
+            status = job_status(a.url, job_id)
+            if status["complete"]:
+                break
+            time.sleep(0.05)
+        assert status and status["complete"], f"warm job stuck: {status}"
+
+        lines = job_results(a.url, job_id)
+        cells = [line for line in lines if line["kind"] == "cell"]
+        summary = next(l for l in lines if l["kind"] == "job-summary")
+        assert len(cells) == len(specs)
+        assert summary["streamed"] == len(specs)
+        assert summary["evicted"] == 0
+        warm_keys = {
+            a.server.service.store.key(spec)
+            for spec in derive_warm_cells(specs)
+        }
+        assert {line["key"] for line in cells} == warm_keys
+        for line in cells:
+            decode_result(line)  # the payload rides along and unpickles
 
     def test_unknown_job_is_a_clean_error(self, pair):
         a, _ = pair

@@ -161,3 +161,20 @@ class TestEndToEnd:
                 assert "JSON" in json.loads(response.read())["error"]
             finally:
                 conn.close()
+
+    def test_negative_content_length_is_a_400(self, tmp_path):
+        """A negative Content-Length must get a clean 400, not blow up
+        readexactly and drop the connection without a response."""
+        with ServerThread(tmp_path) as server:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.server.port, timeout=30
+            )
+            try:
+                conn.putrequest("POST", "/sweep")
+                conn.putheader("Content-Length", "-5")
+                conn.endheaders()
+                response = conn.getresponse()
+                assert response.status == 400
+                assert "Content-Length" in json.loads(response.read())["error"]
+            finally:
+                conn.close()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
 
@@ -112,6 +113,35 @@ class TestClaims:
         orphan.write_text(json.dumps({"pid": 12345}))
         assert queue.claim(job_id, 0) is True
         assert not orphan.exists()
+
+    def test_steal_goes_through_a_tombstone_rename(self, tmp_path):
+        """Breaking a dead holder's claim renames it away (atomic, one
+        winner) rather than unlinking it -- unlink+link would let two
+        racing stealers both believe they hold the cell."""
+        queue = JobQueue(tmp_path)
+        job_id = queue.submit(wire_cells())
+        claim = tmp_path / job_id / "claims" / "0.claim"
+        claim.write_text(json.dumps({"pid": dead_pid(), "claimed": 0}))
+        assert queue.claim(job_id, 0) is True
+        # The fresh claim names the live stealer, and no tombstone or
+        # temp litter survives the steal.
+        holder = json.loads(claim.read_text())
+        assert holder["pid"] == os.getpid()
+        leftovers = list(claim.parent.glob("*.stale.*"))
+        leftovers += list(claim.parent.glob("*.tmp.*"))
+        assert leftovers == []
+
+    def test_orphan_steal_tombstone_is_pruned(self, tmp_path):
+        """A stealer killed between its rename and unlink leaves a
+        pid-suffixed tombstone; the next claimant prunes it and the
+        slot claims clean."""
+        queue = JobQueue(tmp_path)
+        job_id = queue.submit(wire_cells())
+        claims = tmp_path / job_id / "claims"
+        tombstone = claims / f"0.claim.stale.{dead_pid()}"
+        tombstone.write_text(json.dumps({"pid": 12345}))
+        assert queue.claim(job_id, 0) is True
+        assert not tombstone.exists()
 
 
 class TestJournal:

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
+import pickle
 import time
 
 from repro.obs.manifest import validate_manifest
@@ -145,6 +147,43 @@ class TestEviction:
         put_cells(store, [make_spec(user_insts=n) for n in (201, 202, 203)])
         assert len(store.entries()) == 3
         assert store.stats.evictions == 0
+
+
+class TestPutRaw:
+    """Handoff payload verification: the key hashes the spec, not the
+    bytes, so put_raw must vouch for the payload itself."""
+
+    KEY = "ab" * 20
+
+    def test_verified_round_trip(self, tmp_path):
+        store = ContentStore(tmp_path)
+        data = pickle.dumps(run_cell(make_spec()))
+        digest = hashlib.sha256(data).hexdigest()
+        assert store.put_raw(self.KEY, data, digest) is True
+        assert store.read_raw(self.KEY) == data
+        assert store.stats.puts == 1
+
+    def test_wrong_digest_is_rejected(self, tmp_path):
+        store = ContentStore(tmp_path)
+        data = pickle.dumps(run_cell(make_spec()))
+        assert store.put_raw(self.KEY, data, "0" * 64) is False
+        assert store.read_raw(self.KEY) is None
+        assert store.stats.puts == 0
+
+    def test_non_result_payload_is_rejected(self, tmp_path):
+        """Corrupt bytes or a pickle of the wrong type must never be
+        published and later served as an authentic result."""
+        store = ContentStore(tmp_path)
+        for blob in (b"\x00garbage", pickle.dumps({"not": "a result"})):
+            digest = hashlib.sha256(blob).hexdigest()
+            assert store.put_raw(self.KEY, blob, digest) is False
+        assert store.entries() == []
+
+    def test_malformed_key_is_rejected(self, tmp_path):
+        store = ContentStore(tmp_path)
+        data = pickle.dumps(run_cell(make_spec()))
+        assert store.put_raw("../escape", data) is False
+        assert store.entries() == []
 
 
 class TestEnvKnobs:
